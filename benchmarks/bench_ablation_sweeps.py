@@ -1,0 +1,45 @@
+"""Ablation A1: the sweep directions and the erroneous-point filter (§4.3.2).
+
+The paper motivates running *both* a row-major and a column-major sweep and
+then filtering erroneous points.  This benchmark quantifies that design choice
+on the ten non-pathological benchmarks of the suite by comparing
+
+* the paper configuration (both sweeps + filter),
+* row-major sweep only,
+* column-major sweep only,
+* both sweeps but no post-processing filter,
+
+reporting success rate, mean coefficient error, and probe fraction for each.
+The paper configuration must dominate (or tie) the single-sweep variants.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import run_ablation_sweeps
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_ablation_sweeps(benchmark, write_report):
+    """Compare sweep/filter variants over the ten workable benchmarks."""
+    rows, report = benchmark.pedantic(run_ablation_sweeps, rounds=1, iterations=1)
+    write_report("ablation_sweeps.txt", report)
+
+    by_label = {row.label: row for row in rows}
+    paper = by_label["both sweeps + filter (paper)"]
+    row_only = by_label["row sweep only"]
+    column_only = by_label["column sweep only"]
+    no_filter = by_label["both sweeps, no filter"]
+
+    assert paper.success_rate >= 0.9
+    assert paper.success_rate >= row_only.success_rate
+    assert paper.success_rate >= column_only.success_rate
+    # Using both sweeps costs more probes than either single sweep.
+    assert paper.mean_probe_fraction >= row_only.mean_probe_fraction
+    assert paper.mean_probe_fraction >= column_only.mean_probe_fraction
+    # The filter never hurts the success rate and does not change probe cost.
+    assert paper.success_rate >= no_filter.success_rate
+    assert paper.mean_probe_fraction == pytest.approx(
+        no_filter.mean_probe_fraction, rel=0.05
+    )

@@ -1,0 +1,38 @@
+"""Experiment E6: cost of the n-dot array extension (§2.3).
+
+Virtual gates for an n-dot linear array require n-1 sequential pairwise
+extractions.  This benchmark runs the full array bring-up for 2, 3, and 4 dot
+devices (the 4-dot case mirrors the paper's Figure 1 device), verifies every
+pairwise extraction succeeds against the ground-truth capacitance model, and
+records how probes and simulated runtime grow with the array size.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis import run_array_scaling
+
+
+@pytest.mark.benchmark(group="array")
+def test_array_scaling(benchmark, write_report):
+    """Sequential pairwise extraction for 2-, 3-, and 4-dot arrays."""
+    rows, report = benchmark.pedantic(
+        lambda: run_array_scaling(dot_counts=(2, 3, 4), resolution=80),
+        rounds=1,
+        iterations=1,
+    )
+    write_report("array_scaling.txt", report)
+
+    assert [row.n_pairs for row in rows] == [1, 2, 3]
+    assert all(row.all_pairs_succeeded for row in rows)
+    assert all(np.isfinite(row.max_alpha_error) and row.max_alpha_error < 0.12 for row in rows)
+    # Cost grows roughly linearly with the number of pairs.
+    probes = [row.total_probes for row in rows]
+    assert probes[1] > probes[0] and probes[2] > probes[1]
+    per_pair = [row.total_probes / row.n_pairs for row in rows]
+    assert max(per_pair) / min(per_pair) < 1.6
+    # Each pairwise extraction stays far cheaper than a full 80x80 scan.
+    for row in rows:
+        assert row.total_probes / row.n_pairs < 0.25 * 80 * 80

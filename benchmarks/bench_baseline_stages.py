@@ -1,0 +1,51 @@
+"""Computational cost of the Canny + Hough baseline stages (supporting).
+
+Times the image-processing half of the baseline on benchmark 6 (100x100):
+Canny edge detection and the Hough accumulator + peak picking.  Together with
+``bench_extraction_stages.py`` this shows that *neither* method is limited by
+computation — the difference in Table 1 comes entirely from how many points
+each method asks the device for.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baseline import CannyEdgeDetector, HoughTransform
+from repro.datasets import load_benchmark
+
+
+@pytest.fixture(scope="module")
+def image() -> np.ndarray:
+    return load_benchmark(6).data
+
+
+@pytest.fixture(scope="module")
+def edges(image) -> np.ndarray:
+    return CannyEdgeDetector().detect(image)
+
+
+@pytest.mark.benchmark(group="baseline-stages")
+def test_canny_compute_time(benchmark, image):
+    """Canny edge detection on a 100x100 diagram."""
+    edge_map = benchmark(lambda: CannyEdgeDetector().detect(image))
+    assert edge_map.sum() > 30
+
+
+@pytest.mark.benchmark(group="baseline-stages")
+def test_hough_compute_time(benchmark, edges):
+    """Hough accumulation + peak picking on the Canny edge map."""
+    lines = benchmark(lambda: HoughTransform().find_lines(edges))
+    assert len(lines) >= 2
+
+
+@pytest.mark.benchmark(group="baseline-stages")
+def test_full_image_pipeline_compute_time(benchmark, image):
+    """Canny followed by Hough, i.e. everything after the full scan."""
+
+    def run():
+        return HoughTransform().find_lines(CannyEdgeDetector().detect(image))
+
+    lines = benchmark(run)
+    assert lines

@@ -1,0 +1,98 @@
+"""Computational cost of the fast-extraction stages (supporting measurement).
+
+The paper's speedup comes from probe reduction, not computation, but a
+downstream user still cares that the algorithm itself is cheap compared to a
+single 50 ms dwell.  These micro-benchmarks time the pure computation of each
+pipeline stage against a cached replay of benchmark 6 (100x100):
+
+* anchor preprocessing (diagonal probe + mask sweeps),
+* the two shrinking-triangle sweeps,
+* the two-piece-wise linear fit,
+* the complete pipeline.
+
+Because the replay session answers probes from memory, the measured times are
+algorithm-only and can be compared directly with the dwell-dominated runtimes
+in Table 1.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import (
+    AnchorFinder,
+    FastVirtualGateExtractor,
+    TransitionLineFitter,
+    TransitionLineSweeper,
+)
+from repro.core.extraction import FastVirtualGateExtractor as _Extractor
+from repro.datasets import load_benchmark
+from repro.instrument import ExperimentSession
+
+
+@pytest.fixture(scope="module")
+def csd():
+    return load_benchmark(6)
+
+
+@pytest.mark.benchmark(group="stages")
+def test_anchor_search_compute_time(benchmark, csd):
+    """Anchor preprocessing on a fresh session each round."""
+
+    def run():
+        session = ExperimentSession.from_csd(csd)
+        return AnchorFinder(session.meter).find()
+
+    result = benchmark(run)
+    assert result.steep_anchor.col > result.shallow_anchor.col
+
+
+@pytest.mark.benchmark(group="stages")
+def test_sweeps_compute_time(benchmark, csd):
+    """Row + column sweeps, anchors precomputed outside the timed region."""
+    session = ExperimentSession.from_csd(csd)
+    anchors = AnchorFinder(session.meter).find()
+
+    def run():
+        return TransitionLineSweeper(session.meter).run(
+            anchors.steep_anchor, anchors.shallow_anchor
+        )
+
+    row_trace, column_trace = benchmark(run)
+    assert row_trace.n_points > 0 and column_trace.n_points > 0
+
+
+@pytest.mark.benchmark(group="stages")
+def test_fit_compute_time(benchmark, csd):
+    """The scipy curve_fit stage on the filtered points of a real run."""
+    session = ExperimentSession.from_csd(csd)
+    extraction = FastVirtualGateExtractor().extract(session)
+    assert extraction.success
+    points = extraction.points.filtered_points
+    xs, ys = session.meter.x_voltages, session.meter.y_voltages
+    import numpy as np
+
+    voltage_points = np.array([[xs[col], ys[row]] for row, col in points])
+    steep = extraction.anchors.steep_anchor
+    shallow = extraction.anchors.shallow_anchor
+    steep_v = (float(xs[steep.col]), float(ys[steep.row]))
+    shallow_v = (float(xs[shallow.col]), float(ys[shallow.row]))
+
+    fit = benchmark(
+        lambda: TransitionLineFitter().fit(voltage_points, steep_v, shallow_v)
+    )
+    assert fit.slope_steep < 0
+
+
+@pytest.mark.benchmark(group="stages")
+def test_full_pipeline_compute_time(benchmark, csd):
+    """Whole fast extraction (computation only; probes replayed from memory)."""
+
+    def run():
+        return _Extractor().extract(ExperimentSession.from_csd(csd))
+
+    result = benchmark(run)
+    assert result.success
+    # The computation is negligible next to the simulated experiment time:
+    # ~1000 probes x 50 ms of dwell, versus well under a second of compute.
+    assert result.probe_stats.elapsed_s > 40.0

@@ -1,0 +1,60 @@
+"""Experiment E2: reproduce Figure 7 — the pixels probed on CSD 6 and CSD 10.
+
+For each of the two benchmarks the paper shows, this benchmark runs the fast
+extraction, exports the probed-pixel mask (and the underlying diagram) as an
+``.npz`` file, renders an ASCII version of the scatter plot into
+``benchmarks/results/figure7.txt``, and asserts the property the figure is
+meant to demonstrate: the probed points concentrate around the two transition
+lines and amount to roughly 10% of the diagram.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis import run_figure7
+from repro.datasets import load_benchmark
+from repro.visualization import ascii_probe_map, export_probe_map
+
+
+@pytest.mark.benchmark(group="figure7")
+def test_figure7_probe_maps(benchmark, write_report, results_dir):
+    """Regenerate the probed-point scatter of benchmarks 6 and 10."""
+    results = benchmark.pedantic(lambda: run_figure7(indices=(6, 10)), rounds=1, iterations=1)
+
+    sections = []
+    for result in results:
+        csd = load_benchmark(result.index)
+        export_probe_map(
+            results_dir / f"figure7_csd{result.index:02d}.npz", csd, result.probe_mask
+        )
+        rendering = ascii_probe_map(result.shape, result.probe_mask, max_rows=40, max_cols=80)
+        sections.append(
+            f"CSD {result.index} ({result.name}): {result.n_probes} probes "
+            f"({100 * result.probe_fraction:.2f}% of {result.shape[0]}x{result.shape[1]})\n"
+            + rendering
+        )
+    write_report("figure7.txt", "\n\n".join(sections))
+
+    assert len(results) == 2
+    for result in results:
+        assert result.success
+        assert 0.05 < result.probe_fraction < 0.18
+
+        csd = load_benchmark(result.index)
+        geometry = csd.geometry
+        rows, cols = np.nonzero(result.probe_mask)
+        vx = csd.x_voltages[cols]
+        vy = csd.y_voltages[rows]
+        d_steep = np.abs(
+            vy - (geometry.crossing_y + geometry.slope_steep * (vx - geometry.crossing_x))
+        )
+        d_shallow = np.abs(
+            vy - (geometry.crossing_y + geometry.slope_shallow * (vx - geometry.crossing_x))
+        )
+        nearest = np.minimum(d_steep, d_shallow)
+        span = float(csd.y_voltages[-1] - csd.y_voltages[0])
+        # Most probed pixels hug one of the two transition lines, unlike a
+        # full raster scan where the same statistic would be ~25%.
+        assert np.mean(nearest < 0.15 * span) > 0.5

@@ -1,0 +1,35 @@
+"""Robustness study A3: success rate of the fast extraction vs noise level.
+
+Sweeps the noise amplitude from noiseless to far beyond the benchmark suite's
+standard level on a 100x100 device (three seeds per level) and records the
+success rate, the mean coefficient error, and the probe fraction.  The curve
+explains the paper's two failing benchmarks: they sit beyond the point where
+the sensor step disappears under the noise floor.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import run_noise_sweep
+
+
+@pytest.mark.benchmark(group="robustness")
+def test_noise_sweep(benchmark, write_report):
+    """Success rate and accuracy of the fast extraction as noise grows."""
+    rows, report = benchmark.pedantic(
+        lambda: run_noise_sweep(noise_scales=(0.0, 1.0, 2.0, 4.0, 8.0, 16.0), n_seeds=3),
+        rounds=1,
+        iterations=1,
+    )
+    write_report("noise_sweep.txt", report)
+
+    assert rows[0].noise_scale == 0.0
+    assert rows[0].success_rate == 1.0
+    assert rows[1].success_rate == 1.0  # the suite's standard level is easy
+    # Success never *improves* by more than one seed as the noise gets worse.
+    for earlier, later in zip(rows, rows[1:]):
+        assert later.success_rate <= earlier.success_rate + 1.0 / 3 + 1e-9
+    # The probe fraction stays in the expected band at every noise level.
+    for row in rows:
+        assert 0.02 < row.mean_probe_fraction < 0.25

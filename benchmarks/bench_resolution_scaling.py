@@ -1,0 +1,39 @@
+"""Scaling study A4: probe fraction and speedup vs CSD resolution.
+
+The paper's Table 1 shows the speedup growing with scan size (6-8x at 63x63,
+~10x at 100x100, ~19x at 200x200) because the baseline's cost grows with the
+pixel count while the fast method only tracks the one-dimensional transition
+lines.  This benchmark reproduces that trend on a single synthetic device
+scanned at four resolutions.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import run_resolution_scaling
+
+
+@pytest.mark.benchmark(group="scaling")
+def test_resolution_scaling(benchmark, write_report):
+    """Speedup and probe fraction as the scan resolution grows."""
+    rows, report = benchmark.pedantic(
+        lambda: run_resolution_scaling(resolutions=(63, 100, 150, 200)),
+        rounds=1,
+        iterations=1,
+    )
+    write_report("resolution_scaling.txt", report)
+
+    assert [row.resolution for row in rows] == [63, 100, 150, 200]
+    # The probed fraction falls with resolution (probes grow ~linearly while
+    # pixels grow quadratically) ...
+    fractions = [row.fast_fraction for row in rows]
+    assert all(later < earlier for earlier, later in zip(fractions, fractions[1:]))
+    # ... so the speedup over the full-scan baseline grows monotonically.
+    speedups = [row.speedup for row in rows]
+    assert all(later > earlier for earlier, later in zip(speedups, speedups[1:]))
+    assert speedups[0] > 4.0
+    assert speedups[-1] > 12.0
+    # Baseline runtime is exactly pixels x 50 ms.
+    for row in rows:
+        assert row.baseline_elapsed_s == pytest.approx(0.05 * row.resolution**2)

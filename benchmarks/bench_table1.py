@@ -1,0 +1,70 @@
+"""Experiment E1 + E3: reproduce Table 1 and the headline speedup claims.
+
+Runs the fast virtual gate extraction and the Canny+Hough baseline over all
+twelve qflow-like benchmarks, regenerates the Table 1 rows (success/fail,
+points probed, simulated runtime, speedup), writes the table to
+``benchmarks/results/table1.txt`` / ``table1.csv`` and asserts the qualitative
+structure the paper reports:
+
+* the fast method succeeds on at least as many benchmarks as the baseline,
+* the two pathological-noise benchmarks defeat both methods,
+* benchmark 7 splits the methods (fast succeeds, baseline fails),
+* the fast method probes ~5-20% of the pixels and is several times faster,
+  with the largest speedups on the largest scans.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import (
+    format_accuracy_table,
+    format_summary,
+    format_table1,
+    summarize_suite,
+    table1_rows,
+    TABLE1_HEADERS,
+)
+from repro.analysis.comparison import ComparisonRunner
+from repro.datasets import EXPECTED_BASELINE_ONLY_FAILURE, EXPECTED_HARD_FAILURES, load_suite
+from repro.visualization import export_table_csv
+
+
+@pytest.mark.benchmark(group="table1")
+def test_table1_full_suite(benchmark, write_report, results_dir):
+    """Regenerate Table 1 over the full twelve-benchmark suite."""
+    suite = load_suite()
+    runner = ComparisonRunner()
+
+    records = benchmark.pedantic(lambda: runner.run_suite(suite), rounds=1, iterations=1)
+
+    summary = summarize_suite(records)
+    report = (
+        format_table1(records)
+        + "\n\n"
+        + format_summary(summary)
+        + "\n\n"
+        + format_accuracy_table(records)
+    )
+    write_report("table1.txt", report)
+    export_table_csv(results_dir / "table1.csv", TABLE1_HEADERS, table1_rows(records))
+
+    # --- structural assertions mirroring the paper's Table 1 ---------------
+    assert len(records) == 12
+    assert summary.fast_successes >= summary.baseline_successes
+    assert summary.fast_successes >= 9
+    for index in EXPECTED_HARD_FAILURES:
+        record = records[index - 1]
+        assert not record.fast.success and not record.baseline.success
+    split = records[EXPECTED_BASELINE_ONLY_FAILURE - 1]
+    assert split.fast.success and not split.baseline.success
+
+    successful = [r for r in records if r.fast.success]
+    fractions = [r.fast.probe_fraction for r in successful]
+    assert all(0.03 < fraction < 0.20 for fraction in fractions)
+    speedups = [r.speedup for r in successful if r.speedup is not None]
+    assert min(speedups) > 4.0
+    assert max(speedups) > 12.0
+    # The largest scans enjoy the largest speedups (the paper's 19.34x case).
+    largest = max(successful, key=lambda r: r.resolution[0] * r.resolution[1])
+    assert largest.speedup == pytest.approx(max(speedups), rel=0.01)

@@ -1,0 +1,34 @@
+"""Shared fixtures for the benchmark harness.
+
+Every benchmark writes its human-readable report (the reproduced table or
+figure data) into ``benchmarks/results/`` so the numbers quoted in
+EXPERIMENTS.md can be regenerated with a single
+``pytest benchmarks/ --benchmark-only`` run.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    """Directory where benchmark reports and figure data are written."""
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture(scope="session")
+def write_report(results_dir):
+    """Callable that writes a named text report into the results directory."""
+
+    def _write(name: str, content: str) -> Path:
+        path = results_dir / name
+        path.write_text(content + "\n")
+        return path
+
+    return _write

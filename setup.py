@@ -1,0 +1,11 @@
+"""Setuptools entry point.
+
+The project is fully described by ``pyproject.toml``; this file exists so that
+the package can also be installed in minimal offline environments that lack
+the ``wheel`` package required for PEP 660 editable installs
+(``python setup.py develop`` as a fallback for ``pip install -e .``).
+"""
+
+from setuptools import setup
+
+setup()

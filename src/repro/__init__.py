@@ -1,0 +1,66 @@
+"""Fast virtual gate extraction for silicon quantum dot devices.
+
+A from-scratch reproduction of *"Fast Virtual Gate Extraction For Silicon
+Quantum Dot Devices"* (Che et al., DAC 2024): the probe-efficient extraction
+algorithm itself, the full-scan Canny+Hough baseline it is compared against,
+and every substrate the evaluation needs — a constant-interaction device
+simulator, a charge-sensor model, measurement-noise models, dwell-time
+instrument accounting, and a qflow-like twelve-benchmark suite.
+
+Typical use::
+
+    from repro import (
+        DotArrayDevice, CSDSimulator, ExperimentSession, FastVirtualGateExtractor,
+    )
+
+    device = DotArrayDevice.double_dot(cross_coupling=(0.25, 0.22))
+    csd = CSDSimulator(device).simulate(resolution=100, seed=1)
+    session = ExperimentSession.from_csd(csd)
+    result = FastVirtualGateExtractor().extract(session)
+    print(result.matrix.matrix, result.probe_stats.probe_fraction)
+"""
+
+from .baseline import BaselineConfig, HoughBaselineExtractor
+from .core import (
+    ArrayVirtualGateExtractor,
+    ArrayVirtualization,
+    ExtractionConfig,
+    ExtractionResult,
+    FastVirtualGateExtractor,
+    VirtualizationMatrix,
+)
+from .exceptions import ReproError
+from .instrument import ChargeSensorMeter, ExperimentSession, TimingModel, VirtualClock
+from .physics import (
+    CapacitanceModel,
+    ChargeSensor,
+    ChargeStabilityDiagram,
+    CSDSimulator,
+    DotArrayDevice,
+    standard_lab_noise,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BaselineConfig",
+    "HoughBaselineExtractor",
+    "ArrayVirtualGateExtractor",
+    "ArrayVirtualization",
+    "ExtractionConfig",
+    "ExtractionResult",
+    "FastVirtualGateExtractor",
+    "VirtualizationMatrix",
+    "ReproError",
+    "ChargeSensorMeter",
+    "ExperimentSession",
+    "TimingModel",
+    "VirtualClock",
+    "CapacitanceModel",
+    "ChargeSensor",
+    "ChargeStabilityDiagram",
+    "CSDSimulator",
+    "DotArrayDevice",
+    "standard_lab_noise",
+    "__version__",
+]

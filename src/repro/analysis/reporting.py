@@ -1,0 +1,174 @@
+"""Plain-text report formatting for the reproduced tables.
+
+No plotting library is assumed; every experiment renders to aligned text
+tables (the same rows and columns as the paper's Table 1) plus a short
+summary block with the aggregate numbers the paper quotes in its abstract
+(speedup range, average probe fraction, success counts).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .comparison import BenchmarkRecord
+
+
+def format_table(headers: list[str], rows: list[list[str]], title: str | None = None) -> str:
+    """Render an aligned plain-text table."""
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    header_line = "  ".join(h.ljust(widths[i]) for i, h in enumerate(headers))
+    lines.append(header_line)
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rows:
+        lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def _success_label(success: bool) -> str:
+    return "Success" if success else "Fail"
+
+
+def _format_speedup(record: BenchmarkRecord) -> str:
+    value = record.speedup
+    if value is None or not record.baseline.success and not record.fast.success:
+        return "N/A"
+    if value is None:
+        return "N/A"
+    return f"{value:.2f}x"
+
+
+def table1_rows(records: list[BenchmarkRecord]) -> list[list[str]]:
+    """Rows of the reproduced Table 1."""
+    rows = []
+    for record in records:
+        n_pixels = record.fast.result.probe_stats.n_pixels
+        fast_probes = record.fast.n_probes
+        rows.append(
+            [
+                str(record.index),
+                record.size_label,
+                _success_label(record.fast.success),
+                _success_label(record.baseline.success),
+                f"{fast_probes} ({100.0 * fast_probes / n_pixels:.2f}%)",
+                f"{record.baseline.n_probes} (100%)",
+                f"{record.fast.elapsed_s:.2f}s",
+                f"{record.baseline.elapsed_s:.2f}s",
+                _format_speedup(record),
+            ]
+        )
+    return rows
+
+
+TABLE1_HEADERS = [
+    "CSD",
+    "Size",
+    "Fast",
+    "Baseline",
+    "Points (fast)",
+    "Points (baseline)",
+    "Runtime (fast)",
+    "Runtime (baseline)",
+    "Speedup",
+]
+
+
+def format_table1(records: list[BenchmarkRecord]) -> str:
+    """The reproduced Table 1 as a plain-text table."""
+    return format_table(
+        TABLE1_HEADERS,
+        table1_rows(records),
+        title="Table 1 (reproduced): fast virtual gate extraction vs Canny+Hough baseline",
+    )
+
+
+@dataclass(frozen=True)
+class SuiteSummary:
+    """Aggregate numbers over a benchmark suite (the abstract's claims)."""
+
+    n_benchmarks: int
+    fast_successes: int
+    baseline_successes: int
+    min_speedup: float
+    max_speedup: float
+    mean_probe_fraction: float
+
+    def as_dict(self) -> dict:
+        """Plain-dict view."""
+        return {
+            "n_benchmarks": self.n_benchmarks,
+            "fast_successes": self.fast_successes,
+            "baseline_successes": self.baseline_successes,
+            "min_speedup": self.min_speedup,
+            "max_speedup": self.max_speedup,
+            "mean_probe_fraction": self.mean_probe_fraction,
+        }
+
+
+def summarize_suite(records: list[BenchmarkRecord]) -> SuiteSummary:
+    """Aggregate a suite of benchmark records."""
+    speedups = [r.speedup for r in records if r.speedup is not None and r.fast.success]
+    fractions = [r.fast.probe_fraction for r in records if r.fast.success]
+    return SuiteSummary(
+        n_benchmarks=len(records),
+        fast_successes=sum(1 for r in records if r.fast.success),
+        baseline_successes=sum(1 for r in records if r.baseline.success),
+        min_speedup=float(min(speedups)) if speedups else float("nan"),
+        max_speedup=float(max(speedups)) if speedups else float("nan"),
+        mean_probe_fraction=float(np.mean(fractions)) if fractions else float("nan"),
+    )
+
+
+def format_summary(summary: SuiteSummary) -> str:
+    """Human-readable summary block."""
+    lines = [
+        "Summary",
+        f"  benchmarks:            {summary.n_benchmarks}",
+        f"  fast successes:        {summary.fast_successes}/{summary.n_benchmarks}",
+        f"  baseline successes:    {summary.baseline_successes}/{summary.n_benchmarks}",
+        f"  speedup range:         {summary.min_speedup:.2f}x .. {summary.max_speedup:.2f}x",
+        f"  mean probe fraction:   {100.0 * summary.mean_probe_fraction:.1f}%",
+    ]
+    return "\n".join(lines)
+
+
+def format_accuracy_table(records: list[BenchmarkRecord]) -> str:
+    """Extra table: extracted-vs-true coefficients per benchmark (both methods)."""
+    headers = [
+        "CSD",
+        "true a12",
+        "true a21",
+        "fast a12",
+        "fast a21",
+        "baseline a12",
+        "baseline a21",
+    ]
+    rows = []
+    for record in records:
+        fast_matrix = record.fast.result.matrix
+        base_matrix = record.baseline.result.matrix
+        rows.append(
+            [
+                str(record.index),
+                _fmt(record.metadata.get("true_alpha_12")),
+                _fmt(record.metadata.get("true_alpha_21")),
+                _fmt(fast_matrix.alpha_12 if fast_matrix else None),
+                _fmt(fast_matrix.alpha_21 if fast_matrix else None),
+                _fmt(base_matrix.alpha_12 if base_matrix else None),
+                _fmt(base_matrix.alpha_21 if base_matrix else None),
+            ]
+        )
+    return format_table(headers, rows, title="Extracted vs true virtualization coefficients")
+
+
+def _fmt(value: float | None) -> str:
+    if value is None or not np.isfinite(value):
+        return "-"
+    return f"{value:.3f}"

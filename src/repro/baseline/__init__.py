@@ -1,0 +1,39 @@
+"""Baseline method: full-CSD acquisition + Canny edges + Hough transform.
+
+Implemented from scratch on numpy (no OpenCV) so the comparison in the
+evaluation exercises the same mathematical pipeline the paper's baseline
+references use, while still paying for every pixel of the diagram.
+"""
+
+from .canny import CannyConfig, CannyEdgeDetector
+from .extraction import BASELINE_METHOD_NAME, BaselineConfig, HoughBaselineExtractor
+from .filters import (
+    SOBEL_X,
+    SOBEL_Y,
+    convolve2d,
+    correlate2d,
+    gaussian_blur,
+    gaussian_kernel_1d,
+    normalize_image,
+    sobel_gradients,
+)
+from .hough import HoughConfig, HoughLine, HoughTransform
+
+__all__ = [
+    "CannyConfig",
+    "CannyEdgeDetector",
+    "BASELINE_METHOD_NAME",
+    "BaselineConfig",
+    "HoughBaselineExtractor",
+    "SOBEL_X",
+    "SOBEL_Y",
+    "convolve2d",
+    "correlate2d",
+    "gaussian_blur",
+    "gaussian_kernel_1d",
+    "normalize_image",
+    "sobel_gradients",
+    "HoughConfig",
+    "HoughLine",
+    "HoughTransform",
+]

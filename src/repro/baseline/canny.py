@@ -1,0 +1,123 @@
+"""Canny edge detection implemented from scratch (baseline pipeline, stage 1).
+
+The classic five stages: Gaussian smoothing, Sobel gradients, non-maximum
+suppression along the gradient direction, double thresholding, and edge
+tracking by hysteresis.  Thresholds are expressed as fractions of the maximum
+gradient magnitude, which makes the detector insensitive to the absolute
+current scale of a charge-stability diagram.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..exceptions import BaselineError
+from .filters import gaussian_blur, normalize_image, sobel_gradients
+
+
+@dataclass(frozen=True)
+class CannyConfig:
+    """Parameters of the Canny edge detector.
+
+    Attributes
+    ----------
+    sigma:
+        Standard deviation of the Gaussian pre-smoothing, in pixels.
+    low_threshold_fraction, high_threshold_fraction:
+        Hysteresis thresholds as fractions of the maximum gradient magnitude.
+    """
+
+    sigma: float = 1.4
+    low_threshold_fraction: float = 0.10
+    high_threshold_fraction: float = 0.25
+
+    def __post_init__(self) -> None:
+        if self.sigma <= 0:
+            raise BaselineError("sigma must be positive")
+        if not 0 < self.low_threshold_fraction < 1:
+            raise BaselineError("low_threshold_fraction must lie in (0, 1)")
+        if not 0 < self.high_threshold_fraction < 1:
+            raise BaselineError("high_threshold_fraction must lie in (0, 1)")
+        if self.low_threshold_fraction >= self.high_threshold_fraction:
+            raise BaselineError("low threshold must be below the high threshold")
+
+
+class CannyEdgeDetector:
+    """Binary edge map from a charge-stability image."""
+
+    def __init__(self, config: CannyConfig | None = None) -> None:
+        self._config = config or CannyConfig()
+
+    @property
+    def config(self) -> CannyConfig:
+        """The detector configuration."""
+        return self._config
+
+    # ------------------------------------------------------------------
+    def detect(self, image: np.ndarray) -> np.ndarray:
+        """Return a boolean edge map of the same shape as ``image``."""
+        image = normalize_image(image)
+        smoothed = gaussian_blur(image, self._config.sigma)
+        _, _, magnitude, direction = sobel_gradients(smoothed)
+        suppressed = self.non_maximum_suppression(magnitude, direction)
+        strong, weak = self.double_threshold(suppressed)
+        return self.hysteresis(strong, weak)
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def non_maximum_suppression(magnitude: np.ndarray, direction: np.ndarray) -> np.ndarray:
+        """Keep only pixels that are local maxima along their gradient direction."""
+        rows, cols = magnitude.shape
+        suppressed = np.zeros_like(magnitude)
+        angle = np.rad2deg(direction) % 180.0
+        padded = np.pad(magnitude, 1, mode="constant")
+        # Neighbour offsets for the four quantised directions.
+        for row in range(rows):
+            for col in range(cols):
+                a = angle[row, col]
+                if a < 22.5 or a >= 157.5:
+                    neighbours = (padded[row + 1, col], padded[row + 1, col + 2])
+                elif a < 67.5:
+                    neighbours = (padded[row, col], padded[row + 2, col + 2])
+                elif a < 112.5:
+                    neighbours = (padded[row, col + 1], padded[row + 2, col + 1])
+                else:
+                    neighbours = (padded[row, col + 2], padded[row + 2, col])
+                value = magnitude[row, col]
+                if value >= neighbours[0] and value >= neighbours[1]:
+                    suppressed[row, col] = value
+        return suppressed
+
+    def double_threshold(self, suppressed: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Split suppressed magnitudes into strong and weak edge candidates."""
+        peak = float(np.max(suppressed))
+        if peak <= 0:
+            empty = np.zeros_like(suppressed, dtype=bool)
+            return empty, empty.copy()
+        high = self._config.high_threshold_fraction * peak
+        low = self._config.low_threshold_fraction * peak
+        strong = suppressed >= high
+        weak = (suppressed >= low) & ~strong
+        return strong, weak
+
+    @staticmethod
+    def hysteresis(strong: np.ndarray, weak: np.ndarray) -> np.ndarray:
+        """Keep weak pixels only when connected (8-neighbourhood) to strong ones."""
+        rows, cols = strong.shape
+        edges = strong.copy()
+        stack = list(zip(*np.nonzero(strong)))
+        weak_remaining = weak.copy()
+        while stack:
+            row, col = stack.pop()
+            for dr in (-1, 0, 1):
+                for dc in (-1, 0, 1):
+                    if dr == 0 and dc == 0:
+                        continue
+                    r, c = row + dr, col + dc
+                    if 0 <= r < rows and 0 <= c < cols and weak_remaining[r, c]:
+                        weak_remaining[r, c] = False
+                        edges[r, c] = True
+                        stack.append((r, c))
+        return edges

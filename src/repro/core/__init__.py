@@ -1,0 +1,96 @@
+"""The paper's contribution: fast, probe-efficient virtual gate extraction.
+
+Public surface:
+
+* :class:`FastVirtualGateExtractor` — the full pipeline of Section 4
+  (anchor preprocessing, shrinking-triangle sweeps, erroneous-point filtering,
+  two-piece-wise linear fit).
+* :class:`VirtualizationMatrix` / :class:`ArrayVirtualization` — the output
+  objects, including the affine transformation to virtual gate space.
+* :class:`ArrayVirtualGateExtractor` — the n-dot extension via sequential
+  pairwise extraction.
+* :class:`ExtractionConfig` — every tunable with its paper default.
+"""
+
+from .anchors import AnchorFinder
+from .array_extraction import (
+    ArrayExtractionResult,
+    ArrayVirtualGateExtractor,
+    PairExtractionRecord,
+)
+from .config import (
+    AnchorConfig,
+    ExtractionConfig,
+    FitConfig,
+    PAPER_MASK_X,
+    PAPER_MASK_Y,
+    SweepConfig,
+)
+from .extraction import FastVirtualGateExtractor, METHOD_NAME
+from .fitting import TransitionLineFitter, piecewise_transition_model
+from .gradient import FeatureGradient, MaskResponse, gaussian_window, oriented_mask
+from .postprocess import (
+    build_point_set,
+    filter_transition_points,
+    leftmost_point_per_row,
+    lowest_point_per_column,
+)
+from .region import PixelPoint, TriangularRegion
+from .result import (
+    AnchorSearchResult,
+    ExtractionResult,
+    ProbeStatistics,
+    SlopeFitResult,
+    SweepTrace,
+    TransitionPointSet,
+)
+from .sweeps import TransitionLineSweeper
+from .virtualization import ArrayVirtualization, VirtualizationMatrix
+from .window_search import (
+    TransitionWindowFinder,
+    WindowSearchConfig,
+    WindowSearchResult,
+    tilted_gradient_image,
+)
+from .workflow import AutoTuneResult, AutoTuningWorkflow
+
+__all__ = [
+    "AnchorFinder",
+    "ArrayExtractionResult",
+    "ArrayVirtualGateExtractor",
+    "PairExtractionRecord",
+    "AnchorConfig",
+    "ExtractionConfig",
+    "FitConfig",
+    "SweepConfig",
+    "PAPER_MASK_X",
+    "PAPER_MASK_Y",
+    "FastVirtualGateExtractor",
+    "METHOD_NAME",
+    "TransitionLineFitter",
+    "piecewise_transition_model",
+    "FeatureGradient",
+    "MaskResponse",
+    "gaussian_window",
+    "oriented_mask",
+    "build_point_set",
+    "filter_transition_points",
+    "leftmost_point_per_row",
+    "lowest_point_per_column",
+    "PixelPoint",
+    "TriangularRegion",
+    "AnchorSearchResult",
+    "ExtractionResult",
+    "ProbeStatistics",
+    "SlopeFitResult",
+    "SweepTrace",
+    "TransitionPointSet",
+    "ArrayVirtualization",
+    "VirtualizationMatrix",
+    "TransitionWindowFinder",
+    "WindowSearchConfig",
+    "WindowSearchResult",
+    "tilted_gradient_image",
+    "AutoTuneResult",
+    "AutoTuningWorkflow",
+]

@@ -1,0 +1,145 @@
+"""Anchor-point preprocessing (paper Section 4.4).
+
+Before the sweeps can run, the algorithm needs one point on each transition
+line far from their intersection — the "anchor points" that define the
+initial triangular search region.  The paper finds them with three cheap
+steps, all reproduced here:
+
+1. probe ten equally spaced points along the lower-left → upper-right
+   diagonal and take the brightest one (the (0,0) region is the brightest in
+   a sensor-compensated scan);
+2. choose the starting point as that bright point or the 10% width/height
+   margin, whichever is further from the lower-left corner;
+3. sweep the 3x5 ``Mask_x`` kernel rightwards along the starting row and the
+   5x3 ``Mask_y`` kernel upwards along the starting column, weight both
+   response traces with a 1-D Gaussian, and take the maxima as the steep-line
+   and shallow-line anchor points.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..exceptions import AnchorSearchError
+from ..instrument.measurement import ChargeSensorMeter
+from .config import AnchorConfig
+from .gradient import MaskResponse, gaussian_window
+from .region import PixelPoint
+from .result import AnchorSearchResult
+
+
+class AnchorFinder:
+    """Locate the two initial anchor points with the paper's preprocessing."""
+
+    def __init__(self, meter: ChargeSensorMeter, config: AnchorConfig | None = None) -> None:
+        self._meter = meter
+        self._config = config or AnchorConfig()
+
+    @property
+    def config(self) -> AnchorConfig:
+        """The anchor-search configuration."""
+        return self._config
+
+    # ------------------------------------------------------------------
+    def diagonal_probe(self) -> tuple[list[tuple[int, int]], tuple[int, int]]:
+        """Probe the diagonal and return (probed pixels, brightest pixel)."""
+        rows, cols = self._meter.shape
+        n = self._config.n_diagonal_points
+        row_indices = np.linspace(0, rows - 1, n).round().astype(int)
+        col_indices = np.linspace(0, cols - 1, n).round().astype(int)
+        pixels = [(int(r), int(c)) for r, c in zip(row_indices, col_indices)]
+        currents = [self._meter.get_current(r, c) for r, c in pixels]
+        brightest = pixels[int(np.argmax(currents))]
+        return pixels, brightest
+
+    def starting_point(self, brightest: tuple[int, int]) -> PixelPoint:
+        """Starting point: the brighter of the diagonal maximum and the 10% margin.
+
+        Both candidates are measured by their distance from the lower-left
+        corner along each axis independently, as in the paper ("whichever is
+        more distant from the lowest and leftmost point").
+        """
+        rows, cols = self._meter.shape
+        margin_row = int(round(self._config.start_margin_fraction * (rows - 1)))
+        margin_col = int(round(self._config.start_margin_fraction * (cols - 1)))
+        row = max(brightest[0], margin_row)
+        col = max(brightest[1], margin_col)
+        # The starting point must leave room for the masks and the sweeps.
+        mask_x = self._config.mask_x_array()
+        mask_y = self._config.mask_y_array()
+        row = int(min(row, rows - 1 - mask_y.shape[0]))
+        col = int(min(col, cols - 1 - mask_x.shape[1]))
+        if row < 0 or col < 0:
+            raise AnchorSearchError(
+                f"measurement grid {rows}x{cols} is too small for the anchor masks"
+            )
+        return PixelPoint(row=row, col=col)
+
+    # ------------------------------------------------------------------
+    def find(self) -> AnchorSearchResult:
+        """Run the full preprocessing and return both anchor points."""
+        rows, cols = self._meter.shape
+        if min(rows, cols) < self._config.min_grid_extent:
+            raise AnchorSearchError(
+                f"measurement grid {rows}x{cols} is smaller than the minimum extent "
+                f"({self._config.min_grid_extent}) required by the anchor masks and sweeps"
+            )
+        diagonal_pixels, brightest = self.diagonal_probe()
+        start = self.starting_point(brightest)
+        mask_x = self._config.mask_x_array()
+        mask_y = self._config.mask_y_array()
+
+        # --- steep-line anchor: Mask_x swept along the starting row ------
+        sweep_x = MaskResponse(self._meter, mask_x)
+        last_start_col = cols - mask_x.shape[1]
+        if last_start_col <= start.col:
+            raise AnchorSearchError("no room to sweep Mask_x to the right of the start point")
+        responses_x = sweep_x.sweep_along_columns(
+            start_col=start.col, end_col=last_start_col, center_row=start.row
+        )
+        window_x = gaussian_window(
+            responses_x.size,
+            center_fraction=self._config.gaussian_center_fraction,
+            sigma_fraction=self._config.gaussian_sigma_fraction,
+        )
+        weighted_x = responses_x * window_x
+        best_x = int(np.argmax(weighted_x))
+        steep_col = start.col + best_x + mask_x.shape[1] // 2
+        steep_anchor = PixelPoint(row=start.row, col=int(min(steep_col, cols - 1)))
+
+        # --- shallow-line anchor: Mask_y swept along the starting column -
+        sweep_y = MaskResponse(self._meter, mask_y)
+        last_start_row = rows - mask_y.shape[0]
+        if last_start_row <= start.row:
+            raise AnchorSearchError("no room to sweep Mask_y above the start point")
+        responses_y = sweep_y.sweep_along_rows(
+            start_row=start.row, end_row=last_start_row, center_col=start.col
+        )
+        window_y = gaussian_window(
+            responses_y.size,
+            center_fraction=self._config.gaussian_center_fraction,
+            sigma_fraction=self._config.gaussian_sigma_fraction,
+        )
+        weighted_y = responses_y * window_y
+        best_y = int(np.argmax(weighted_y))
+        shallow_row = start.row + best_y + mask_y.shape[0] // 2
+        shallow_anchor = PixelPoint(row=int(min(shallow_row, rows - 1)), col=start.col)
+
+        if steep_anchor.col <= shallow_anchor.col:
+            raise AnchorSearchError(
+                "anchor search failed: the steep-line anchor did not land to the "
+                f"right of the shallow-line anchor ({steep_anchor} vs {shallow_anchor})"
+            )
+        if shallow_anchor.row <= steep_anchor.row:
+            raise AnchorSearchError(
+                "anchor search failed: the shallow-line anchor did not land above "
+                f"the steep-line anchor ({shallow_anchor} vs {steep_anchor})"
+            )
+        return AnchorSearchResult(
+            steep_anchor=steep_anchor,
+            shallow_anchor=shallow_anchor,
+            start_point=start,
+            diagonal_pixels=tuple(diagonal_pixels),
+            mask_x_responses=responses_x,
+            mask_y_responses=responses_y,
+        )

@@ -1,0 +1,154 @@
+"""Gradient features used to detect charge-transition points.
+
+Two features from the paper:
+
+* the **feature gradient** (Algorithm 2): for a pixel ``(row, col)`` the sum
+  of its current differences with the pixel to the right and the pixel to the
+  upper-right.  A charge transition line has a negative slope, so crossing it
+  rightwards or diagonally up-right adds an electron and (with the sensor
+  parked on the falling flank of a Coulomb peak) drops the current — the
+  feature is therefore large and positive exactly on the transition lines;
+* the **anchor masks** (Section 4.4): 3x5 / 5x3 kernels that compute a
+  positively sloped gradient across three pixels, a more noise-resilient
+  indicator used only to find the two initial anchor points.
+
+Both features measure *on demand* through a
+:class:`~repro.instrument.measurement.ChargeSensorMeter`, so every pixel they
+touch is charged dwell time and logged — exactly how the real experiment pays
+for them.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..instrument.measurement import ChargeSensorMeter
+
+
+class FeatureGradient:
+    """The paper's Algorithm 2 evaluated through a measurement meter.
+
+    Parameters
+    ----------
+    meter:
+        Measurement meter used to obtain sensor currents.
+    delta_pixels:
+        Pixel granularity of the finite differences (the paper's ``delta``),
+        in grid pixels.
+    """
+
+    def __init__(self, meter: ChargeSensorMeter, delta_pixels: int = 1) -> None:
+        if delta_pixels < 1:
+            raise ValueError("delta_pixels must be at least 1")
+        self._meter = meter
+        self._delta = int(delta_pixels)
+
+    @property
+    def meter(self) -> ChargeSensorMeter:
+        """The measurement meter."""
+        return self._meter
+
+    @property
+    def delta_pixels(self) -> int:
+        """Finite-difference step in pixels."""
+        return self._delta
+
+    def _clamped(self, row: int, col: int) -> tuple[int, int]:
+        rows, cols = self._meter.shape
+        return min(max(row, 0), rows - 1), min(max(col, 0), cols - 1)
+
+    def value(self, row: int, col: int) -> float:
+        """Feature gradient at pixel ``(row, col)``.
+
+        Probes the pixel itself, its right neighbour and its upper-right
+        neighbour (clamped at the grid edges) and returns
+        ``(c - c_right) + (c - c_upper_right)``.
+        """
+        row, col = self._clamped(row, col)
+        center = self._meter.get_current(row, col)
+        right_row, right_col = self._clamped(row, col + self._delta)
+        upper_row, upper_col = self._clamped(row + self._delta, col + self._delta)
+        right = self._meter.get_current(right_row, right_col)
+        upper_right = self._meter.get_current(upper_row, upper_col)
+        return (center - right) + (center - upper_right)
+
+
+def oriented_mask(mask: np.ndarray | tuple) -> np.ndarray:
+    """Convert a paper-printed mask (image row order) to bottom-up row order.
+
+    The paper prints its masks with the first row at the top of the image;
+    this library's grids have row 0 at the *bottom* (lowest ``V_P2``), so the
+    kernels are flipped vertically before use.
+    """
+    return np.flipud(np.asarray(mask, dtype=float))
+
+
+class MaskResponse:
+    """Sweep an anchor mask along one axis, measuring pixels on demand."""
+
+    def __init__(self, meter: ChargeSensorMeter, mask: np.ndarray | tuple) -> None:
+        self._meter = meter
+        self._mask = oriented_mask(mask)
+
+    @property
+    def mask(self) -> np.ndarray:
+        """The oriented kernel."""
+        return self._mask.copy()
+
+    def _patch(self, row0: int, col0: int) -> np.ndarray:
+        rows, cols = self._mask.shape
+        grid_rows, grid_cols = self._meter.shape
+        patch = np.zeros((rows, cols), dtype=float)
+        for dr in range(rows):
+            for dc in range(cols):
+                row = min(max(row0 + dr, 0), grid_rows - 1)
+                col = min(max(col0 + dc, 0), grid_cols - 1)
+                patch[dr, dc] = self._meter.get_current(row, col)
+        return patch
+
+    def response(self, row0: int, col0: int) -> float:
+        """Mask response with the kernel's lower-left corner at ``(row0, col0)``."""
+        patch = self._patch(row0, col0)
+        return float(np.sum(self._mask * patch))
+
+    def sweep_along_columns(self, start_col: int, end_col: int, center_row: int) -> np.ndarray:
+        """Responses for every kernel position from ``start_col`` to ``end_col``.
+
+        The kernel is vertically centred on ``center_row``; the returned array
+        has one entry per starting column (inclusive range).
+        """
+        half_rows = self._mask.shape[0] // 2
+        row0 = center_row - half_rows
+        columns = range(int(start_col), int(end_col) + 1)
+        return np.array([self.response(row0, col) for col in columns], dtype=float)
+
+    def sweep_along_rows(self, start_row: int, end_row: int, center_col: int) -> np.ndarray:
+        """Responses for every kernel position from ``start_row`` to ``end_row``.
+
+        The kernel is horizontally centred on ``center_col``.
+        """
+        half_cols = self._mask.shape[1] // 2
+        col0 = center_col - half_cols
+        rows = range(int(start_row), int(end_row) + 1)
+        return np.array([self.response(row, col0) for row in rows], dtype=float)
+
+
+def gaussian_window(length: int, center_fraction: float = 0.5, sigma_fraction: float = 0.25) -> np.ndarray:
+    """1-D Gaussian weighting used on the anchor mask responses (paper §4.4).
+
+    Parameters
+    ----------
+    length:
+        Number of response samples to weight.
+    center_fraction:
+        Centre of the Gaussian as a fraction of the response range.
+    sigma_fraction:
+        Width of the Gaussian as a fraction of the response range.
+    """
+    if length < 1:
+        raise ValueError("length must be at least 1")
+    if length == 1:
+        return np.ones(1)
+    positions = np.linspace(0.0, 1.0, length)
+    sigma = max(sigma_fraction, 1e-6)
+    return np.exp(-0.5 * ((positions - center_fraction) / sigma) ** 2)

@@ -1,0 +1,64 @@
+"""Erroneous-point filtering after the sweeps (paper §4.3.2, Algorithm 3).
+
+The row-major sweep is unreliable where the transition line runs nearly
+parallel to the rows (the shallow-line region) and the column-major sweep is
+unreliable in the steep-line region, because there the in-region segments are
+long and a single noisy pixel can win the per-segment argmax.  The paper
+removes those mistakes with two order-statistics filters and joins the
+results:
+
+* keep, for every column, only the lowest point (smallest row) — reliable
+  row-sweep points on the steep line survive, spurious column-sweep points
+  above them are dropped;
+* keep, for every row, only the leftmost point (smallest column) — reliable
+  column-sweep points on the shallow line survive, spurious row-sweep points
+  to their right are dropped;
+* return the union of the two filtered sets.
+"""
+
+from __future__ import annotations
+
+from .result import SweepTrace, TransitionPointSet
+
+
+def lowest_point_per_column(points: list[tuple[int, int]] | tuple) -> set[tuple[int, int]]:
+    """For every column keep only the point with the smallest row."""
+    best: dict[int, tuple[int, int]] = {}
+    for row, col in points:
+        current = best.get(col)
+        if current is None or row < current[0]:
+            best[col] = (row, col)
+    return set(best.values())
+
+
+def leftmost_point_per_row(points: list[tuple[int, int]] | tuple) -> set[tuple[int, int]]:
+    """For every row keep only the point with the smallest column."""
+    best: dict[int, tuple[int, int]] = {}
+    for row, col in points:
+        current = best.get(row)
+        if current is None or col < current[1]:
+            best[row] = (row, col)
+    return set(best.values())
+
+
+def filter_transition_points(
+    points: list[tuple[int, int]] | tuple,
+) -> tuple[tuple[int, int], ...]:
+    """Apply both filters and join them (the paper's ``PostProcess``)."""
+    filtered = lowest_point_per_column(points) | leftmost_point_per_row(points)
+    return tuple(sorted(filtered))
+
+
+def build_point_set(
+    row_trace: SweepTrace,
+    column_trace: SweepTrace,
+    apply_filter: bool = True,
+) -> TransitionPointSet:
+    """Combine the two sweep traces into a (optionally filtered) point set."""
+    raw = list(row_trace.transition_points) + list(column_trace.transition_points)
+    filtered = filter_transition_points(raw) if apply_filter else tuple(sorted(set(raw)))
+    return TransitionPointSet(
+        row_sweep=row_trace,
+        column_sweep=column_trace,
+        filtered_points=filtered,
+    )

@@ -1,0 +1,246 @@
+"""Virtualization matrices: the output of virtual gate extraction.
+
+For a pair of plunger gates the virtualization matrix is (paper §2.3)
+
+    [V'_x]   [ 1    a12 ] [V_x]
+    [V'_y] = [ a21  1   ] [V_y]
+
+where ``a12`` compensates the cross-capacitive effect of the y-axis gate on
+the x-axis gate's dot and ``a21`` the converse.  :class:`VirtualizationMatrix`
+stores the pair coefficients, converts between slope and coefficient
+representations, applies/undoes the affine transformation, and checks whether
+a transformation actually orthogonalises a set of transition lines.
+
+For an ``n``-dot array the per-pair matrices are chained into an ``n x n``
+matrix by :class:`ArrayVirtualization` (paper §2.3: ``n - 1`` sequential
+pairwise extractions).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..exceptions import ExtractionError
+
+
+@dataclass(frozen=True)
+class VirtualizationMatrix:
+    """Pairwise virtualization matrix for two plunger gates.
+
+    Attributes
+    ----------
+    alpha_12:
+        Compensation coefficient of the y-axis gate on the x-axis dot.
+    alpha_21:
+        Compensation coefficient of the x-axis gate on the y-axis dot.
+    gate_x, gate_y:
+        Names of the two physical gates (x-axis and y-axis of the CSD).
+    """
+
+    alpha_12: float
+    alpha_21: float
+    gate_x: str = "P1"
+    gate_y: str = "P2"
+
+    def __post_init__(self) -> None:
+        if not (np.isfinite(self.alpha_12) and np.isfinite(self.alpha_21)):
+            raise ExtractionError("virtualization coefficients must be finite")
+        if abs(self.alpha_12 * self.alpha_21 - 1.0) < 1e-9:
+            raise ExtractionError(
+                "alpha_12 * alpha_21 == 1 makes the virtualization matrix singular"
+            )
+
+    # ------------------------------------------------------------------
+    @property
+    def matrix(self) -> np.ndarray:
+        """The 2x2 matrix ``[[1, a12], [a21, 1]]``."""
+        return np.array([[1.0, self.alpha_12], [self.alpha_21, 1.0]])
+
+    @property
+    def inverse(self) -> np.ndarray:
+        """Inverse of :attr:`matrix` (virtual -> physical voltages)."""
+        return np.linalg.inv(self.matrix)
+
+    def to_virtual(self, physical: np.ndarray | list | tuple) -> np.ndarray:
+        """Map physical voltages ``(Vx, Vy)`` to virtual voltages."""
+        vec = np.asarray(physical, dtype=float)
+        if vec.shape[-1] != 2:
+            raise ExtractionError("expected voltage vectors with 2 components")
+        return vec @ self.matrix.T
+
+    def to_physical(self, virtual: np.ndarray | list | tuple) -> np.ndarray:
+        """Map virtual voltages back to physical voltages."""
+        vec = np.asarray(virtual, dtype=float)
+        if vec.shape[-1] != 2:
+            raise ExtractionError("expected voltage vectors with 2 components")
+        return vec @ self.inverse.T
+
+    # ------------------------------------------------------------------
+    @property
+    def slope_steep(self) -> float:
+        """Slope of the steep (x-axis dot) transition line implied by the matrix."""
+        if self.alpha_12 == 0:
+            return float("-inf")
+        return -1.0 / self.alpha_12
+
+    @property
+    def slope_shallow(self) -> float:
+        """Slope of the shallow (y-axis dot) transition line implied by the matrix."""
+        return -self.alpha_21
+
+    @classmethod
+    def from_slopes(
+        cls,
+        slope_steep: float,
+        slope_shallow: float,
+        gate_x: str = "P1",
+        gate_y: str = "P2",
+    ) -> "VirtualizationMatrix":
+        """Build the matrix from measured transition-line slopes.
+
+        ``slope_steep`` is ``dVy/dVx`` of the x-axis dot's addition line
+        (nearly vertical, negative) and ``slope_shallow`` of the y-axis dot's
+        addition line (nearly horizontal, negative); see DESIGN.md §2.
+        """
+        if not np.isfinite(slope_shallow):
+            raise ExtractionError("shallow slope must be finite")
+        if slope_steep == 0:
+            raise ExtractionError("steep slope must be non-zero")
+        alpha_12 = 0.0 if np.isinf(slope_steep) else -1.0 / slope_steep
+        alpha_21 = -slope_shallow
+        return cls(alpha_12=float(alpha_12), alpha_21=float(alpha_21), gate_x=gate_x, gate_y=gate_y)
+
+    @classmethod
+    def identity(cls, gate_x: str = "P1", gate_y: str = "P2") -> "VirtualizationMatrix":
+        """The trivial (no compensation) matrix."""
+        return cls(alpha_12=0.0, alpha_21=0.0, gate_x=gate_x, gate_y=gate_y)
+
+    # ------------------------------------------------------------------
+    def virtual_slopes(self, slope_steep: float, slope_shallow: float) -> tuple[float, float]:
+        """Transition-line slopes after applying this virtualization.
+
+        Perfect extraction maps the steep line to a vertical line (infinite
+        slope) and the shallow line to a horizontal one (zero slope); the
+        returned pair quantifies any residual tilt.
+        """
+        residuals = []
+        for slope in (slope_steep, slope_shallow):
+            direction = np.array([1.0, slope])
+            transformed = self.matrix @ direction
+            if abs(transformed[0]) < 1e-15:
+                residuals.append(float("inf") if transformed[1] >= 0 else float("-inf"))
+            else:
+                residuals.append(float(transformed[1] / transformed[0]))
+        return residuals[0], residuals[1]
+
+    def orthogonality_error(self, slope_steep: float, slope_shallow: float) -> float:
+        """Residual non-orthogonality after virtualization, in degrees.
+
+        Computes the angles of the two transformed transition lines and
+        returns the larger deviation from the ideal (vertical steep line,
+        horizontal shallow line).  Zero means perfect one-to-one control.
+        """
+        steep_dir = self.matrix @ np.array([1.0, slope_steep])
+        shallow_dir = self.matrix @ np.array([1.0, slope_shallow])
+        steep_angle = np.degrees(np.arctan2(steep_dir[1], steep_dir[0])) % 180.0
+        shallow_angle = np.degrees(np.arctan2(shallow_dir[1], shallow_dir[0])) % 180.0
+        steep_error = abs(steep_angle - 90.0)
+        shallow_error = min(shallow_angle, 180.0 - shallow_angle)
+        return float(max(steep_error, shallow_error))
+
+    def as_dict(self) -> dict:
+        """Plain-dict view for reports and serialization."""
+        return {
+            "alpha_12": self.alpha_12,
+            "alpha_21": self.alpha_21,
+            "gate_x": self.gate_x,
+            "gate_y": self.gate_y,
+        }
+
+
+class ArrayVirtualization:
+    """Full ``n x n`` virtualization matrix built from pairwise extractions.
+
+    The paper (§2.3) extends pairwise virtual gates to an ``n``-dot array by
+    running the extraction on each pair of neighbouring plunger gates; this
+    class accumulates those pairwise coefficients into a single matrix
+    ``M`` such that ``V' = M V`` with ones on the diagonal.
+    """
+
+    def __init__(self, gate_names: tuple[str, ...] | list[str]) -> None:
+        names = tuple(gate_names)
+        if len(names) < 2:
+            raise ExtractionError("ArrayVirtualization requires at least two gates")
+        if len(set(names)) != len(names):
+            raise ExtractionError("gate names must be unique")
+        self._names = names
+        self._matrix = np.eye(len(names))
+        self._pairs: dict[tuple[str, str], VirtualizationMatrix] = {}
+
+    @property
+    def gate_names(self) -> tuple[str, ...]:
+        """The gate order used for the matrix rows/columns."""
+        return self._names
+
+    @property
+    def matrix(self) -> np.ndarray:
+        """The accumulated ``n x n`` virtualization matrix (copy)."""
+        return self._matrix.copy()
+
+    @property
+    def pairs(self) -> dict[tuple[str, str], VirtualizationMatrix]:
+        """Pairwise matrices registered so far, keyed by (gate_x, gate_y)."""
+        return dict(self._pairs)
+
+    def gate_index(self, name: str) -> int:
+        """Index of a gate name in the matrix ordering."""
+        try:
+            return self._names.index(name)
+        except ValueError as exc:
+            raise ExtractionError(
+                f"unknown gate {name!r}; known gates: {self._names}"
+            ) from exc
+
+    def add_pair(self, pair: VirtualizationMatrix) -> None:
+        """Register a pairwise extraction result.
+
+        The off-diagonal coefficients are written into the array matrix:
+        ``M[i, j] = alpha_12`` (compensation of gate ``j`` on dot ``i``) and
+        ``M[j, i] = alpha_21`` for the pair ``(i, j) = (gate_x, gate_y)``.
+        """
+        i = self.gate_index(pair.gate_x)
+        j = self.gate_index(pair.gate_y)
+        if i == j:
+            raise ExtractionError("pair must involve two different gates")
+        self._matrix[i, j] = pair.alpha_12
+        self._matrix[j, i] = pair.alpha_21
+        self._pairs[(pair.gate_x, pair.gate_y)] = pair
+
+    def is_complete_chain(self) -> bool:
+        """Whether every neighbouring pair ``(k, k+1)`` has been registered."""
+        for k in range(len(self._names) - 1):
+            key = (self._names[k], self._names[k + 1])
+            reverse = (self._names[k + 1], self._names[k])
+            if key not in self._pairs and reverse not in self._pairs:
+                return False
+        return True
+
+    def to_virtual(self, physical: np.ndarray | list) -> np.ndarray:
+        """Map a physical gate-voltage vector to virtual voltages."""
+        vec = np.asarray(physical, dtype=float)
+        if vec.shape[-1] != len(self._names):
+            raise ExtractionError(
+                f"expected voltage vectors with {len(self._names)} components"
+            )
+        return vec @ self._matrix.T
+
+    def to_physical(self, virtual: np.ndarray | list) -> np.ndarray:
+        """Map virtual voltages back to physical gate voltages."""
+        vec = np.asarray(virtual, dtype=float)
+        if vec.shape[-1] != len(self._names):
+            raise ExtractionError(
+                f"expected voltage vectors with {len(self._names)} components"
+            )
+        return vec @ np.linalg.inv(self._matrix).T

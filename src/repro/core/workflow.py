@@ -1,0 +1,138 @@
+"""End-to-end auto-tuning workflow: window search + fast extraction.
+
+Ties together the two probe-efficient stages a real bring-up needs for each
+plunger-gate pair:
+
+1. :class:`~repro.core.window_search.TransitionWindowFinder` locates the
+   voltage window containing the lowest charge transitions with a coarse scan
+   (a few hundred probes over the full safe gate range);
+2. :class:`~repro.core.extraction.FastVirtualGateExtractor` extracts the
+   virtualization matrix inside that window at the requested resolution.
+
+The workflow reports the combined probe/time budget, so the cost of finding
+the window — which the paper's benchmarks assume has already been paid — is
+accounted for explicitly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..exceptions import ExtractionError
+from ..instrument.session import ExperimentSession
+from ..instrument.timing import TimingModel
+from ..physics.dot_array import DotArrayDevice
+from ..physics.noise import NoiseModel
+from .config import ExtractionConfig
+from .extraction import FastVirtualGateExtractor
+from .result import ExtractionResult
+from .window_search import TransitionWindowFinder, WindowSearchConfig, WindowSearchResult
+
+
+@dataclass(frozen=True)
+class AutoTuneResult:
+    """Combined outcome of window search plus extraction for one gate pair."""
+
+    window_search: WindowSearchResult
+    extraction: ExtractionResult
+    metadata: dict = field(default_factory=dict)
+
+    @property
+    def success(self) -> bool:
+        """Whether the extraction stage succeeded."""
+        return self.extraction.success
+
+    @property
+    def total_probes(self) -> int:
+        """Probes spent on the coarse search plus the extraction."""
+        return self.window_search.n_probes + self.extraction.probe_stats.n_probes
+
+    @property
+    def total_elapsed_s(self) -> float:
+        """Simulated experiment time spent in both stages."""
+        return self.window_search.elapsed_s + self.extraction.probe_stats.elapsed_s
+
+    def summary(self) -> dict:
+        """Flat summary combining both stages."""
+        payload = self.extraction.summary()
+        payload.update(
+            {
+                "window_x": self.window_search.x_window,
+                "window_y": self.window_search.y_window,
+                "window_probes": self.window_search.n_probes,
+                "total_probes": self.total_probes,
+                "total_elapsed_s": self.total_elapsed_s,
+            }
+        )
+        return payload
+
+
+class AutoTuningWorkflow:
+    """Find the transition window of a gate pair, then extract virtual gates."""
+
+    def __init__(
+        self,
+        resolution: int = 100,
+        extraction_config: ExtractionConfig | None = None,
+        window_config: WindowSearchConfig | None = None,
+        noise: NoiseModel | None = None,
+        timing: TimingModel | None = None,
+        seed: int | None = None,
+    ) -> None:
+        if resolution < 16:
+            raise ExtractionError("resolution must be at least 16")
+        self._resolution = int(resolution)
+        self._extraction_config = extraction_config or ExtractionConfig.paper_defaults()
+        self._window_config = window_config or WindowSearchConfig()
+        self._noise = noise
+        self._timing = timing or TimingModel.paper_default()
+        self._seed = seed
+
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        device: DotArrayDevice,
+        gate_x: int | str = "P1",
+        gate_y: int | str = "P2",
+        dot_a: int = 0,
+        dot_b: int = 1,
+        x_range: tuple[float, float] | None = None,
+        y_range: tuple[float, float] | None = None,
+    ) -> AutoTuneResult:
+        """Run both stages against a simulated device."""
+        finder = TransitionWindowFinder(
+            device,
+            gate_x=gate_x,
+            gate_y=gate_y,
+            x_range=x_range,
+            y_range=y_range,
+            noise=self._noise,
+            seed=self._seed,
+            timing=self._timing,
+            config=self._window_config,
+        )
+        window_result = finder.find()
+        session = ExperimentSession.from_device(
+            device,
+            resolution=self._resolution,
+            window=window_result.window,
+            gate_x=gate_x,
+            gate_y=gate_y,
+            dot_a=dot_a,
+            dot_b=dot_b,
+            noise=self._noise,
+            seed=None if self._seed is None else self._seed + 1,
+            timing=self._timing,
+            label=f"{device.name}:autotune",
+        )
+        extraction = FastVirtualGateExtractor(self._extraction_config).extract(session)
+        return AutoTuneResult(
+            window_search=window_result,
+            extraction=extraction,
+            metadata={
+                "device": device.name,
+                "gate_x": str(gate_x),
+                "gate_y": str(gate_y),
+                "resolution": self._resolution,
+            },
+        )

@@ -1,0 +1,33 @@
+"""Benchmark datasets: the qflow-like twelve-diagram suite and I/O helpers."""
+
+from .loader import load_csd, load_suite_from, save_csd, save_suite
+from .qflow import (
+    EXPECTED_BASELINE_ONLY_FAILURE,
+    EXPECTED_HARD_FAILURES,
+    QFLOW_BENCHMARKS,
+    TABLE1_RESOLUTIONS,
+    benchmark_config,
+    clear_cache,
+    load_benchmark,
+    load_suite,
+    n_benchmarks,
+)
+from .synthetic import NoiseRecipe, SyntheticCSDConfig
+
+__all__ = [
+    "load_csd",
+    "load_suite_from",
+    "save_csd",
+    "save_suite",
+    "EXPECTED_BASELINE_ONLY_FAILURE",
+    "EXPECTED_HARD_FAILURES",
+    "QFLOW_BENCHMARKS",
+    "TABLE1_RESOLUTIONS",
+    "benchmark_config",
+    "clear_cache",
+    "load_benchmark",
+    "load_suite",
+    "n_benchmarks",
+    "NoiseRecipe",
+    "SyntheticCSDConfig",
+]

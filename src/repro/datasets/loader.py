@@ -1,0 +1,103 @@
+"""Saving, loading, and registering charge-stability diagrams.
+
+Benchmarks are normally regenerated from code (:mod:`repro.datasets.qflow`),
+but users who want to run the extraction on their own measured diagrams — or
+cache the synthetic suite on disk — can round-trip
+:class:`~repro.physics.csd.ChargeStabilityDiagram` objects through ``.npz``
+files with this module.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from ..exceptions import DatasetError
+from ..physics.csd import ChargeStabilityDiagram, TransitionLineGeometry
+
+
+def save_csd(csd: ChargeStabilityDiagram, path: str | Path) -> Path:
+    """Serialise a diagram (data, axes, geometry, metadata) to an ``.npz`` file."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    geometry = csd.geometry
+    geometry_array = (
+        np.array(
+            [
+                geometry.slope_steep,
+                geometry.slope_shallow,
+                geometry.crossing_x,
+                geometry.crossing_y,
+                geometry.alpha_12,
+                geometry.alpha_21,
+            ]
+        )
+        if geometry is not None
+        else np.zeros(0)
+    )
+    occupations = csd.occupations if csd.occupations is not None else np.zeros(0)
+    np.savez_compressed(
+        path,
+        data=csd.data,
+        x_voltages=csd.x_voltages,
+        y_voltages=csd.y_voltages,
+        gate_x=np.array(csd.gate_x),
+        gate_y=np.array(csd.gate_y),
+        geometry=geometry_array,
+        occupations=occupations,
+        metadata=np.array(json.dumps(csd.metadata, default=str)),
+    )
+    return path
+
+
+def load_csd(path: str | Path) -> ChargeStabilityDiagram:
+    """Load a diagram previously written by :func:`save_csd`."""
+    path = Path(path)
+    if not path.exists():
+        raise DatasetError(f"dataset file not found: {path}")
+    with np.load(path, allow_pickle=False) as archive:
+        geometry_array = archive["geometry"]
+        geometry = None
+        if geometry_array.size == 6:
+            geometry = TransitionLineGeometry(
+                slope_steep=float(geometry_array[0]),
+                slope_shallow=float(geometry_array[1]),
+                crossing_x=float(geometry_array[2]),
+                crossing_y=float(geometry_array[3]),
+                alpha_12=float(geometry_array[4]),
+                alpha_21=float(geometry_array[5]),
+            )
+        occupations = archive["occupations"]
+        metadata = json.loads(str(archive["metadata"]))
+        return ChargeStabilityDiagram(
+            data=archive["data"],
+            x_voltages=archive["x_voltages"],
+            y_voltages=archive["y_voltages"],
+            gate_x=str(archive["gate_x"]),
+            gate_y=str(archive["gate_y"]),
+            geometry=geometry,
+            occupations=occupations if occupations.size else None,
+            metadata=metadata,
+        )
+
+
+def save_suite(csds: list[ChargeStabilityDiagram], directory: str | Path) -> list[Path]:
+    """Save a list of diagrams as ``benchmark_01.npz`` ... in a directory."""
+    directory = Path(directory)
+    paths = []
+    for index, csd in enumerate(csds, start=1):
+        paths.append(save_csd(csd, directory / f"benchmark_{index:02d}.npz"))
+    return paths
+
+
+def load_suite_from(directory: str | Path) -> list[ChargeStabilityDiagram]:
+    """Load every ``benchmark_*.npz`` file from a directory, sorted by name."""
+    directory = Path(directory)
+    if not directory.is_dir():
+        raise DatasetError(f"dataset directory not found: {directory}")
+    paths = sorted(directory.glob("benchmark_*.npz"))
+    if not paths:
+        raise DatasetError(f"no benchmark_*.npz files found in {directory}")
+    return [load_csd(path) for path in paths]

@@ -1,0 +1,123 @@
+"""Parameterised synthetic charge-stability-diagram generation.
+
+:class:`SyntheticCSDConfig` bundles everything needed to build one benchmark
+diagram — device electrostatics, sensor settings, noise recipe, pixel
+resolution, window size, and seed — so the benchmark suite in
+:mod:`repro.datasets.qflow` is just a list of these configurations, fully
+reproducible from the code alone.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..exceptions import DatasetError
+from ..physics.csd import ChargeStabilityDiagram, CSDSimulator
+from ..physics.dot_array import DotArrayDevice
+from ..physics.noise import (
+    CompositeNoise,
+    DriftNoise,
+    NoiseModel,
+    PinkNoise,
+    TelegraphNoise,
+    WhiteNoise,
+)
+from ..physics.sensor import ChargeSensorConfig
+
+
+@dataclass(frozen=True)
+class NoiseRecipe:
+    """Noise amplitudes of one synthetic diagram (all in nanoamperes)."""
+
+    white_sigma_na: float = 0.012
+    pink_sigma_na: float = 0.015
+    telegraph_amplitude_na: float = 0.0
+    telegraph_dwell_pixels: float = 300.0
+    drift_na: float = 0.02
+
+    def build(self) -> NoiseModel:
+        """Assemble the composite noise model."""
+        components: list[NoiseModel] = []
+        if self.white_sigma_na > 0:
+            components.append(WhiteNoise(sigma_na=self.white_sigma_na))
+        if self.pink_sigma_na > 0:
+            components.append(PinkNoise(sigma_na=self.pink_sigma_na))
+        if self.telegraph_amplitude_na > 0:
+            components.append(
+                TelegraphNoise(
+                    amplitude_na=self.telegraph_amplitude_na,
+                    mean_dwell_pixels=self.telegraph_dwell_pixels,
+                )
+            )
+        if self.drift_na != 0:
+            components.append(DriftNoise(ramp_na=self.drift_na))
+        if not components:
+            components.append(WhiteNoise(sigma_na=0.0))
+        return CompositeNoise(components)
+
+
+@dataclass(frozen=True)
+class SyntheticCSDConfig:
+    """Full recipe for one synthetic benchmark diagram."""
+
+    name: str
+    resolution: int
+    cross_coupling: tuple[float, float] = (0.25, 0.22)
+    charging_energy_mev: tuple[float, float] = (3.2, 2.9)
+    mutual_fraction: float = 0.15
+    plunger_lever_arms: tuple[float, float] = (0.10, 0.11)
+    sensor_peak_current_na: float = 1.0
+    sensor_peak_width_mv: float = 0.9
+    sensor_operating_point_mv: float = 1.0
+    sensor_dot_shifts_mv: tuple[float, float] = (0.9, 0.55)
+    noise: NoiseRecipe = field(default_factory=NoiseRecipe)
+    window_span_fraction: float = 0.75
+    seed: int = 0
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if self.resolution < 16:
+            raise DatasetError("resolution must be at least 16 pixels")
+        if not 0 < self.window_span_fraction <= 1.5:
+            raise DatasetError("window_span_fraction must lie in (0, 1.5]")
+
+    # ------------------------------------------------------------------
+    def build_device(self) -> DotArrayDevice:
+        """Instantiate the double-dot device described by this config."""
+        sensor_config = ChargeSensorConfig(
+            peak_current_na=self.sensor_peak_current_na,
+            peak_width_mv=self.sensor_peak_width_mv,
+            operating_point_mv=self.sensor_operating_point_mv,
+            dot_shift_mv=self.sensor_dot_shifts_mv,
+            gate_crosstalk_mv_per_v=(6.0, 4.0),
+        )
+        return DotArrayDevice.double_dot(
+            cross_coupling=self.cross_coupling,
+            charging_energy_mev=self.charging_energy_mev,
+            mutual_fraction=self.mutual_fraction,
+            plunger_lever_arms=self.plunger_lever_arms,
+            sensor_config=sensor_config,
+            name=self.name,
+        )
+
+    def build_csd(self) -> ChargeStabilityDiagram:
+        """Simulate the diagram described by this config."""
+        device = self.build_device()
+        simulator = CSDSimulator(device)
+        window = simulator.default_window(span_fraction=self.window_span_fraction)
+        csd = simulator.simulate(
+            resolution=self.resolution,
+            window=window,
+            noise=self.noise.build(),
+            seed=self.seed,
+        )
+        csd.metadata.update(
+            {
+                "name": self.name,
+                "resolution": self.resolution,
+                "cross_coupling": self.cross_coupling,
+                "seed": self.seed,
+                "description": self.description,
+            }
+        )
+        return csd

@@ -1,0 +1,69 @@
+"""Exception hierarchy shared across the :mod:`repro` package.
+
+Every error raised by the library derives from :class:`ReproError` so that
+callers can catch library failures without catching unrelated Python errors.
+The hierarchy mirrors the package layout: physics/device construction errors,
+instrument (measurement) errors, dataset errors, and extraction errors.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every exception raised by the ``repro`` package."""
+
+
+class ConfigurationError(ReproError):
+    """A configuration object contains invalid or inconsistent values."""
+
+
+class DeviceModelError(ReproError):
+    """A device physics model could not be constructed or is unphysical."""
+
+
+class CapacitanceModelError(DeviceModelError):
+    """A capacitance matrix is singular, asymmetric, or has wrong signs."""
+
+
+class ChargeStateError(DeviceModelError):
+    """A charge-state computation received an invalid occupation vector."""
+
+
+class SensorModelError(DeviceModelError):
+    """A charge-sensor model is misconfigured."""
+
+
+class MeasurementError(ReproError):
+    """A simulated measurement could not be performed."""
+
+
+class VoltageRangeError(MeasurementError):
+    """A requested gate voltage lies outside the instrument's limits."""
+
+
+class ProbeBudgetExceededError(MeasurementError):
+    """The experiment session exceeded its configured probe budget."""
+
+
+class DatasetError(ReproError):
+    """A benchmark dataset could not be generated, loaded, or validated."""
+
+
+class ExtractionError(ReproError):
+    """Virtual gate extraction failed in a way that cannot be recovered."""
+
+
+class AnchorSearchError(ExtractionError):
+    """The anchor-point preprocessing step could not locate anchor points."""
+
+
+class SweepError(ExtractionError):
+    """A row- or column-major sweep could not locate any transition points."""
+
+
+class FitError(ExtractionError):
+    """The piece-wise linear fit of the transition lines did not converge."""
+
+
+class BaselineError(ExtractionError):
+    """The Canny/Hough baseline pipeline failed to produce transition lines."""

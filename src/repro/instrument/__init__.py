@@ -1,0 +1,33 @@
+"""Instrument simulation: DACs, dwell-time accounting, and the probe log.
+
+This subpackage reproduces the *cost model* of the real experiment: every
+probed voltage point takes a dwell time (50 ms in the paper), so runtime is
+dominated by how many points an algorithm asks for, not by computation.
+"""
+
+from .measurement import (
+    ChargeSensorMeter,
+    DatasetBackend,
+    DeviceBackend,
+    MeasurementBackend,
+    ProbeLog,
+    ProbeRecord,
+)
+from .session import ExperimentSession, SessionSummary
+from .timing import TimingModel, VirtualClock
+from .voltage_source import ChannelSpec, VoltageSource
+
+__all__ = [
+    "ChargeSensorMeter",
+    "DatasetBackend",
+    "DeviceBackend",
+    "MeasurementBackend",
+    "ProbeLog",
+    "ProbeRecord",
+    "ExperimentSession",
+    "SessionSummary",
+    "TimingModel",
+    "VirtualClock",
+    "ChannelSpec",
+    "VoltageSource",
+]

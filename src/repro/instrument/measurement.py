@@ -1,0 +1,418 @@
+"""Simulated charge-sensor measurement: the paper's ``getCurrent`` (Alg. 1).
+
+The extraction algorithms never see the device physics directly; they call a
+measurement object that
+
+1. sets the two plunger-gate voltages,
+2. waits the dwell time (charged to a :class:`~repro.instrument.timing.VirtualClock`),
+3. returns the charge-sensor current.
+
+Two backends supply the current value:
+
+* :class:`DatasetBackend` replays a pre-recorded (or pre-simulated)
+  :class:`~repro.physics.csd.ChargeStabilityDiagram`, exactly as the paper
+  replays the qflow data — a probe returns the pixel nearest to the requested
+  voltages.
+* :class:`DeviceBackend` evaluates the physics model on demand over a
+  configured voltage grid, optionally adding a reproducible noise field.
+
+:class:`ChargeSensorMeter` wraps a backend with dwell-time accounting, a probe
+log (used to reproduce Figure 7), optional per-pixel caching (re-requesting an
+already measured pixel costs nothing, mirroring how an automation script keeps
+values it has already paid for), and an optional probe budget.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..exceptions import MeasurementError, ProbeBudgetExceededError
+from ..physics.csd import ChargeStabilityDiagram
+from ..physics.dot_array import DotArrayDevice
+from ..physics.noise import NoiseModel, NoNoise
+from .timing import TimingModel, VirtualClock
+
+
+@dataclass(frozen=True)
+class ProbeRecord:
+    """One measured voltage point."""
+
+    row: int
+    col: int
+    voltage_x: float
+    voltage_y: float
+    current_na: float
+    time_s: float
+    cached: bool = False
+
+
+@dataclass
+class ProbeLog:
+    """Ordered log of every measurement request."""
+
+    records: list[ProbeRecord] = field(default_factory=list)
+
+    def append(self, record: ProbeRecord) -> None:
+        """Append a record."""
+        self.records.append(record)
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    @property
+    def n_requests(self) -> int:
+        """Total number of requests, including cache hits."""
+        return len(self.records)
+
+    @property
+    def n_unique_pixels(self) -> int:
+        """Number of distinct pixels that were physically measured."""
+        return len({(r.row, r.col) for r in self.records if not r.cached})
+
+    def unique_pixels(self) -> list[tuple[int, int]]:
+        """Distinct physically measured pixels in first-probe order."""
+        seen: set[tuple[int, int]] = set()
+        ordered: list[tuple[int, int]] = []
+        for record in self.records:
+            if record.cached:
+                continue
+            key = (record.row, record.col)
+            if key not in seen:
+                seen.add(key)
+                ordered.append(key)
+        return ordered
+
+    def as_arrays(self) -> dict[str, np.ndarray]:
+        """Columns of the log as numpy arrays (for export / plotting)."""
+        if not self.records:
+            empty = np.zeros(0)
+            return {
+                "row": empty.astype(int),
+                "col": empty.astype(int),
+                "voltage_x": empty,
+                "voltage_y": empty,
+                "current_na": empty,
+                "time_s": empty,
+                "cached": empty.astype(bool),
+            }
+        return {
+            "row": np.array([r.row for r in self.records], dtype=int),
+            "col": np.array([r.col for r in self.records], dtype=int),
+            "voltage_x": np.array([r.voltage_x for r in self.records]),
+            "voltage_y": np.array([r.voltage_y for r in self.records]),
+            "current_na": np.array([r.current_na for r in self.records]),
+            "time_s": np.array([r.time_s for r in self.records]),
+            "cached": np.array([r.cached for r in self.records], dtype=bool),
+        }
+
+    def probe_mask(self, shape: tuple[int, int]) -> np.ndarray:
+        """Boolean image of which pixels were physically measured."""
+        mask = np.zeros(shape, dtype=bool)
+        for row, col in self.unique_pixels():
+            if 0 <= row < shape[0] and 0 <= col < shape[1]:
+                mask[row, col] = True
+        return mask
+
+
+class MeasurementBackend:
+    """Source of noise-inclusive sensor currents over a fixed voltage grid."""
+
+    @property
+    def x_voltages(self) -> np.ndarray:
+        """Column voltages of the grid."""
+        raise NotImplementedError
+
+    @property
+    def y_voltages(self) -> np.ndarray:
+        """Row voltages of the grid."""
+        raise NotImplementedError
+
+    def current(self, row: int, col: int) -> float:
+        """Sensor current (nA) of the pixel at ``(row, col)``."""
+        raise NotImplementedError
+
+    # Convenience shared by both backends -------------------------------
+    @property
+    def shape(self) -> tuple[int, int]:
+        """``(n_rows, n_cols)`` of the measurement grid."""
+        return self.y_voltages.size, self.x_voltages.size
+
+    @property
+    def n_pixels(self) -> int:
+        """Total number of grid pixels."""
+        return int(self.shape[0] * self.shape[1])
+
+    def voltage_at(self, row: int, col: int) -> tuple[float, float]:
+        """Voltages ``(vx, vy)`` of a pixel."""
+        return float(self.x_voltages[col]), float(self.y_voltages[row])
+
+    def pixel_at(self, vx: float, vy: float) -> tuple[int, int]:
+        """Nearest pixel ``(row, col)`` to a voltage point."""
+        col = int(np.argmin(np.abs(self.x_voltages - vx)))
+        row = int(np.argmin(np.abs(self.y_voltages - vy)))
+        return row, col
+
+    def validate_pixel(self, row: int, col: int) -> None:
+        """Raise :class:`MeasurementError` if the pixel is off-grid."""
+        rows, cols = self.shape
+        if not (0 <= row < rows and 0 <= col < cols):
+            raise MeasurementError(
+                f"pixel ({row}, {col}) outside the {rows}x{cols} measurement grid"
+            )
+
+
+class DatasetBackend(MeasurementBackend):
+    """Replay a recorded/simulated charge-stability diagram."""
+
+    def __init__(self, csd: ChargeStabilityDiagram) -> None:
+        self._csd = csd
+
+    @property
+    def csd(self) -> ChargeStabilityDiagram:
+        """The replayed diagram."""
+        return self._csd
+
+    @property
+    def x_voltages(self) -> np.ndarray:
+        return self._csd.x_voltages
+
+    @property
+    def y_voltages(self) -> np.ndarray:
+        return self._csd.y_voltages
+
+    def current(self, row: int, col: int) -> float:
+        self.validate_pixel(row, col)
+        return float(self._csd.data[row, col])
+
+
+class DeviceBackend(MeasurementBackend):
+    """Evaluate the device physics on demand over a configured grid."""
+
+    def __init__(
+        self,
+        device: DotArrayDevice,
+        x_voltages: np.ndarray,
+        y_voltages: np.ndarray,
+        gate_x: int | str = "P1",
+        gate_y: int | str = "P2",
+        fixed_voltages: np.ndarray | list | None = None,
+        noise: NoiseModel | None = None,
+        seed: int | None = None,
+    ) -> None:
+        self._device = device
+        self._xs = np.asarray(x_voltages, dtype=float)
+        self._ys = np.asarray(y_voltages, dtype=float)
+        if self._xs.ndim != 1 or self._ys.ndim != 1:
+            raise MeasurementError("x_voltages and y_voltages must be 1-D arrays")
+        if self._xs.size < 2 or self._ys.size < 2:
+            raise MeasurementError("measurement grid must be at least 2x2")
+        self._gate_x = device.gate_index(gate_x)
+        self._gate_y = device.gate_index(gate_y)
+        self._fixed = (
+            np.zeros(device.n_gates)
+            if fixed_voltages is None
+            else np.asarray(fixed_voltages, dtype=float).copy()
+        )
+        if self._fixed.shape != (device.n_gates,):
+            raise MeasurementError(
+                f"fixed_voltages must have shape ({device.n_gates},)"
+            )
+        self._noise = noise or NoNoise()
+        self._seed = seed
+        self._noise_field: np.ndarray | None = None
+        self._cache: dict[tuple[int, int], float] = {}
+
+    @property
+    def device(self) -> DotArrayDevice:
+        """The simulated device."""
+        return self._device
+
+    @property
+    def gate_x_name(self) -> str:
+        """Name of the x-axis (column) gate."""
+        return self._device.gate_names[self._gate_x]
+
+    @property
+    def gate_y_name(self) -> str:
+        """Name of the y-axis (row) gate."""
+        return self._device.gate_names[self._gate_y]
+
+    @property
+    def x_voltages(self) -> np.ndarray:
+        return self._xs
+
+    @property
+    def y_voltages(self) -> np.ndarray:
+        return self._ys
+
+    def _noise_at(self, row: int, col: int) -> float:
+        if self._noise_field is None:
+            rng = np.random.default_rng(self._seed)
+            self._noise_field = self._noise.sample_grid(self.shape, rng)
+        return float(self._noise_field[row, col])
+
+    def current(self, row: int, col: int) -> float:
+        self.validate_pixel(row, col)
+        key = (row, col)
+        if key not in self._cache:
+            vg = self._fixed.copy()
+            vg[self._gate_x] = self._xs[col]
+            vg[self._gate_y] = self._ys[row]
+            self._cache[key] = self._device.sensor_current(vg) + self._noise_at(row, col)
+        return self._cache[key]
+
+
+class ChargeSensorMeter:
+    """The paper's ``getCurrent`` with dwell-time accounting and a probe log.
+
+    Parameters
+    ----------
+    backend:
+        Where pixel values come from.
+    clock:
+        Virtual clock charged for every physical probe; a fresh paper-default
+        clock is created when omitted.
+    cache:
+        When true (default), re-requesting an already measured pixel returns
+        the stored value without charging dwell time — this is how an
+        automation script would behave, and it is what makes the probe counts
+        comparable to the paper's "number of data points probed".
+    max_probes:
+        Optional hard budget on physical probes; exceeding it raises
+        :class:`ProbeBudgetExceededError`.
+    """
+
+    def __init__(
+        self,
+        backend: MeasurementBackend,
+        clock: VirtualClock | None = None,
+        cache: bool = True,
+        max_probes: int | None = None,
+    ) -> None:
+        self._backend = backend
+        self._clock = clock or VirtualClock(TimingModel.paper_default())
+        self._cache_enabled = bool(cache)
+        self._max_probes = max_probes
+        self._log = ProbeLog()
+        self._values: dict[tuple[int, int], float] = {}
+
+    # ------------------------------------------------------------------
+    @property
+    def backend(self) -> MeasurementBackend:
+        """The measurement backend."""
+        return self._backend
+
+    @property
+    def clock(self) -> VirtualClock:
+        """The virtual clock."""
+        return self._clock
+
+    @property
+    def log(self) -> ProbeLog:
+        """The probe log."""
+        return self._log
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        """Grid shape."""
+        return self._backend.shape
+
+    @property
+    def x_voltages(self) -> np.ndarray:
+        """Column voltages."""
+        return self._backend.x_voltages
+
+    @property
+    def y_voltages(self) -> np.ndarray:
+        """Row voltages."""
+        return self._backend.y_voltages
+
+    @property
+    def n_probes(self) -> int:
+        """Number of physically measured (non-cached) pixels."""
+        return len(self._values)
+
+    @property
+    def n_requests(self) -> int:
+        """Number of measurement requests including cache hits."""
+        return self._log.n_requests
+
+    @property
+    def probe_fraction(self) -> float:
+        """Fraction of the grid that has been physically measured."""
+        return self.n_probes / float(self._backend.n_pixels)
+
+    @property
+    def elapsed_s(self) -> float:
+        """Simulated experiment time spent so far."""
+        return self._clock.elapsed_s
+
+    # ------------------------------------------------------------------
+    def get_current(self, row: int, col: int) -> float:
+        """Measure the pixel at ``(row, col)`` — the paper's Algorithm 1."""
+        self._backend.validate_pixel(row, col)
+        key = (row, col)
+        vx, vy = self._backend.voltage_at(row, col)
+        if self._cache_enabled and key in self._values:
+            value = self._values[key]
+            self._log.append(
+                ProbeRecord(
+                    row=row,
+                    col=col,
+                    voltage_x=vx,
+                    voltage_y=vy,
+                    current_na=value,
+                    time_s=self._clock.elapsed_s,
+                    cached=True,
+                )
+            )
+            return value
+        if self._max_probes is not None and len(self._values) >= self._max_probes:
+            raise ProbeBudgetExceededError(
+                f"probe budget of {self._max_probes} points exhausted"
+            )
+        self._clock.charge_probe()
+        value = self._backend.current(row, col)
+        self._values[key] = value
+        self._log.append(
+            ProbeRecord(
+                row=row,
+                col=col,
+                voltage_x=vx,
+                voltage_y=vy,
+                current_na=value,
+                time_s=self._clock.elapsed_s,
+                cached=False,
+            )
+        )
+        return value
+
+    def get_current_at_voltage(self, vx: float, vy: float) -> float:
+        """Measure the pixel nearest to a voltage point."""
+        row, col = self._backend.pixel_at(vx, vy)
+        return self.get_current(row, col)
+
+    def acquire_full_grid(self) -> np.ndarray:
+        """Measure every pixel (what the Hough baseline does) and return the image."""
+        rows, cols = self._backend.shape
+        image = np.zeros((rows, cols), dtype=float)
+        for row in range(rows):
+            for col in range(cols):
+                image[row, col] = self.get_current(row, col)
+        return image
+
+    def measured_image(self, fill_value: float = np.nan) -> np.ndarray:
+        """Image of measured pixel values with unmeasured pixels set to ``fill_value``."""
+        rows, cols = self._backend.shape
+        image = np.full((rows, cols), fill_value, dtype=float)
+        for (row, col), value in self._values.items():
+            image[row, col] = value
+        return image
+
+    def reset(self) -> None:
+        """Clear the probe log, cache, and clock."""
+        self._log = ProbeLog()
+        self._values = {}
+        self._clock.reset()

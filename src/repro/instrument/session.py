@@ -1,0 +1,177 @@
+"""Experiment session: one tuning run against one device or dataset.
+
+An :class:`ExperimentSession` bundles the pieces an extraction algorithm needs
+— a measurement meter, a virtual clock, and (optionally) the ground truth of
+the underlying synthetic device — plus convenience constructors for the two
+ways the evaluation drives the library:
+
+* :meth:`ExperimentSession.from_csd` replays a recorded diagram, exactly like
+  the paper replays the qflow benchmarks;
+* :meth:`ExperimentSession.from_device` measures a simulated device on demand
+  over a chosen voltage window and resolution.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..physics.csd import ChargeStabilityDiagram, CSDSimulator, TransitionLineGeometry
+from ..physics.dot_array import DotArrayDevice
+from ..physics.noise import NoiseModel
+from .measurement import ChargeSensorMeter, DatasetBackend, DeviceBackend
+from .timing import TimingModel, VirtualClock
+from .voltage_source import VoltageSource
+
+
+@dataclass(frozen=True)
+class SessionSummary:
+    """Aggregate statistics of a session after an extraction run."""
+
+    n_probes: int
+    n_requests: int
+    n_pixels: int
+    probe_fraction: float
+    elapsed_s: float
+
+    def as_dict(self) -> dict:
+        """Plain-dict view (handy for report tables)."""
+        return {
+            "n_probes": self.n_probes,
+            "n_requests": self.n_requests,
+            "n_pixels": self.n_pixels,
+            "probe_fraction": self.probe_fraction,
+            "elapsed_s": self.elapsed_s,
+        }
+
+
+class ExperimentSession:
+    """A measurement meter plus provenance and ground truth."""
+
+    def __init__(
+        self,
+        meter: ChargeSensorMeter,
+        geometry: TransitionLineGeometry | None = None,
+        voltage_source: VoltageSource | None = None,
+        label: str = "session",
+    ) -> None:
+        self._meter = meter
+        self._geometry = geometry
+        self._voltage_source = voltage_source
+        self._label = label
+
+    # ------------------------------------------------------------------
+    @property
+    def meter(self) -> ChargeSensorMeter:
+        """The measurement meter the extraction algorithms call."""
+        return self._meter
+
+    @property
+    def geometry(self) -> TransitionLineGeometry | None:
+        """Ground-truth line geometry when the source is synthetic."""
+        return self._geometry
+
+    @property
+    def voltage_source(self) -> VoltageSource | None:
+        """The simulated DAC rack, when one was configured."""
+        return self._voltage_source
+
+    @property
+    def label(self) -> str:
+        """Human-readable session label."""
+        return self._label
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        """Measurement grid shape."""
+        return self._meter.shape
+
+    def summary(self) -> SessionSummary:
+        """Probe-count and timing statistics accumulated so far."""
+        meter = self._meter
+        return SessionSummary(
+            n_probes=meter.n_probes,
+            n_requests=meter.n_requests,
+            n_pixels=meter.backend.n_pixels,
+            probe_fraction=meter.probe_fraction,
+            elapsed_s=meter.elapsed_s,
+        )
+
+    def reset(self) -> None:
+        """Clear probe history so another algorithm can run on the same data."""
+        self._meter.reset()
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_csd(
+        cls,
+        csd: ChargeStabilityDiagram,
+        timing: TimingModel | None = None,
+        realtime: bool = False,
+        cache: bool = True,
+        max_probes: int | None = None,
+        label: str | None = None,
+    ) -> "ExperimentSession":
+        """Replay a recorded or simulated charge-stability diagram."""
+        clock = VirtualClock(timing or TimingModel.paper_default(), realtime=realtime)
+        meter = ChargeSensorMeter(
+            DatasetBackend(csd), clock=clock, cache=cache, max_probes=max_probes
+        )
+        source = VoltageSource.for_gates((csd.gate_x, csd.gate_y))
+        return cls(
+            meter=meter,
+            geometry=csd.geometry,
+            voltage_source=source,
+            label=label or csd.metadata.get("name", "csd-session"),
+        )
+
+    @classmethod
+    def from_device(
+        cls,
+        device: DotArrayDevice,
+        resolution: int | tuple[int, int] = 100,
+        window: tuple[tuple[float, float], tuple[float, float]] | None = None,
+        gate_x: int | str = "P1",
+        gate_y: int | str = "P2",
+        dot_a: int = 0,
+        dot_b: int = 1,
+        noise: NoiseModel | None = None,
+        seed: int | None = None,
+        timing: TimingModel | None = None,
+        realtime: bool = False,
+        cache: bool = True,
+        max_probes: int | None = None,
+        label: str | None = None,
+    ) -> "ExperimentSession":
+        """Measure a simulated device on demand over a voltage grid."""
+        simulator = CSDSimulator(
+            device, dot_a=dot_a, dot_b=dot_b, gate_x=gate_x, gate_y=gate_y
+        )
+        if window is None:
+            window = simulator.default_window()
+        if isinstance(resolution, int):
+            n_rows = n_cols = int(resolution)
+        else:
+            n_rows, n_cols = int(resolution[0]), int(resolution[1])
+        (x_min, x_max), (y_min, y_max) = window
+        xs = np.linspace(x_min, x_max, n_cols)
+        ys = np.linspace(y_min, y_max, n_rows)
+        backend = DeviceBackend(
+            device,
+            x_voltages=xs,
+            y_voltages=ys,
+            gate_x=gate_x,
+            gate_y=gate_y,
+            noise=noise,
+            seed=seed,
+        )
+        clock = VirtualClock(timing or TimingModel.paper_default(), realtime=realtime)
+        meter = ChargeSensorMeter(backend, clock=clock, cache=cache, max_probes=max_probes)
+        source = VoltageSource.for_gates(device.gate_names)
+        return cls(
+            meter=meter,
+            geometry=simulator.geometry(),
+            voltage_source=source,
+            label=label or f"{device.name}-session",
+        )

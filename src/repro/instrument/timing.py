@@ -1,0 +1,100 @@
+"""Virtual experiment clock.
+
+Every probed voltage point on a real device costs a *dwell time* — the paper
+uses 50 ms, the typical settling time of the heavily filtered DC lines — plus
+a small per-point overhead for setting the DACs and digitising the sensor
+current.  Those delays, not the computation, dominate virtual gate extraction,
+so reproducing the paper's Table 1 runtimes requires an explicit cost model.
+
+:class:`VirtualClock` accumulates simulated time without sleeping (the
+default) or, when ``realtime=True``, actually sleeps so the library can also
+be exercised end-to-end with genuine wall-clock delays.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+from ..exceptions import ConfigurationError
+
+
+@dataclass(frozen=True)
+class TimingModel:
+    """Per-operation costs of the simulated experiment, in seconds.
+
+    Attributes
+    ----------
+    dwell_time_s:
+        Wait between setting gate voltages and sampling the sensor current
+        (50 ms in the paper, Section 5.1).
+    set_voltage_s:
+        DAC update cost per probed point.
+    readout_s:
+        Digitiser integration time per probed point.
+    """
+
+    dwell_time_s: float = 0.050
+    set_voltage_s: float = 0.0
+    readout_s: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.dwell_time_s < 0 or self.set_voltage_s < 0 or self.readout_s < 0:
+            raise ConfigurationError("timing costs must be non-negative")
+
+    @property
+    def cost_per_probe_s(self) -> float:
+        """Total simulated cost of one probed voltage point."""
+        return self.dwell_time_s + self.set_voltage_s + self.readout_s
+
+    @classmethod
+    def paper_default(cls) -> "TimingModel":
+        """The timing model used in the paper's evaluation (50 ms dwell)."""
+        return cls(dwell_time_s=0.050, set_voltage_s=0.0, readout_s=0.0)
+
+
+class VirtualClock:
+    """Accumulates simulated experiment time (optionally sleeping for real)."""
+
+    def __init__(self, timing: TimingModel | None = None, realtime: bool = False) -> None:
+        self._timing = timing or TimingModel.paper_default()
+        self._realtime = bool(realtime)
+        self._elapsed_s = 0.0
+        self._started_wall = time.monotonic()
+
+    @property
+    def timing(self) -> TimingModel:
+        """The per-operation cost model."""
+        return self._timing
+
+    @property
+    def realtime(self) -> bool:
+        """Whether the clock actually sleeps."""
+        return self._realtime
+
+    @property
+    def elapsed_s(self) -> float:
+        """Total simulated experiment time accumulated so far, in seconds."""
+        return self._elapsed_s
+
+    @property
+    def wall_time_s(self) -> float:
+        """Real wall-clock time since the clock was created."""
+        return time.monotonic() - self._started_wall
+
+    def advance(self, seconds: float) -> None:
+        """Advance the simulated clock by an arbitrary amount."""
+        if seconds < 0:
+            raise ConfigurationError("cannot advance the clock by a negative amount")
+        self._elapsed_s += seconds
+        if self._realtime and seconds > 0:
+            time.sleep(seconds)
+
+    def charge_probe(self) -> None:
+        """Charge the cost of one probed voltage point."""
+        self.advance(self._timing.cost_per_probe_s)
+
+    def reset(self) -> None:
+        """Reset the accumulated simulated time to zero."""
+        self._elapsed_s = 0.0
+        self._started_wall = time.monotonic()

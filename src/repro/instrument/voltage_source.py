@@ -1,0 +1,125 @@
+"""Simulated multi-channel DC voltage source (DAC rack).
+
+Real tuning setups drive the plunger and barrier gates from a multi-channel
+DAC with per-channel software limits (to protect the device) and finite ramp
+rates.  The extraction algorithms only need ``set``/``get``, but modelling the
+limits lets the library reject unsafe voltage requests the same way a real
+rack would, and the ramp-rate model feeds the timing accounting when a probe
+moves a gate a long way.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..exceptions import ConfigurationError, VoltageRangeError
+
+
+@dataclass(frozen=True)
+class ChannelSpec:
+    """One DAC channel: its name, allowed range, and ramp rate."""
+
+    name: str
+    min_voltage: float = -2.0
+    max_voltage: float = 2.0
+    ramp_rate_v_per_s: float = 10.0
+
+    def __post_init__(self) -> None:
+        if self.max_voltage <= self.min_voltage:
+            raise ConfigurationError(
+                f"channel {self.name!r}: max_voltage must exceed min_voltage"
+            )
+        if self.ramp_rate_v_per_s <= 0:
+            raise ConfigurationError(
+                f"channel {self.name!r}: ramp_rate_v_per_s must be positive"
+            )
+
+
+class VoltageSource:
+    """A named set of DAC channels with range checking and ramp accounting."""
+
+    def __init__(self, channels: tuple[ChannelSpec, ...] | list[ChannelSpec]) -> None:
+        if not channels:
+            raise ConfigurationError("VoltageSource requires at least one channel")
+        names = [c.name for c in channels]
+        if len(set(names)) != len(names):
+            raise ConfigurationError(f"duplicate channel names: {names}")
+        self._channels = {c.name: c for c in channels}
+        self._order = tuple(names)
+        self._values = {name: 0.0 for name in names}
+
+    @classmethod
+    def for_gates(
+        cls,
+        gate_names: tuple[str, ...] | list[str],
+        min_voltage: float = -2.0,
+        max_voltage: float = 2.0,
+        ramp_rate_v_per_s: float = 10.0,
+    ) -> "VoltageSource":
+        """Build a source with one identical channel per gate name."""
+        channels = [
+            ChannelSpec(
+                name=name,
+                min_voltage=min_voltage,
+                max_voltage=max_voltage,
+                ramp_rate_v_per_s=ramp_rate_v_per_s,
+            )
+            for name in gate_names
+        ]
+        return cls(channels)
+
+    # ------------------------------------------------------------------
+    @property
+    def channel_names(self) -> tuple[str, ...]:
+        """Channel names in creation order."""
+        return self._order
+
+    def channel(self, name: str) -> ChannelSpec:
+        """Look up a channel spec by name."""
+        try:
+            return self._channels[name]
+        except KeyError as exc:
+            raise ConfigurationError(
+                f"unknown channel {name!r}; channels: {self._order}"
+            ) from exc
+
+    def get(self, name: str) -> float:
+        """Current output voltage of a channel."""
+        self.channel(name)
+        return self._values[name]
+
+    def get_all(self) -> dict[str, float]:
+        """Snapshot of all channel voltages."""
+        return dict(self._values)
+
+    def as_vector(self, names: tuple[str, ...] | list[str] | None = None) -> np.ndarray:
+        """Channel voltages as a vector, ordered by ``names`` (default: all)."""
+        order = tuple(names) if names is not None else self._order
+        return np.array([self.get(name) for name in order], dtype=float)
+
+    # ------------------------------------------------------------------
+    def set(self, name: str, voltage: float) -> float:
+        """Set one channel; returns the ramp time in seconds.
+
+        Raises :class:`VoltageRangeError` if the request exceeds the channel's
+        software limits.
+        """
+        spec = self.channel(name)
+        voltage = float(voltage)
+        if not np.isfinite(voltage):
+            raise VoltageRangeError(f"channel {name!r}: voltage must be finite")
+        if voltage < spec.min_voltage or voltage > spec.max_voltage:
+            raise VoltageRangeError(
+                f"channel {name!r}: requested {voltage:.6f} V outside "
+                f"[{spec.min_voltage}, {spec.max_voltage}] V"
+            )
+        ramp_time = abs(voltage - self._values[name]) / spec.ramp_rate_v_per_s
+        self._values[name] = voltage
+        return ramp_time
+
+    def set_many(self, voltages: dict[str, float]) -> float:
+        """Set several channels; returns the longest ramp time (ramps overlap)."""
+        ramp_times = [self.set(name, value) for name, value in voltages.items()]
+        return max(ramp_times) if ramp_times else 0.0

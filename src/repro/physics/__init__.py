@@ -1,0 +1,51 @@
+"""Device-physics substrate: electrostatics, charge states, sensing, noise.
+
+This subpackage simulates everything the paper's experiments take from a real
+silicon quantum dot chip: the constant-interaction capacitance model, the
+ground-state charge configuration at any gate-voltage point, the proximal
+charge sensor that turns charge transitions into current steps, realistic
+measurement noise, and the rasterisation of all of that into charge-stability
+diagrams.
+"""
+
+from .capacitance import CapacitanceModel
+from .charge_state import ChargeState, ChargeStateSolver, format_charge_state
+from .csd import ChargeStabilityDiagram, CSDSimulator, TransitionLineGeometry
+from .dot_array import DotArrayDevice, GateSpec
+from .noise import (
+    CompositeNoise,
+    DriftNoise,
+    NoiseModel,
+    NoNoise,
+    PinkNoise,
+    TelegraphNoise,
+    WhiteNoise,
+    standard_lab_noise,
+)
+from .potential import ChannelPotential, GateElectrode, PotentialWell
+from .sensor import ChargeSensor, ChargeSensorConfig
+
+__all__ = [
+    "CapacitanceModel",
+    "ChargeState",
+    "ChargeStateSolver",
+    "format_charge_state",
+    "ChargeStabilityDiagram",
+    "CSDSimulator",
+    "TransitionLineGeometry",
+    "DotArrayDevice",
+    "GateSpec",
+    "NoiseModel",
+    "NoNoise",
+    "WhiteNoise",
+    "PinkNoise",
+    "TelegraphNoise",
+    "DriftNoise",
+    "CompositeNoise",
+    "standard_lab_noise",
+    "ChannelPotential",
+    "GateElectrode",
+    "PotentialWell",
+    "ChargeSensor",
+    "ChargeSensorConfig",
+]

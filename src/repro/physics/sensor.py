@@ -1,0 +1,181 @@
+"""Charge-sensor model: a single-electron transistor (SET) next to the array.
+
+The devices in the paper detect charge transitions with proximal sensor dots
+(C1/C2 in Figure 1a): the sensor's conductance sits on the flank of a Coulomb
+peak, so any change in the local electrostatic environment — an electron
+entering a nearby dot, or the plunger voltages themselves moving — shifts the
+peak and changes the measured current.
+
+The model implemented here is the standard one used by quantum-dot simulators:
+
+* the sensor has a "detuning" coordinate (in millivolts of effective gate
+  voltage on the sensor island) built from three contributions:
+  a static operating point, direct capacitive cross-talk from the swept
+  plunger gates, and a discrete shift for every electron added to each array
+  dot;
+* the conductance is a sum of periodically spaced Coulomb peaks with
+  thermally broadened line shapes (``cosh^-2``), multiplied by a bias current
+  scale.
+
+Charge transitions therefore appear in the charge-stability diagram as sharp
+steps of varying sign and magnitude on top of a smooth background — exactly
+the structure the extraction algorithms must cope with.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..exceptions import SensorModelError
+
+
+@dataclass(frozen=True)
+class ChargeSensorConfig:
+    """Parameters of the SET charge sensor.
+
+    Attributes
+    ----------
+    peak_spacing_mv:
+        Spacing of the sensor's own Coulomb peaks in effective sensor-gate
+        millivolts.
+    peak_width_mv:
+        Thermal broadening (FWHM-like scale) of each Coulomb peak in mV.
+    peak_current_na:
+        Current at the top of a Coulomb peak, in nanoamperes.
+    operating_point_mv:
+        Static detuning of the sensor from the nearest peak centre; the sensor
+        is normally parked on the steep flank of a peak (around a quarter of
+        the spacing) for maximum sensitivity.
+    dot_shift_mv:
+        Detuning shift caused by one electron entering each array dot, in mV.
+        One entry per dot; closer dots produce larger shifts.
+    gate_crosstalk_mv_per_v:
+        Direct capacitive cross-talk of each swept gate onto the sensor
+        island, in mV of sensor detuning per volt of gate voltage.  This is
+        what produces the smooth background gradient across a CSD.
+    background_current_na:
+        Residual current far from any peak (leakage / amplifier offset).
+    """
+
+    peak_spacing_mv: float = 4.0
+    peak_width_mv: float = 0.9
+    peak_current_na: float = 1.0
+    operating_point_mv: float = 1.0
+    dot_shift_mv: tuple[float, ...] = (0.9, 0.55)
+    gate_crosstalk_mv_per_v: tuple[float, ...] = (6.0, 4.0)
+    background_current_na: float = 0.02
+
+    def __post_init__(self) -> None:
+        if self.peak_spacing_mv <= 0:
+            raise SensorModelError("peak_spacing_mv must be positive")
+        if self.peak_width_mv <= 0:
+            raise SensorModelError("peak_width_mv must be positive")
+        if self.peak_current_na <= 0:
+            raise SensorModelError("peak_current_na must be positive")
+        if len(self.dot_shift_mv) == 0:
+            raise SensorModelError("dot_shift_mv must have at least one entry")
+        if self.background_current_na < 0:
+            raise SensorModelError("background_current_na must be non-negative")
+
+
+class ChargeSensor:
+    """Maps (dot occupations, gate voltages) to a sensor current in nA."""
+
+    def __init__(self, config: ChargeSensorConfig | None = None) -> None:
+        self._config = config or ChargeSensorConfig()
+
+    @property
+    def config(self) -> ChargeSensorConfig:
+        """The sensor configuration."""
+        return self._config
+
+    # ------------------------------------------------------------------
+    def detuning_mv(
+        self, occupations: np.ndarray | list, gate_voltages: np.ndarray | list
+    ) -> float:
+        """Effective sensor detuning in mV for a charge state and gate point."""
+        cfg = self._config
+        n = np.asarray(occupations, dtype=float).ravel()
+        vg = np.asarray(gate_voltages, dtype=float).ravel()
+        shifts = np.asarray(cfg.dot_shift_mv, dtype=float)
+        crosstalk = np.asarray(cfg.gate_crosstalk_mv_per_v, dtype=float)
+        if n.size < shifts.size:
+            raise SensorModelError(
+                f"expected at least {shifts.size} dot occupations, got {n.size}"
+            )
+        if vg.size < crosstalk.size:
+            raise SensorModelError(
+                f"expected at least {crosstalk.size} gate voltages, got {vg.size}"
+            )
+        charge_term = float(np.dot(shifts, n[: shifts.size]))
+        gate_term = float(np.dot(crosstalk, vg[: crosstalk.size]))
+        return cfg.operating_point_mv + charge_term + gate_term
+
+    def current_from_detuning(self, detuning_mv: float | np.ndarray) -> np.ndarray | float:
+        """Sensor current (nA) as a function of detuning (mV).
+
+        The conductance is a periodic train of thermally broadened Coulomb
+        peaks; folding the detuning into one period and evaluating a single
+        ``cosh^-2`` line shape is equivalent and cheap.
+        """
+        cfg = self._config
+        detuning = np.asarray(detuning_mv, dtype=float)
+        folded = np.mod(detuning + 0.5 * cfg.peak_spacing_mv, cfg.peak_spacing_mv) - (
+            0.5 * cfg.peak_spacing_mv
+        )
+        peak = cfg.peak_current_na / np.cosh(folded / cfg.peak_width_mv) ** 2
+        current = cfg.background_current_na + peak
+        if np.isscalar(detuning_mv):
+            return float(current)
+        return current
+
+    def current(
+        self, occupations: np.ndarray | list, gate_voltages: np.ndarray | list
+    ) -> float:
+        """Sensor current (nA) for a charge state at the given gate voltages."""
+        return float(self.current_from_detuning(self.detuning_mv(occupations, gate_voltages)))
+
+    # ------------------------------------------------------------------
+    def step_contrast(self, dot: int) -> float:
+        """Approximate current change when one electron enters ``dot``.
+
+        Evaluated at the configured operating point with zero gate voltages;
+        useful for choosing noise amplitudes relative to the signal step.
+        """
+        cfg = self._config
+        if not 0 <= dot < len(cfg.dot_shift_mv):
+            raise SensorModelError(f"dot index {dot} out of range")
+        zeros = np.zeros(len(cfg.gate_crosstalk_mv_per_v))
+        before = self.current(np.zeros(len(cfg.dot_shift_mv)), zeros)
+        after_occ = np.zeros(len(cfg.dot_shift_mv))
+        after_occ[dot] = 1
+        after = self.current(after_occ, zeros)
+        return float(after - before)
+
+    @classmethod
+    def with_sensitivity(
+        cls,
+        n_dots: int,
+        n_gates: int,
+        dot_shifts_mv: tuple[float, ...] | None = None,
+        gate_crosstalk_mv_per_v: tuple[float, ...] | None = None,
+        **kwargs: float,
+    ) -> "ChargeSensor":
+        """Convenience constructor that sizes the coupling vectors to a device."""
+        defaults = ChargeSensorConfig()
+        if dot_shifts_mv is None:
+            base = defaults.dot_shift_mv[0]
+            dot_shifts_mv = tuple(base * (0.6 ** i) for i in range(n_dots))
+        if gate_crosstalk_mv_per_v is None:
+            base_ct = defaults.gate_crosstalk_mv_per_v[0]
+            gate_crosstalk_mv_per_v = tuple(
+                base_ct * (0.7 ** i) for i in range(n_gates)
+            )
+        config = ChargeSensorConfig(
+            dot_shift_mv=tuple(dot_shifts_mv),
+            gate_crosstalk_mv_per_v=tuple(gate_crosstalk_mv_per_v),
+            **kwargs,
+        )
+        return cls(config)

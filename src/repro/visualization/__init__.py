@@ -1,0 +1,21 @@
+"""Text-mode figure rendering and data export (no plotting dependencies)."""
+
+from .ascii_plot import (
+    DEFAULT_RAMP,
+    ascii_csd,
+    ascii_heatmap,
+    ascii_probe_map,
+    side_by_side,
+)
+from .export import export_points_csv, export_probe_map, export_table_csv
+
+__all__ = [
+    "DEFAULT_RAMP",
+    "ascii_csd",
+    "ascii_heatmap",
+    "ascii_probe_map",
+    "side_by_side",
+    "export_points_csv",
+    "export_probe_map",
+    "export_table_csv",
+]

@@ -1,0 +1,119 @@
+"""Text-mode rendering of charge-stability diagrams and probe maps.
+
+The evaluation environment has no plotting library, so every "figure" of the
+paper is reproduced either as exported arrays (:mod:`repro.visualization.export`)
+or as ASCII art: a grey-scale heat map of the sensor current, optionally with
+probed pixels or transition points overlaid.  Rows are printed top-down so the
+highest ``V_P2`` appears at the top, like a conventional CSD plot.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..exceptions import ConfigurationError
+from ..physics.csd import ChargeStabilityDiagram
+
+#: Characters from dark to bright used for the heat map.  The ``+`` character
+#: is deliberately absent so overlaid transition points stay distinguishable.
+DEFAULT_RAMP = " .,:;=*#%@"
+
+
+def _downsample(data: np.ndarray, max_rows: int, max_cols: int) -> tuple[np.ndarray, int, int]:
+    rows, cols = data.shape
+    row_bin = max(1, int(np.ceil(rows / max_rows)))
+    col_bin = max(1, int(np.ceil(cols / max_cols)))
+    trimmed = data[: (rows // row_bin) * row_bin, : (cols // col_bin) * col_bin]
+    reshaped = trimmed.reshape(
+        trimmed.shape[0] // row_bin, row_bin, trimmed.shape[1] // col_bin, col_bin
+    )
+    return reshaped.mean(axis=(1, 3)), row_bin, col_bin
+
+
+def ascii_heatmap(
+    data: np.ndarray,
+    max_rows: int = 40,
+    max_cols: int = 80,
+    ramp: str = DEFAULT_RAMP,
+) -> str:
+    """Render a 2-D array as an ASCII heat map (row 0 printed at the bottom)."""
+    data = np.asarray(data, dtype=float)
+    if data.ndim != 2:
+        raise ConfigurationError("ascii_heatmap expects a 2-D array")
+    if max_rows < 1 or max_cols < 1:
+        raise ConfigurationError("max_rows and max_cols must be positive")
+    if len(ramp) < 2:
+        raise ConfigurationError("ramp must contain at least two characters")
+    binned, _, _ = _downsample(data, max_rows, max_cols)
+    lo, hi = float(np.nanmin(binned)), float(np.nanmax(binned))
+    span = hi - lo if hi > lo else 1.0
+    normalised = (binned - lo) / span
+    indices = np.clip((normalised * (len(ramp) - 1)).round().astype(int), 0, len(ramp) - 1)
+    lines = []
+    for row in indices[::-1]:  # highest V_P2 first
+        lines.append("".join(ramp[i] for i in row))
+    return "\n".join(lines)
+
+
+def ascii_probe_map(
+    shape: tuple[int, int],
+    probed_pixels: list[tuple[int, int]] | np.ndarray,
+    max_rows: int = 40,
+    max_cols: int = 80,
+    mark: str = "o",
+    background: str = ".",
+) -> str:
+    """Render which pixels were probed (the paper's Figure 7 as text)."""
+    rows, cols = shape
+    mask = np.zeros((rows, cols), dtype=float)
+    if isinstance(probed_pixels, np.ndarray) and probed_pixels.dtype == bool:
+        mask[probed_pixels] = 1.0
+    else:
+        for row, col in probed_pixels:
+            if 0 <= row < rows and 0 <= col < cols:
+                mask[row, col] = 1.0
+    binned, _, _ = _downsample(mask, max_rows, max_cols)
+    lines = []
+    for row in binned[::-1]:
+        lines.append("".join(mark if value > 0 else background for value in row))
+    return "\n".join(lines)
+
+
+def ascii_csd(
+    csd: ChargeStabilityDiagram,
+    max_rows: int = 40,
+    max_cols: int = 80,
+    overlay_points: list[tuple[int, int]] | None = None,
+) -> str:
+    """Heat map of a diagram with optional transition points overlaid as ``+``."""
+    rendering = ascii_heatmap(csd.data, max_rows=max_rows, max_cols=max_cols)
+    if not overlay_points:
+        return rendering
+    lines = [list(line) for line in rendering.split("\n")]
+    n_lines = len(lines)
+    n_chars = len(lines[0]) if lines else 0
+    rows, cols = csd.shape
+    for row, col in overlay_points:
+        if not (0 <= row < rows and 0 <= col < cols):
+            continue
+        line_index = n_lines - 1 - int(row * n_lines / rows)
+        char_index = int(col * n_chars / cols)
+        if 0 <= line_index < n_lines and 0 <= char_index < n_chars:
+            lines[line_index][char_index] = "+"
+    return "\n".join("".join(line) for line in lines)
+
+
+def side_by_side(left: str, right: str, gap: int = 4, titles: tuple[str, str] | None = None) -> str:
+    """Lay two ASCII blocks side by side (used for original vs virtualized CSDs)."""
+    left_lines = left.split("\n")
+    right_lines = right.split("\n")
+    width = max(len(line) for line in left_lines)
+    height = max(len(left_lines), len(right_lines))
+    left_lines += [""] * (height - len(left_lines))
+    right_lines += [""] * (height - len(right_lines))
+    lines = []
+    if titles is not None:
+        lines.append(titles[0].ljust(width + gap) + titles[1])
+    for l_line, r_line in zip(left_lines, right_lines):
+        lines.append(l_line.ljust(width + gap) + r_line)
+    return "\n".join(lines)

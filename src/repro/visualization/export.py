@@ -1,0 +1,65 @@
+"""Exporting figure data as CSV / NPZ files.
+
+The benchmark harness writes the data behind every reproduced figure to disk
+so it can be plotted later with any tool; these helpers keep the formats
+consistent (CSV with a header row for tabular data, compressed NPZ for pixel
+arrays).
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+
+import numpy as np
+
+from ..exceptions import ConfigurationError
+from ..physics.csd import ChargeStabilityDiagram
+
+
+def export_table_csv(
+    path: str | Path, headers: list[str], rows: list[list[object]]
+) -> Path:
+    """Write a table (headers + rows) to a CSV file, creating parent dirs."""
+    if not headers:
+        raise ConfigurationError("headers must not be empty")
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with open(path, "w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(headers)
+        for row in rows:
+            if len(row) != len(headers):
+                raise ConfigurationError(
+                    f"row length {len(row)} does not match header length {len(headers)}"
+                )
+            writer.writerow(row)
+    return path
+
+
+def export_probe_map(
+    path: str | Path,
+    csd: ChargeStabilityDiagram,
+    probe_mask: np.ndarray,
+) -> Path:
+    """Write a diagram and its probed-pixel mask to a compressed NPZ file."""
+    probe_mask = np.asarray(probe_mask, dtype=bool)
+    if probe_mask.shape != csd.shape:
+        raise ConfigurationError(
+            f"probe mask shape {probe_mask.shape} does not match CSD shape {csd.shape}"
+        )
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    np.savez_compressed(
+        path,
+        data=csd.data,
+        x_voltages=csd.x_voltages,
+        y_voltages=csd.y_voltages,
+        probe_mask=probe_mask,
+    )
+    return path
+
+
+def export_points_csv(path: str | Path, points: list[tuple[int, int]]) -> Path:
+    """Write a list of ``(row, col)`` points to CSV."""
+    return export_table_csv(path, ["row", "col"], [[row, col] for row, col in points])

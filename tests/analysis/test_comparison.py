@@ -1,0 +1,64 @@
+"""Tests for the fast-vs-baseline comparison harness."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import ComparisonRunner
+from repro.datasets import SyntheticCSDConfig, NoiseRecipe
+
+
+@pytest.fixture(scope="module")
+def record(small_benchmark_config):
+    csd = small_benchmark_config.build_csd()
+    return ComparisonRunner().run_benchmark(csd, index=1)
+
+
+class TestBenchmarkRecord:
+    def test_both_methods_ran(self, record):
+        assert record.fast.method == "fast-extraction"
+        assert record.baseline.method == "hough-baseline"
+        assert record.index == 1
+        assert record.name == "test-benchmark"
+
+    def test_probe_accounting_is_independent(self, record):
+        assert record.baseline.n_probes == record.resolution[0] * record.resolution[1]
+        assert record.fast.n_probes < record.baseline.n_probes
+        assert record.fast.probe_fraction < 1.0
+
+    def test_speedup_defined_when_fast_succeeds(self, record):
+        assert record.fast.success
+        assert record.speedup is not None
+        assert record.speedup > 1.0
+        assert record.speedup == pytest.approx(
+            record.baseline.elapsed_s / record.fast.elapsed_s
+        )
+
+    def test_accuracy_computed_for_both(self, record):
+        assert record.fast.accuracy is not None
+        assert record.baseline.accuracy is not None
+        assert record.fast.accuracy.max_alpha_error < 0.1
+
+    def test_ground_truth_recorded_in_metadata(self, record):
+        assert 0 < record.metadata["true_alpha_12"] < 1
+        assert 0 < record.metadata["true_alpha_21"] < 1
+
+    def test_size_label(self, record):
+        assert record.size_label == "48x48"
+
+
+class TestRunSuite:
+    def test_runs_all_and_indexes_from_one(self):
+        configs = [
+            SyntheticCSDConfig(
+                name=f"mini-{i}",
+                resolution=40,
+                cross_coupling=(0.2 + 0.05 * i, 0.2),
+                noise=NoiseRecipe(white_sigma_na=0.01, pink_sigma_na=0.0, drift_na=0.0),
+                seed=i,
+            )
+            for i in range(2)
+        ]
+        records = ComparisonRunner().run_suite([c.build_csd() for c in configs])
+        assert [r.index for r in records] == [1, 2]
+        assert [r.name for r in records] == ["mini-0", "mini-1"]

@@ -1,0 +1,75 @@
+"""Tests for the experiment runners (small, fast configurations only)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    run_ablation_sweeps,
+    run_array_scaling,
+    run_figure7,
+    run_noise_sweep,
+    run_resolution_scaling,
+    run_table1,
+)
+
+
+class TestTable1Subset:
+    def test_subset_of_small_benchmarks(self):
+        records, report = run_table1(indices=(3, 4))
+        assert len(records) == 2
+        assert all(record.fast.success for record in records)
+        assert "Table 1" in report
+        assert "Summary" in report
+
+
+class TestFigure7:
+    def test_probe_map_for_benchmark_3(self):
+        results = run_figure7(indices=(3,))
+        assert len(results) == 1
+        result = results[0]
+        assert result.shape == (63, 63)
+        assert result.probe_mask.shape == (63, 63)
+        assert result.probe_mask.sum() == result.n_probes
+        assert 0.03 < result.probe_fraction < 0.30
+        assert result.success
+
+
+class TestAblations:
+    def test_sweep_ablation_on_two_benchmarks(self):
+        rows, report = run_ablation_sweeps(indices=(3, 4))
+        assert len(rows) == 4
+        labels = [row.label for row in rows]
+        assert "both sweeps + filter (paper)" in labels
+        paper_row = rows[0]
+        assert paper_row.success_rate == 1.0
+        assert "Ablation" in report
+
+
+class TestNoiseSweep:
+    def test_success_degrades_with_noise(self):
+        rows, report = run_noise_sweep(noise_scales=(0.0, 30.0), resolution=63, n_seeds=1)
+        assert len(rows) == 2
+        assert rows[0].success_rate >= rows[1].success_rate
+        assert rows[0].success_rate == 1.0
+        assert "Noise robustness" in report
+
+
+class TestResolutionScaling:
+    def test_probe_fraction_decreases_with_resolution(self):
+        rows, report = run_resolution_scaling(resolutions=(63, 126), seed=3)
+        assert len(rows) == 2
+        assert rows[0].fast_fraction > rows[1].fast_fraction
+        assert rows[1].speedup > rows[0].speedup
+        assert "Scaling" in report
+
+
+class TestArrayScaling:
+    def test_pairs_grow_linearly(self):
+        rows, report = run_array_scaling(dot_counts=(2, 3), resolution=63)
+        assert [row.n_pairs for row in rows] == [1, 2]
+        assert rows[1].total_probes > rows[0].total_probes
+        assert all(row.all_pairs_succeeded for row in rows)
+        assert all(np.isfinite(row.max_alpha_error) for row in rows)
+        assert "n-dot array" in report

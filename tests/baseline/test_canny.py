@@ -1,0 +1,95 @@
+"""Tests for the from-scratch Canny edge detector."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baseline import CannyConfig, CannyEdgeDetector
+from repro.exceptions import BaselineError
+
+
+def step_image(size: int = 40, col: int = 20) -> np.ndarray:
+    image = np.zeros((size, size))
+    image[:, col:] = 1.0
+    return image
+
+
+class TestConfig:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"sigma": 0.0},
+            {"low_threshold_fraction": 0.0},
+            {"high_threshold_fraction": 1.5},
+            {"low_threshold_fraction": 0.5, "high_threshold_fraction": 0.3},
+        ],
+    )
+    def test_invalid(self, kwargs):
+        with pytest.raises(BaselineError):
+            CannyConfig(**kwargs)
+
+
+class TestDetection:
+    def test_vertical_edge_found_as_thin_line(self):
+        edges = CannyEdgeDetector().detect(step_image())
+        edge_cols = np.nonzero(edges.any(axis=0))[0]
+        # The edge is localised around the step column...
+        assert edge_cols.size > 0
+        assert abs(edge_cols.mean() - 20) < 2.5
+        # ...and is thin thanks to non-maximum suppression.
+        assert edges.sum(axis=1).max() <= 3
+
+    def test_diagonal_edge_found(self):
+        size = 50
+        image = np.fromfunction(lambda r, c: (c + r < size).astype(float), (size, size))
+        edges = CannyEdgeDetector().detect(image)
+        rows, cols = np.nonzero(edges)
+        assert rows.size > 20
+        # Edge pixels lie near the anti-diagonal.
+        assert np.abs(rows + cols - size).mean() < 3.0
+
+    def test_flat_image_has_no_edges(self):
+        edges = CannyEdgeDetector().detect(np.full((30, 30), 0.5))
+        assert edges.sum() == 0
+
+    def test_noise_below_threshold_ignored(self):
+        rng = np.random.default_rng(0)
+        image = step_image() + rng.normal(0, 0.02, size=(40, 40))
+        edges = CannyEdgeDetector().detect(image)
+        edge_cols = np.nonzero(edges.any(axis=0))[0]
+        assert abs(edge_cols.mean() - 20) < 3.0
+
+    def test_detects_transition_lines_of_csd(self, clean_csd):
+        edges = CannyEdgeDetector().detect(clean_csd.data)
+        assert edges.sum() > 30
+        # The charge transitions are the only sharp features, so edge pixels
+        # should be a small fraction of the diagram.
+        assert edges.mean() < 0.15
+
+
+class TestStages:
+    def test_double_threshold_partition(self):
+        detector = CannyEdgeDetector(CannyConfig(low_threshold_fraction=0.2, high_threshold_fraction=0.6))
+        suppressed = np.array([[0.0, 0.1, 0.5, 1.0]])
+        strong, weak = detector.double_threshold(suppressed)
+        assert strong.tolist() == [[False, False, False, True]]
+        assert weak.tolist() == [[False, False, True, False]]
+
+    def test_hysteresis_promotes_connected_weak_pixels(self):
+        strong = np.zeros((5, 5), dtype=bool)
+        weak = np.zeros((5, 5), dtype=bool)
+        strong[2, 1] = True
+        weak[2, 2] = True  # adjacent to strong -> promoted
+        weak[0, 4] = True  # isolated -> dropped
+        edges = CannyEdgeDetector.hysteresis(strong, weak)
+        assert edges[2, 1] and edges[2, 2]
+        assert not edges[0, 4]
+
+    def test_non_maximum_suppression_thins_ramp(self):
+        magnitude = np.tile(np.array([0.0, 1.0, 2.0, 1.0, 0.0]), (5, 1))
+        direction = np.zeros((5, 5))  # gradient along x
+        suppressed = CannyEdgeDetector.non_maximum_suppression(magnitude, direction)
+        assert np.all(suppressed[:, 2] == 2.0)
+        assert np.all(suppressed[:, 1] == 0.0)
+        assert np.all(suppressed[:, 3] == 0.0)

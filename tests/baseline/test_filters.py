@@ -1,0 +1,118 @@
+"""Tests for the numpy image-filter primitives of the baseline."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baseline import (
+    SOBEL_X,
+    SOBEL_Y,
+    convolve2d,
+    correlate2d,
+    gaussian_blur,
+    gaussian_kernel_1d,
+    normalize_image,
+    sobel_gradients,
+)
+from repro.exceptions import BaselineError
+
+
+class TestGaussianKernel:
+    def test_normalised(self):
+        kernel = gaussian_kernel_1d(1.5)
+        assert kernel.sum() == pytest.approx(1.0)
+        assert kernel.size % 2 == 1
+
+    def test_symmetric(self):
+        kernel = gaussian_kernel_1d(2.0)
+        assert np.allclose(kernel, kernel[::-1])
+
+    def test_invalid_sigma(self):
+        with pytest.raises(BaselineError):
+            gaussian_kernel_1d(0.0)
+
+
+class TestGaussianBlur:
+    def test_preserves_constant_image(self):
+        image = np.full((20, 30), 3.7)
+        assert np.allclose(gaussian_blur(image, 2.0), image)
+
+    def test_preserves_mean(self):
+        rng = np.random.default_rng(0)
+        image = rng.uniform(size=(40, 40))
+        blurred = gaussian_blur(image, 1.5)
+        assert blurred.mean() == pytest.approx(image.mean(), rel=0.02)
+
+    def test_reduces_variance(self):
+        rng = np.random.default_rng(0)
+        image = rng.uniform(size=(40, 40))
+        assert gaussian_blur(image, 2.0).var() < image.var()
+
+    def test_zero_sigma_is_identity(self):
+        image = np.random.default_rng(1).uniform(size=(10, 10))
+        assert np.array_equal(gaussian_blur(image, 0.0), image)
+
+    def test_rejects_non_2d(self):
+        with pytest.raises(BaselineError):
+            gaussian_blur(np.zeros(5), 1.0)
+
+
+class TestConvolve2d:
+    def test_identity_kernel(self):
+        image = np.random.default_rng(2).uniform(size=(15, 15))
+        kernel = np.zeros((3, 3))
+        kernel[1, 1] = 1.0
+        assert np.allclose(convolve2d(image, kernel), image)
+
+    def test_convolution_and_correlation_shift_opposite_ways(self):
+        # A kernel with its weight at the top-left corner shifts a delta one
+        # way under correlation and the opposite way under convolution.
+        image = np.zeros((5, 5))
+        image[2, 2] = 1.0
+        kernel = np.zeros((3, 3))
+        kernel[0, 0] = 1.0
+        assert convolve2d(image, kernel)[1, 1] == pytest.approx(1.0)
+        assert correlate2d(image, kernel)[3, 3] == pytest.approx(1.0)
+
+    def test_rejects_bad_shapes(self):
+        with pytest.raises(BaselineError):
+            convolve2d(np.zeros(4), np.zeros((3, 3)))
+        with pytest.raises(BaselineError):
+            correlate2d(np.zeros((4, 4)), np.zeros(3))
+
+
+class TestSobel:
+    def test_vertical_edge_detected_by_gx(self):
+        image = np.zeros((20, 20))
+        image[:, 10:] = 1.0
+        gx, gy, magnitude, _ = sobel_gradients(image)
+        assert np.abs(gx).max() > 1.0
+        # Away from the edge column, gy stays zero.
+        assert np.abs(gy[:, :8]).max() == pytest.approx(0.0)
+        assert magnitude[5, 10] > magnitude[5, 2]
+
+    def test_horizontal_edge_detected_by_gy(self):
+        image = np.zeros((20, 20))
+        image[10:, :] = 1.0
+        gx, gy, _, direction = sobel_gradients(image)
+        assert np.abs(gy).max() > 1.0
+        # Gradient direction at the edge is along +y.
+        row, col = 9, 10
+        assert abs(direction[row, col] - np.pi / 2) < 0.3
+
+    def test_kernels_are_classic_sobel(self):
+        assert SOBEL_X.shape == (3, 3)
+        assert SOBEL_Y.shape == (3, 3)
+        assert np.array_equal(SOBEL_X, SOBEL_Y.T)
+
+
+class TestNormalize:
+    def test_full_range(self):
+        image = np.array([[1.0, 3.0], [2.0, 5.0]])
+        normalized = normalize_image(image)
+        assert normalized.min() == 0.0
+        assert normalized.max() == 1.0
+
+    def test_constant_image(self):
+        assert np.all(normalize_image(np.full((4, 4), 2.0)) == 0.0)

@@ -1,0 +1,99 @@
+"""Tests for the from-scratch Hough line transform."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baseline import HoughConfig, HoughLine, HoughTransform
+from repro.exceptions import BaselineError
+
+
+def edge_map_from_line(slope: float, intercept_row: float, size: int = 60) -> np.ndarray:
+    """Boolean edge map containing the line row = intercept + slope * col."""
+    edges = np.zeros((size, size), dtype=bool)
+    for col in range(size):
+        row = int(round(intercept_row + slope * col))
+        if 0 <= row < size:
+            edges[row, col] = True
+    return edges
+
+
+class TestHoughLine:
+    def test_slope_from_theta(self):
+        # Normal at 45 degrees -> line slope -1.
+        line = HoughLine(rho=10.0, theta_rad=np.deg2rad(45.0), votes=100)
+        assert line.slope_pixels == pytest.approx(-1.0)
+
+    def test_vertical_line(self):
+        line = HoughLine(rho=10.0, theta_rad=0.0, votes=100)
+        assert np.isinf(line.slope_pixels)
+
+    def test_voltage_slope_rescaling(self):
+        line = HoughLine(rho=0.0, theta_rad=np.deg2rad(45.0), votes=1)
+        assert line.slope_voltage(x_step=0.001, y_step=0.002) == pytest.approx(-2.0)
+
+    def test_theta_deg(self):
+        line = HoughLine(rho=0.0, theta_rad=np.deg2rad(30.0), votes=1)
+        assert line.theta_deg == pytest.approx(30.0)
+
+
+class TestConfig:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"theta_resolution_deg": 0.0},
+            {"rho_resolution_pixels": -1.0},
+            {"n_peaks": 0},
+            {"min_votes_fraction": 0.0},
+        ],
+    )
+    def test_invalid(self, kwargs):
+        with pytest.raises(BaselineError):
+            HoughConfig(**kwargs)
+
+
+class TestTransform:
+    def test_recovers_single_line_slope(self):
+        edges = edge_map_from_line(slope=-0.5, intercept_row=40)
+        lines = HoughTransform().find_lines(edges)
+        assert lines
+        best = lines[0]
+        assert best.slope_pixels == pytest.approx(-0.5, abs=0.06)
+
+    def test_recovers_steep_line(self):
+        # Steep negative slope: build by iterating rows for coverage.
+        size = 60
+        edges = np.zeros((size, size), dtype=bool)
+        for row in range(size):
+            col = int(round(45 - row / 2.5))
+            if 0 <= col < size:
+                edges[row, col] = True
+        lines = HoughTransform().find_lines(edges)
+        assert lines
+        assert lines[0].slope_pixels == pytest.approx(-2.5, rel=0.1)
+
+    def test_two_lines_recovered(self):
+        edges = edge_map_from_line(-0.4, 50) | edge_map_from_line(-3.0, 170)
+        lines = HoughTransform(HoughConfig(n_peaks=4, min_votes_fraction=0.2)).find_lines(edges)
+        slopes = sorted(line.slope_pixels for line in lines[:2])
+        assert slopes[0] == pytest.approx(-3.0, rel=0.2)
+        assert slopes[1] == pytest.approx(-0.4, abs=0.1)
+
+    def test_empty_edge_map(self):
+        assert HoughTransform().find_lines(np.zeros((30, 30), dtype=bool)) == []
+
+    def test_accumulator_shape(self):
+        transform = HoughTransform(HoughConfig(theta_resolution_deg=1.0))
+        accumulator, thetas, rhos = transform.accumulate(np.zeros((20, 20), dtype=bool))
+        assert thetas.size == 180
+        assert accumulator.shape == (rhos.size, thetas.size)
+
+    def test_votes_equal_pixel_count_for_perfect_line(self):
+        edges = edge_map_from_line(0.0, 25)  # horizontal line, 60 pixels
+        lines = HoughTransform().find_lines(edges)
+        assert lines[0].votes >= 55
+
+    def test_rejects_non_2d(self):
+        with pytest.raises(BaselineError):
+            HoughTransform().accumulate(np.zeros(10, dtype=bool))

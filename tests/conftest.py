@@ -1,0 +1,72 @@
+"""Shared fixtures for the test suite.
+
+The fixtures favour small, fast synthetic devices (40-63 pixel grids) so the
+whole suite runs in well under a couple of minutes while still exercising the
+full pipeline end to end.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets.synthetic import NoiseRecipe, SyntheticCSDConfig
+from repro.instrument import ExperimentSession
+from repro.physics import CSDSimulator, DotArrayDevice, standard_lab_noise
+
+
+@pytest.fixture(scope="session")
+def double_dot_device() -> DotArrayDevice:
+    """A reference double-dot device used across many tests."""
+    return DotArrayDevice.double_dot(cross_coupling=(0.25, 0.22))
+
+
+@pytest.fixture(scope="session")
+def clean_csd(double_dot_device):
+    """A noise-free 63x63 charge-stability diagram."""
+    simulator = CSDSimulator(double_dot_device)
+    return simulator.simulate(63, seed=0)
+
+
+@pytest.fixture(scope="session")
+def noisy_csd(double_dot_device):
+    """A realistically noisy 63x63 charge-stability diagram."""
+    simulator = CSDSimulator(double_dot_device)
+    return simulator.simulate(63, noise=standard_lab_noise(), seed=3)
+
+
+@pytest.fixture(scope="session")
+def noisy_csd_100(double_dot_device):
+    """A realistically noisy 100x100 charge-stability diagram."""
+    simulator = CSDSimulator(double_dot_device)
+    return simulator.simulate(100, noise=standard_lab_noise(), seed=5)
+
+
+@pytest.fixture()
+def clean_session(clean_csd) -> ExperimentSession:
+    """A fresh replay session over the clean diagram."""
+    return ExperimentSession.from_csd(clean_csd)
+
+
+@pytest.fixture()
+def noisy_session(noisy_csd) -> ExperimentSession:
+    """A fresh replay session over the noisy diagram."""
+    return ExperimentSession.from_csd(noisy_csd)
+
+
+@pytest.fixture(scope="session")
+def small_benchmark_config() -> SyntheticCSDConfig:
+    """A small synthetic benchmark configuration (fast to build)."""
+    return SyntheticCSDConfig(
+        name="test-benchmark",
+        resolution=48,
+        cross_coupling=(0.24, 0.20),
+        noise=NoiseRecipe(white_sigma_na=0.01, pink_sigma_na=0.01, drift_na=0.01),
+        seed=11,
+    )
+
+
+@pytest.fixture(scope="session")
+def rng() -> np.random.Generator:
+    """A seeded random generator for test data."""
+    return np.random.default_rng(12345)

@@ -1,0 +1,86 @@
+"""Tests for the anchor-point preprocessing step."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import AnchorConfig, AnchorFinder
+from repro.exceptions import AnchorSearchError
+from repro.instrument import ChargeSensorMeter, DatasetBackend, ExperimentSession
+from repro.physics import ChargeStabilityDiagram
+
+
+class TestOnSyntheticDevice:
+    def test_anchors_land_near_true_transition_lines(self, clean_csd, clean_session):
+        finder = AnchorFinder(clean_session.meter)
+        result = finder.find()
+        steep, shallow = result.steep_anchor, result.shallow_anchor
+        geometry = clean_csd.geometry
+        # The steep anchor lies on the dot-1 addition line at its own row:
+        # reconstruct the expected column from the ground-truth geometry.
+        vx_expected = geometry.crossing_x + (
+            float(clean_csd.y_voltages[steep.row]) - geometry.crossing_y
+        ) / geometry.slope_steep
+        col_expected = int(np.argmin(np.abs(clean_csd.x_voltages - vx_expected)))
+        assert abs(steep.col - col_expected) <= 3
+        # Same for the shallow anchor along its own column.
+        vy_expected = geometry.crossing_y + geometry.slope_shallow * (
+            float(clean_csd.x_voltages[shallow.col]) - geometry.crossing_x
+        )
+        row_expected = int(np.argmin(np.abs(clean_csd.y_voltages - vy_expected)))
+        assert abs(shallow.row - row_expected) <= 3
+
+    def test_geometry_of_anchor_pair(self, clean_session):
+        result = AnchorFinder(clean_session.meter).find()
+        assert result.steep_anchor.col > result.shallow_anchor.col
+        assert result.shallow_anchor.row > result.steep_anchor.row
+
+    def test_diagonal_probe_count(self, clean_session):
+        finder = AnchorFinder(clean_session.meter)
+        pixels, brightest = finder.diagonal_probe()
+        assert len(pixels) == 10
+        assert brightest in pixels
+
+    def test_brightest_point_is_in_empty_region(self, clean_csd, clean_session):
+        finder = AnchorFinder(clean_session.meter)
+        _, brightest = finder.diagonal_probe()
+        occupations = clean_csd.occupations
+        assert tuple(occupations[brightest[0], brightest[1]]) == (0, 0)
+
+    def test_probe_cost_is_a_small_fraction(self, noisy_session):
+        result = AnchorFinder(noisy_session.meter).find()
+        assert result is not None
+        fraction = noisy_session.meter.probe_fraction
+        assert fraction < 0.20
+
+    def test_works_on_noisy_data(self, noisy_csd, noisy_session):
+        result = AnchorFinder(noisy_session.meter).find()
+        assert result.steep_anchor.col > result.shallow_anchor.col
+        assert result.shallow_anchor.row > result.steep_anchor.row
+
+    def test_respects_custom_margin(self, clean_csd):
+        session = ExperimentSession.from_csd(clean_csd)
+        config = AnchorConfig(start_margin_fraction=0.2)
+        result = AnchorFinder(session.meter, config).find()
+        rows, cols = clean_csd.shape
+        assert result.start_point.row >= int(0.2 * (rows - 1))
+        assert result.start_point.col >= int(0.2 * (cols - 1))
+
+
+class TestFailureModes:
+    def test_grid_too_small_for_masks(self):
+        tiny = ChargeStabilityDiagram(
+            data=np.random.default_rng(0).uniform(size=(6, 6)),
+            x_voltages=np.linspace(0, 1, 6),
+            y_voltages=np.linspace(0, 1, 6),
+        )
+        meter = ChargeSensorMeter(DatasetBackend(tiny))
+        with pytest.raises(AnchorSearchError):
+            AnchorFinder(meter).find()
+
+    def test_result_contains_responses(self, clean_session):
+        result = AnchorFinder(clean_session.meter).find()
+        assert result.mask_x_responses.size > 0
+        assert result.mask_y_responses.size > 0
+        assert len(result.diagonal_pixels) == 10

@@ -1,0 +1,135 @@
+"""Tests for the feature gradient, anchor masks, and Gaussian window."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import FeatureGradient, MaskResponse, gaussian_window, oriented_mask
+from repro.core.config import PAPER_MASK_X, PAPER_MASK_Y
+from repro.instrument import ChargeSensorMeter, DatasetBackend
+from repro.physics import ChargeStabilityDiagram
+
+
+def make_step_csd(step_col: int = 10, size: int = 20, high: float = 1.0, low: float = 0.2):
+    """A synthetic diagram with a vertical current step at ``step_col``."""
+    data = np.full((size, size), high)
+    data[:, step_col:] = low
+    return ChargeStabilityDiagram(
+        data=data,
+        x_voltages=np.linspace(0.0, 1.0, size),
+        y_voltages=np.linspace(0.0, 1.0, size),
+    )
+
+
+def make_horizontal_step_csd(step_row: int = 10, size: int = 20):
+    data = np.full((size, size), 1.0)
+    data[step_row:, :] = 0.2
+    return ChargeStabilityDiagram(
+        data=data,
+        x_voltages=np.linspace(0.0, 1.0, size),
+        y_voltages=np.linspace(0.0, 1.0, size),
+    )
+
+
+def meter_for(csd) -> ChargeSensorMeter:
+    return ChargeSensorMeter(DatasetBackend(csd))
+
+
+class TestFeatureGradient:
+    def test_peaks_just_before_vertical_step(self):
+        csd = make_step_csd(step_col=10)
+        gradient = FeatureGradient(meter_for(csd))
+        values = [gradient.value(5, col) for col in range(3, 17)]
+        best_col = 3 + int(np.argmax(values))
+        assert best_col == 9  # last bright pixel before the step
+
+    def test_peaks_just_before_horizontal_step(self):
+        csd = make_horizontal_step_csd(step_row=12)
+        gradient = FeatureGradient(meter_for(csd))
+        values = [gradient.value(row, 5) for row in range(5, 18)]
+        best_row = 5 + int(np.argmax(values))
+        assert best_row == 11
+
+    def test_zero_on_flat_region(self):
+        csd = make_step_csd(step_col=15)
+        gradient = FeatureGradient(meter_for(csd))
+        assert gradient.value(5, 2) == pytest.approx(0.0)
+
+    def test_edge_pixels_clamped(self):
+        csd = make_step_csd()
+        gradient = FeatureGradient(meter_for(csd))
+        # Should not raise at the top-right corner.
+        value = gradient.value(csd.shape[0] - 1, csd.shape[1] - 1)
+        assert np.isfinite(value)
+
+    def test_probes_are_logged(self):
+        csd = make_step_csd()
+        meter = meter_for(csd)
+        FeatureGradient(meter).value(5, 5)
+        assert meter.n_probes == 3  # centre, right, upper-right
+
+    def test_delta_validation(self):
+        csd = make_step_csd()
+        with pytest.raises(ValueError):
+            FeatureGradient(meter_for(csd), delta_pixels=0)
+
+    def test_larger_delta_spans_wider(self):
+        csd = make_step_csd(step_col=10)
+        gradient = FeatureGradient(meter_for(csd), delta_pixels=3)
+        # With delta 3 the feature already sees the step from 3 pixels away.
+        assert gradient.value(5, 8) > 0
+
+
+class TestOrientedMask:
+    def test_flips_vertically(self):
+        mask = oriented_mask(PAPER_MASK_X)
+        assert np.allclose(mask[0], PAPER_MASK_X[2])
+        assert np.allclose(mask[-1], PAPER_MASK_X[0])
+
+    def test_shape_preserved(self):
+        assert oriented_mask(PAPER_MASK_Y).shape == (5, 3)
+
+
+class TestMaskResponse:
+    def test_mask_x_sweep_peaks_at_vertical_edge(self):
+        csd = make_step_csd(step_col=12, size=24)
+        meter = meter_for(csd)
+        response = MaskResponse(meter, PAPER_MASK_X)
+        responses = response.sweep_along_columns(start_col=2, end_col=17, center_row=8)
+        best_start = 2 + int(np.argmax(responses))
+        # Mask centre = start + 2 should land near the bright side of the edge.
+        assert abs((best_start + 2) - 11) <= 1
+
+    def test_mask_y_sweep_peaks_at_horizontal_edge(self):
+        csd = make_horizontal_step_csd(step_row=13)
+        meter = meter_for(csd)
+        response = MaskResponse(meter, PAPER_MASK_Y)
+        responses = response.sweep_along_rows(start_row=2, end_row=14, center_col=8)
+        best_start = 2 + int(np.argmax(responses))
+        assert abs((best_start + 2) - 12) <= 1
+
+    def test_response_probes_mask_footprint(self):
+        csd = make_step_csd()
+        meter = meter_for(csd)
+        MaskResponse(meter, PAPER_MASK_X).response(5, 5)
+        assert meter.n_probes == 15  # 3x5 patch
+
+
+class TestGaussianWindow:
+    def test_length_and_peak_position(self):
+        window = gaussian_window(21, center_fraction=0.5, sigma_fraction=0.2)
+        assert window.shape == (21,)
+        assert int(np.argmax(window)) == 10
+        assert window.max() == pytest.approx(1.0)
+
+    def test_single_sample(self):
+        assert np.allclose(gaussian_window(1), [1.0])
+
+    def test_off_center(self):
+        window = gaussian_window(11, center_fraction=0.0)
+        assert int(np.argmax(window)) == 0
+
+    def test_invalid_length(self):
+        with pytest.raises(ValueError):
+            gaussian_window(0)

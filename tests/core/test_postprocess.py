@@ -1,0 +1,106 @@
+"""Tests for the erroneous-point filtering (Algorithm 3 post-processing)."""
+
+from __future__ import annotations
+
+from repro.core import (
+    SweepTrace,
+    build_point_set,
+    filter_transition_points,
+    leftmost_point_per_row,
+    lowest_point_per_column,
+)
+
+
+class TestElementaryFilters:
+    def test_lowest_point_per_column(self):
+        points = [(5, 3), (2, 3), (7, 3), (4, 8)]
+        assert lowest_point_per_column(points) == {(2, 3), (4, 8)}
+
+    def test_leftmost_point_per_row(self):
+        points = [(3, 5), (3, 2), (3, 9), (8, 4)]
+        assert leftmost_point_per_row(points) == {(3, 2), (8, 4)}
+
+    def test_empty_input(self):
+        assert lowest_point_per_column([]) == set()
+        assert leftmost_point_per_row([]) == set()
+        assert filter_transition_points([]) == ()
+
+
+class TestJoinedFilter:
+    def test_union_keeps_both_line_families(self):
+        # Steep-line points (one per row, right side) and shallow-line points
+        # (one per column, top side) must all survive the joined filter.
+        steep = [(row, 20 - row // 4) for row in range(0, 12)]
+        shallow = [(18 - col // 4, col) for col in range(0, 12)]
+        filtered = set(filter_transition_points(steep + shallow))
+        assert set(steep).issubset(filtered)
+        assert set(shallow).issubset(filtered)
+
+    def test_spurious_point_above_steep_line_removed(self):
+        # A column-sweep mistake high above the steep line is dropped when a
+        # reliable row-sweep point sits below it in the same column AND a
+        # reliable column-sweep point sits to its left in the same row --
+        # exactly the situation the paper's Figure 6 illustrates.
+        good = [(2, 15), (3, 15), (4, 14), (12, 3)]
+        spurious = [(12, 15)]
+        filtered = set(filter_transition_points(good + spurious))
+        assert (12, 15) not in filtered
+        assert set(good).issubset(filtered)
+
+    def test_spurious_point_right_of_shallow_line_removed(self):
+        # A row-sweep mistake far to the right of the shallow line is dropped
+        # because the column-sweep point to its left wins the per-row filter
+        # and the steep-line point below it wins the per-column filter.
+        good = [(15, 2), (15, 3), (4, 14)]
+        spurious = [(15, 14)]
+        filtered = set(filter_transition_points(good + spurious))
+        assert (15, 14) not in filtered
+        assert (15, 2) in filtered
+
+    def test_isolated_spurious_point_survives(self):
+        # A mistake that is alone in both its row and its column cannot be
+        # removed by the order-statistics filter; the later fit absorbs it.
+        filtered = set(filter_transition_points([(2, 15), (12, 9)]))
+        assert (12, 9) in filtered
+
+    def test_duplicates_collapse(self):
+        filtered = filter_transition_points([(3, 3), (3, 3), (3, 3)])
+        assert filtered == ((3, 3),)
+
+    def test_output_sorted(self):
+        filtered = filter_transition_points([(9, 1), (1, 9), (5, 5)])
+        assert list(filtered) == sorted(filtered)
+
+
+class TestBuildPointSet:
+    def _traces(self):
+        row_trace = SweepTrace(
+            direction="row-major",
+            transition_points=((2, 15), (3, 15), (12, 15)),
+            segment_lengths=(2, 2, 9),
+        )
+        column_trace = SweepTrace(
+            direction="column-major",
+            transition_points=((15, 2), (14, 3), (12, 4)),
+            segment_lengths=(2, 2, 3),
+        )
+        return row_trace, column_trace
+
+    def test_with_filter(self):
+        row_trace, column_trace = self._traces()
+        point_set = build_point_set(row_trace, column_trace, apply_filter=True)
+        assert (12, 15) not in point_set.filtered_points
+        assert point_set.raw_points == row_trace.transition_points + column_trace.transition_points
+        assert point_set.n_filtered < len(point_set.raw_points)
+
+    def test_without_filter(self):
+        row_trace, column_trace = self._traces()
+        point_set = build_point_set(row_trace, column_trace, apply_filter=False)
+        assert set(point_set.filtered_points) == set(point_set.raw_points)
+
+    def test_trace_statistics(self):
+        row_trace, column_trace = self._traces()
+        assert row_trace.n_points == 3
+        assert row_trace.total_probed_segments == 13
+        assert column_trace.n_points == 3
+        assert column_trace.total_probed_segments == 7

@@ -1,0 +1,135 @@
+"""Tests for virtualization matrices (pairwise and array)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import ArrayVirtualization, VirtualizationMatrix
+from repro.exceptions import ExtractionError
+
+
+class TestVirtualizationMatrix:
+    def test_matrix_layout(self):
+        matrix = VirtualizationMatrix(alpha_12=0.3, alpha_21=0.2)
+        assert np.allclose(matrix.matrix, [[1.0, 0.3], [0.2, 1.0]])
+
+    def test_identity(self):
+        identity = VirtualizationMatrix.identity()
+        assert np.allclose(identity.matrix, np.eye(2))
+
+    def test_round_trip_physical_virtual(self):
+        matrix = VirtualizationMatrix(alpha_12=0.35, alpha_21=0.25)
+        physical = np.array([0.123, 0.456])
+        assert np.allclose(matrix.to_physical(matrix.to_virtual(physical)), physical)
+
+    def test_batch_transformation(self):
+        matrix = VirtualizationMatrix(alpha_12=0.35, alpha_21=0.25)
+        points = np.random.default_rng(0).uniform(size=(10, 2))
+        virtual = matrix.to_virtual(points)
+        assert virtual.shape == (10, 2)
+        assert np.allclose(matrix.to_physical(virtual), points)
+
+    def test_from_slopes_matches_paper_relations(self):
+        # alpha_12 = -1/m_steep, alpha_21 = -m_shallow in this library's axes.
+        matrix = VirtualizationMatrix.from_slopes(slope_steep=-2.5, slope_shallow=-0.4)
+        assert matrix.alpha_12 == pytest.approx(0.4)
+        assert matrix.alpha_21 == pytest.approx(0.4)
+
+    def test_from_slopes_vertical_steep_line(self):
+        matrix = VirtualizationMatrix.from_slopes(
+            slope_steep=float("-inf"), slope_shallow=-0.3
+        )
+        assert matrix.alpha_12 == 0.0
+        assert matrix.alpha_21 == pytest.approx(0.3)
+
+    def test_from_slopes_zero_steep_rejected(self):
+        with pytest.raises(ExtractionError):
+            VirtualizationMatrix.from_slopes(slope_steep=0.0, slope_shallow=-0.3)
+
+    def test_singular_matrix_rejected(self):
+        with pytest.raises(ExtractionError):
+            VirtualizationMatrix(alpha_12=2.0, alpha_21=0.5)
+
+    def test_non_finite_rejected(self):
+        with pytest.raises(ExtractionError):
+            VirtualizationMatrix(alpha_12=float("nan"), alpha_21=0.1)
+
+    def test_perfect_matrix_orthogonalizes_true_slopes(self):
+        slope_steep, slope_shallow = -2.5, -0.4
+        matrix = VirtualizationMatrix.from_slopes(slope_steep, slope_shallow)
+        residual_steep, residual_shallow = matrix.virtual_slopes(slope_steep, slope_shallow)
+        assert np.isinf(residual_steep)
+        assert residual_shallow == pytest.approx(0.0, abs=1e-12)
+        assert matrix.orthogonality_error(slope_steep, slope_shallow) == pytest.approx(
+            0.0, abs=1e-9
+        )
+
+    def test_identity_matrix_has_large_orthogonality_error(self):
+        identity = VirtualizationMatrix.identity()
+        error = identity.orthogonality_error(-2.5, -0.4)
+        assert error > 15.0
+
+    def test_slope_properties_invert_from_alphas(self):
+        matrix = VirtualizationMatrix(alpha_12=0.4, alpha_21=0.3)
+        assert matrix.slope_steep == pytest.approx(-2.5)
+        assert matrix.slope_shallow == pytest.approx(-0.3)
+
+    def test_wrong_vector_size_rejected(self):
+        matrix = VirtualizationMatrix(alpha_12=0.3, alpha_21=0.2)
+        with pytest.raises(ExtractionError):
+            matrix.to_virtual([1.0, 2.0, 3.0])
+
+    def test_as_dict(self):
+        matrix = VirtualizationMatrix(alpha_12=0.3, alpha_21=0.2, gate_x="P3", gate_y="P4")
+        payload = matrix.as_dict()
+        assert payload == {
+            "alpha_12": 0.3,
+            "alpha_21": 0.2,
+            "gate_x": "P3",
+            "gate_y": "P4",
+        }
+
+
+class TestArrayVirtualization:
+    def test_accumulates_pairwise_coefficients(self):
+        array = ArrayVirtualization(("P1", "P2", "P3"))
+        array.add_pair(VirtualizationMatrix(0.3, 0.25, gate_x="P1", gate_y="P2"))
+        array.add_pair(VirtualizationMatrix(0.2, 0.15, gate_x="P2", gate_y="P3"))
+        matrix = array.matrix
+        assert matrix[0, 1] == pytest.approx(0.3)
+        assert matrix[1, 0] == pytest.approx(0.25)
+        assert matrix[1, 2] == pytest.approx(0.2)
+        assert matrix[2, 1] == pytest.approx(0.15)
+        assert np.allclose(np.diag(matrix), 1.0)
+        assert array.is_complete_chain()
+
+    def test_incomplete_chain_detected(self):
+        array = ArrayVirtualization(("P1", "P2", "P3"))
+        array.add_pair(VirtualizationMatrix(0.3, 0.25, gate_x="P1", gate_y="P2"))
+        assert not array.is_complete_chain()
+
+    def test_round_trip_transformation(self):
+        array = ArrayVirtualization(("P1", "P2", "P3"))
+        array.add_pair(VirtualizationMatrix(0.3, 0.25, gate_x="P1", gate_y="P2"))
+        array.add_pair(VirtualizationMatrix(0.2, 0.15, gate_x="P2", gate_y="P3"))
+        physical = np.array([0.1, 0.2, 0.3])
+        assert np.allclose(array.to_physical(array.to_virtual(physical)), physical)
+
+    def test_unknown_gate_rejected(self):
+        array = ArrayVirtualization(("P1", "P2"))
+        with pytest.raises(ExtractionError):
+            array.add_pair(VirtualizationMatrix(0.3, 0.25, gate_x="P1", gate_y="P9"))
+
+    def test_duplicate_gate_names_rejected(self):
+        with pytest.raises(ExtractionError):
+            ArrayVirtualization(("P1", "P1"))
+
+    def test_needs_two_gates(self):
+        with pytest.raises(ExtractionError):
+            ArrayVirtualization(("P1",))
+
+    def test_wrong_vector_size_rejected(self):
+        array = ArrayVirtualization(("P1", "P2", "P3"))
+        with pytest.raises(ExtractionError):
+            array.to_virtual([0.1, 0.2])

@@ -1,0 +1,52 @@
+"""Tests for CSD serialisation round trips."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets import load_csd, load_suite_from, save_csd, save_suite
+from repro.exceptions import DatasetError
+
+
+class TestSingleFileRoundTrip:
+    def test_round_trip_preserves_everything(self, clean_csd, tmp_path):
+        path = save_csd(clean_csd, tmp_path / "csd.npz")
+        loaded = load_csd(path)
+        assert np.array_equal(loaded.data, clean_csd.data)
+        assert np.array_equal(loaded.x_voltages, clean_csd.x_voltages)
+        assert np.array_equal(loaded.y_voltages, clean_csd.y_voltages)
+        assert loaded.gate_x == clean_csd.gate_x
+        assert loaded.gate_y == clean_csd.gate_y
+        assert loaded.geometry is not None
+        assert loaded.geometry.alpha_12 == pytest.approx(clean_csd.geometry.alpha_12)
+        assert np.array_equal(loaded.occupations, clean_csd.occupations)
+        assert loaded.metadata["device"] == clean_csd.metadata["device"]
+
+    def test_creates_parent_directories(self, clean_csd, tmp_path):
+        path = save_csd(clean_csd, tmp_path / "nested" / "dir" / "csd.npz")
+        assert path.exists()
+
+    def test_missing_file_raises(self, tmp_path):
+        with pytest.raises(DatasetError):
+            load_csd(tmp_path / "does-not-exist.npz")
+
+
+class TestSuiteRoundTrip:
+    def test_save_and_load_suite(self, clean_csd, noisy_csd, tmp_path):
+        paths = save_suite([clean_csd, noisy_csd], tmp_path / "suite")
+        assert len(paths) == 2
+        assert paths[0].name == "benchmark_01.npz"
+        loaded = load_suite_from(tmp_path / "suite")
+        assert len(loaded) == 2
+        assert np.array_equal(loaded[0].data, clean_csd.data)
+        assert np.array_equal(loaded[1].data, noisy_csd.data)
+
+    def test_empty_directory_raises(self, tmp_path):
+        (tmp_path / "empty").mkdir()
+        with pytest.raises(DatasetError):
+            load_suite_from(tmp_path / "empty")
+
+    def test_missing_directory_raises(self, tmp_path):
+        with pytest.raises(DatasetError):
+            load_suite_from(tmp_path / "nope")

@@ -1,0 +1,79 @@
+"""Tests for the qflow-like twelve-benchmark suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datasets import (
+    EXPECTED_BASELINE_ONLY_FAILURE,
+    EXPECTED_HARD_FAILURES,
+    QFLOW_BENCHMARKS,
+    TABLE1_RESOLUTIONS,
+    benchmark_config,
+    load_benchmark,
+    n_benchmarks,
+)
+from repro.exceptions import DatasetError
+
+
+class TestSuiteStructure:
+    def test_twelve_benchmarks(self):
+        assert n_benchmarks() == 12
+        assert len(QFLOW_BENCHMARKS) == 12
+        assert len(TABLE1_RESOLUTIONS) == 12
+
+    def test_resolutions_match_table1(self):
+        for config, resolution in zip(QFLOW_BENCHMARKS, TABLE1_RESOLUTIONS):
+            assert config.resolution == resolution
+
+    def test_table1_size_multiset(self):
+        # Table 1: two failing 200s, three 63s, six 100s, one more 200.
+        assert sorted(TABLE1_RESOLUTIONS) == sorted([200, 200, 63, 63, 63, 100, 100, 100, 100, 100, 100, 200])
+
+    def test_unique_names_and_seeds(self):
+        names = [config.name for config in QFLOW_BENCHMARKS]
+        seeds = [config.seed for config in QFLOW_BENCHMARKS]
+        assert len(set(names)) == 12
+        assert len(set(seeds)) == 12
+
+    def test_expected_failures_are_annotated(self):
+        assert EXPECTED_HARD_FAILURES == (1, 2)
+        assert EXPECTED_BASELINE_ONLY_FAILURE == 7
+        for index in EXPECTED_HARD_FAILURES:
+            config = benchmark_config(index)
+            # The pathological benchmarks carry much more noise than the rest.
+            assert config.noise.white_sigma_na > 5 * benchmark_config(3).noise.white_sigma_na
+
+    def test_benchmark_config_bounds(self):
+        with pytest.raises(DatasetError):
+            benchmark_config(0)
+        with pytest.raises(DatasetError):
+            benchmark_config(13)
+
+
+class TestBenchmarkGeneration:
+    def test_small_benchmark_loads_with_table1_size(self):
+        csd = load_benchmark(3)
+        assert csd.shape == (63, 63)
+        assert csd.geometry is not None
+        assert csd.metadata["name"] == "qflow-like-03"
+
+    def test_cache_returns_same_object(self):
+        assert load_benchmark(3) is load_benchmark(3)
+
+    def test_benchmark_contains_all_four_regions(self):
+        csd = load_benchmark(4)
+        occupations = csd.occupations
+        states = {
+            tuple(occupations[r, c])
+            for r in range(0, csd.shape[0], 3)
+            for c in range(0, csd.shape[1], 3)
+        }
+        assert {(0, 0), (0, 1), (1, 0), (1, 1)}.issubset(states)
+
+    def test_ground_truth_alphas_in_physical_range(self):
+        for index in (3, 4, 5):
+            geometry = load_benchmark(index).geometry
+            assert geometry is not None
+            assert 0.0 < geometry.alpha_12 < 1.0
+            assert 0.0 < geometry.alpha_21 < 1.0

@@ -1,0 +1,64 @@
+"""Tests for the synthetic benchmark configuration."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets import NoiseRecipe, SyntheticCSDConfig
+from repro.exceptions import DatasetError
+from repro.physics.noise import CompositeNoise
+
+
+class TestNoiseRecipe:
+    def test_build_composes_components(self):
+        recipe = NoiseRecipe(
+            white_sigma_na=0.01,
+            pink_sigma_na=0.02,
+            telegraph_amplitude_na=0.05,
+            drift_na=0.01,
+        )
+        model = recipe.build()
+        assert isinstance(model, CompositeNoise)
+        assert len(model.components) == 4
+
+    def test_zero_recipe_still_builds(self):
+        model = NoiseRecipe(
+            white_sigma_na=0.0, pink_sigma_na=0.0, telegraph_amplitude_na=0.0, drift_na=0.0
+        ).build()
+        field = model.sample_grid((8, 8), np.random.default_rng(0))
+        assert np.all(field == 0)
+
+
+class TestSyntheticCSDConfig:
+    def test_build_device_uses_parameters(self, small_benchmark_config):
+        device = small_benchmark_config.build_device()
+        assert device.name == "test-benchmark"
+        alpha_12, alpha_21 = device.ground_truth_alphas(0, 1, "P1", "P2")
+        assert alpha_12 > 0 and alpha_21 > 0
+
+    def test_build_csd_shape_and_metadata(self, small_benchmark_config):
+        csd = small_benchmark_config.build_csd()
+        assert csd.shape == (48, 48)
+        assert csd.metadata["name"] == "test-benchmark"
+        assert csd.metadata["seed"] == 11
+        assert csd.geometry is not None
+
+    def test_build_is_deterministic(self, small_benchmark_config):
+        a = small_benchmark_config.build_csd()
+        b = small_benchmark_config.build_csd()
+        assert np.array_equal(a.data, b.data)
+
+    def test_different_seeds_differ(self):
+        base = dict(name="x", resolution=32, cross_coupling=(0.2, 0.2))
+        a = SyntheticCSDConfig(seed=1, **base).build_csd()
+        b = SyntheticCSDConfig(seed=2, **base).build_csd()
+        assert not np.array_equal(a.data, b.data)
+
+    def test_invalid_resolution(self):
+        with pytest.raises(DatasetError):
+            SyntheticCSDConfig(name="x", resolution=4)
+
+    def test_invalid_window_span(self):
+        with pytest.raises(DatasetError):
+            SyntheticCSDConfig(name="x", resolution=32, window_span_fraction=2.0)

@@ -1,0 +1,62 @@
+"""Tests for the virtual clock and timing model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.instrument import TimingModel, VirtualClock
+
+
+class TestTimingModel:
+    def test_paper_default_dwell(self):
+        timing = TimingModel.paper_default()
+        assert timing.dwell_time_s == pytest.approx(0.050)
+        assert timing.cost_per_probe_s == pytest.approx(0.050)
+
+    def test_cost_sums_components(self):
+        timing = TimingModel(dwell_time_s=0.05, set_voltage_s=0.002, readout_s=0.003)
+        assert timing.cost_per_probe_s == pytest.approx(0.055)
+
+    def test_negative_costs_rejected(self):
+        with pytest.raises(ConfigurationError):
+            TimingModel(dwell_time_s=-0.01)
+
+
+class TestVirtualClock:
+    def test_starts_at_zero(self):
+        clock = VirtualClock()
+        assert clock.elapsed_s == 0.0
+
+    def test_charge_probe_accumulates_dwell(self):
+        clock = VirtualClock(TimingModel(dwell_time_s=0.05))
+        for _ in range(10):
+            clock.charge_probe()
+        assert clock.elapsed_s == pytest.approx(0.5)
+
+    def test_advance_arbitrary(self):
+        clock = VirtualClock()
+        clock.advance(1.25)
+        assert clock.elapsed_s == pytest.approx(1.25)
+
+    def test_negative_advance_rejected(self):
+        clock = VirtualClock()
+        with pytest.raises(ConfigurationError):
+            clock.advance(-1.0)
+
+    def test_reset(self):
+        clock = VirtualClock()
+        clock.advance(2.0)
+        clock.reset()
+        assert clock.elapsed_s == 0.0
+
+    def test_no_real_sleep_by_default(self):
+        clock = VirtualClock(TimingModel(dwell_time_s=10.0))
+        clock.charge_probe()  # must return immediately
+        assert clock.elapsed_s == pytest.approx(10.0)
+        assert clock.wall_time_s < 1.0
+
+    def test_realtime_mode_sleeps(self):
+        clock = VirtualClock(TimingModel(dwell_time_s=0.01), realtime=True)
+        clock.charge_probe()
+        assert clock.wall_time_s >= 0.009

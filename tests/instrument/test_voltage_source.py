@@ -1,0 +1,73 @@
+"""Tests for the simulated DAC voltage source."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError, VoltageRangeError
+from repro.instrument import ChannelSpec, VoltageSource
+
+
+class TestChannelSpec:
+    def test_invalid_range(self):
+        with pytest.raises(ConfigurationError):
+            ChannelSpec(name="P1", min_voltage=1.0, max_voltage=0.0)
+
+    def test_invalid_ramp_rate(self):
+        with pytest.raises(ConfigurationError):
+            ChannelSpec(name="P1", ramp_rate_v_per_s=0.0)
+
+
+class TestVoltageSource:
+    def test_for_gates_builds_channels(self):
+        source = VoltageSource.for_gates(("P1", "P2", "P3"))
+        assert source.channel_names == ("P1", "P2", "P3")
+        assert source.get("P2") == 0.0
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(ConfigurationError):
+            VoltageSource([ChannelSpec(name="P1"), ChannelSpec(name="P1")])
+
+    def test_empty_channels_rejected(self):
+        with pytest.raises(ConfigurationError):
+            VoltageSource([])
+
+    def test_set_and_get(self):
+        source = VoltageSource.for_gates(("P1", "P2"))
+        source.set("P1", 0.3)
+        assert source.get("P1") == pytest.approx(0.3)
+        assert source.get_all() == {"P1": pytest.approx(0.3), "P2": 0.0}
+
+    def test_out_of_range_rejected(self):
+        source = VoltageSource.for_gates(("P1",), min_voltage=0.0, max_voltage=1.0)
+        with pytest.raises(VoltageRangeError):
+            source.set("P1", 1.5)
+        with pytest.raises(VoltageRangeError):
+            source.set("P1", -0.1)
+
+    def test_non_finite_rejected(self):
+        source = VoltageSource.for_gates(("P1",))
+        with pytest.raises(VoltageRangeError):
+            source.set("P1", float("nan"))
+
+    def test_unknown_channel_rejected(self):
+        source = VoltageSource.for_gates(("P1",))
+        with pytest.raises(ConfigurationError):
+            source.get("P9")
+
+    def test_ramp_time_proportional_to_step(self):
+        source = VoltageSource.for_gates(("P1",), ramp_rate_v_per_s=2.0)
+        ramp = source.set("P1", 1.0)
+        assert ramp == pytest.approx(0.5)
+
+    def test_set_many_returns_longest_ramp(self):
+        source = VoltageSource.for_gates(("P1", "P2"), ramp_rate_v_per_s=1.0)
+        longest = source.set_many({"P1": 0.2, "P2": 0.7})
+        assert longest == pytest.approx(0.7)
+
+    def test_as_vector_order(self):
+        source = VoltageSource.for_gates(("P1", "P2"))
+        source.set("P2", 0.4)
+        assert np.allclose(source.as_vector(), [0.0, 0.4])
+        assert np.allclose(source.as_vector(("P2", "P1")), [0.4, 0.0])

@@ -1,0 +1,178 @@
+"""Tests for the constant-interaction capacitance model."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import CapacitanceModelError
+from repro.physics import CapacitanceModel
+from repro.physics import constants
+
+
+def make_symmetric_double_dot(cross: float = 0.25) -> CapacitanceModel:
+    return CapacitanceModel.double_dot(
+        charging_energy_mev=(3.0, 3.0),
+        mutual_fraction=0.0,
+        plunger_lever_arms=(0.1, 0.1),
+        cross_lever_fractions=(cross, cross),
+    )
+
+
+class TestConstruction:
+    def test_double_dot_shapes(self):
+        model = CapacitanceModel.double_dot()
+        assert model.n_dots == 2
+        assert model.n_gates == 2
+        assert model.gate_names == ("P1", "P2")
+
+    def test_linear_array_shapes(self):
+        model = CapacitanceModel.linear_array(n_dots=4)
+        assert model.n_dots == 4
+        assert model.n_gates == 4
+        assert model.gate_names == ("P1", "P2", "P3", "P4")
+
+    def test_rejects_asymmetric_maxwell_matrix(self):
+        with pytest.raises(CapacitanceModelError):
+            CapacitanceModel(
+                dot_dot=np.array([[50.0, -5.0], [-6.0, 50.0]]),
+                dot_gate=np.array([[5.0, 1.0], [1.0, 5.0]]),
+            )
+
+    def test_rejects_positive_off_diagonal(self):
+        with pytest.raises(CapacitanceModelError):
+            CapacitanceModel(
+                dot_dot=np.array([[50.0, 5.0], [5.0, 50.0]]),
+                dot_gate=np.array([[5.0, 1.0], [1.0, 5.0]]),
+            )
+
+    def test_rejects_negative_dot_gate(self):
+        with pytest.raises(CapacitanceModelError):
+            CapacitanceModel(
+                dot_dot=np.array([[50.0, -5.0], [-5.0, 50.0]]),
+                dot_gate=np.array([[5.0, -1.0], [1.0, 5.0]]),
+            )
+
+    def test_rejects_wrong_gate_name_count(self):
+        with pytest.raises(CapacitanceModelError):
+            CapacitanceModel(
+                dot_dot=np.array([[50.0, -5.0], [-5.0, 50.0]]),
+                dot_gate=np.array([[5.0, 1.0], [1.0, 5.0]]),
+                gate_names=("P1",),
+            )
+
+    def test_rejects_non_square_maxwell(self):
+        with pytest.raises(CapacitanceModelError):
+            CapacitanceModel(
+                dot_dot=np.ones((2, 3)),
+                dot_gate=np.ones((2, 2)),
+            )
+
+    def test_gate_index_by_name_and_int(self):
+        model = CapacitanceModel.double_dot()
+        assert model.gate_index("P2") == 1
+        assert model.gate_index(0) == 0
+        with pytest.raises(CapacitanceModelError):
+            model.gate_index("P9")
+        with pytest.raises(CapacitanceModelError):
+            model.gate_index(5)
+
+
+class TestEnergies:
+    def test_charging_energy_matches_request(self):
+        model = CapacitanceModel.double_dot(
+            charging_energy_mev=(3.0, 4.0), mutual_fraction=0.0
+        )
+        energies = model.charging_energies_mev()
+        assert energies[0] == pytest.approx(3.0, rel=1e-6)
+        assert energies[1] == pytest.approx(4.0, rel=1e-6)
+
+    def test_energy_minimum_at_zero_occupation_for_zero_voltage(self):
+        model = make_symmetric_double_dot()
+        zero = model.electrostatic_energy([0, 0], [0.0, 0.0])
+        one = model.electrostatic_energy([1, 0], [0.0, 0.0])
+        assert zero < one
+
+    def test_energy_shape_validation(self):
+        model = make_symmetric_double_dot()
+        with pytest.raises(CapacitanceModelError):
+            model.electrostatic_energy([0, 0, 0], [0.0, 0.0])
+        with pytest.raises(CapacitanceModelError):
+            model.electrostatic_energy([0, 0], [0.0])
+
+    def test_chemical_potential_decreases_with_gate_voltage(self):
+        model = make_symmetric_double_dot()
+        mu_low = model.chemical_potential(0, [0, 0], [0.0, 0.0])
+        mu_high = model.chemical_potential(0, [0, 0], [0.05, 0.0])
+        assert mu_high < mu_low
+
+    def test_chemical_potential_invalid_dot(self):
+        model = make_symmetric_double_dot()
+        with pytest.raises(CapacitanceModelError):
+            model.chemical_potential(5, [0, 0], [0.0, 0.0])
+
+
+class TestLeverArmsAndSlopes:
+    def test_lever_arm_matrix_dominant_diagonal(self):
+        model = CapacitanceModel.double_dot()
+        lever = model.lever_arm_matrix
+        assert lever[0, 0] > lever[0, 1] > 0
+        assert lever[1, 1] > lever[1, 0] > 0
+
+    def test_transition_slopes_signs_and_ordering(self):
+        model = CapacitanceModel.double_dot()
+        steep, shallow = model.transition_slopes(0, 1, "P1", "P2")
+        assert steep < -1.0
+        assert -1.0 < shallow < 0.0
+        assert abs(steep) > abs(shallow)
+
+    def test_alphas_match_slopes(self):
+        model = CapacitanceModel.double_dot()
+        steep, shallow = model.transition_slopes(0, 1, "P1", "P2")
+        alpha_12, alpha_21 = model.virtualization_alphas(0, 1, "P1", "P2")
+        assert alpha_12 == pytest.approx(-1.0 / steep)
+        assert alpha_21 == pytest.approx(-shallow)
+
+    def test_symmetric_device_has_equal_alphas(self):
+        model = make_symmetric_double_dot(cross=0.3)
+        alpha_12, alpha_21 = model.virtualization_alphas(0, 1, "P1", "P2")
+        assert alpha_12 == pytest.approx(alpha_21, rel=1e-9)
+
+    def test_zero_cross_coupling_gives_zero_alphas_without_mutual(self):
+        model = make_symmetric_double_dot(cross=0.0)
+        with pytest.raises(CapacitanceModelError):
+            # Zero cross lever arms make the slope degenerate; the model
+            # explicitly refuses rather than dividing by zero.
+            model.transition_slopes(0, 1, "P1", "P2")
+
+    def test_larger_cross_coupling_increases_alpha(self):
+        weak = make_symmetric_double_dot(cross=0.1).virtualization_alphas(0, 1, 0, 1)
+        strong = make_symmetric_double_dot(cross=0.4).virtualization_alphas(0, 1, 0, 1)
+        assert strong[0] > weak[0]
+        assert strong[1] > weak[1]
+
+    def test_mutual_capacitance_increases_effective_cross_talk(self):
+        without = CapacitanceModel.double_dot(mutual_fraction=0.0).virtualization_alphas(
+            0, 1, 0, 1
+        )
+        with_mutual = CapacitanceModel.double_dot(mutual_fraction=0.2).virtualization_alphas(
+            0, 1, 0, 1
+        )
+        assert with_mutual[0] > without[0]
+
+
+class TestLinearArray:
+    def test_nearest_neighbour_coupling_decays_with_distance(self):
+        model = CapacitanceModel.linear_array(n_dots=4)
+        cdg = model.dot_gate
+        assert cdg[0, 0] > cdg[0, 1] > cdg[0, 2] > cdg[0, 3] >= 0.0
+
+    def test_invalid_parameters(self):
+        with pytest.raises(CapacitanceModelError):
+            CapacitanceModel.linear_array(n_dots=0)
+        with pytest.raises(CapacitanceModelError):
+            CapacitanceModel.linear_array(n_dots=2, charging_energy_mev=-1.0)
+        with pytest.raises(CapacitanceModelError):
+            CapacitanceModel.double_dot(mutual_fraction=0.7)
+        with pytest.raises(CapacitanceModelError):
+            CapacitanceModel.double_dot(plunger_lever_arms=(1.5, 0.1))

@@ -1,0 +1,162 @@
+"""Tests for charge-stability-diagram simulation and the CSD container."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import DatasetError, DeviceModelError
+from repro.physics import (
+    ChargeStabilityDiagram,
+    CSDSimulator,
+    DotArrayDevice,
+    WhiteNoise,
+)
+
+
+@pytest.fixture(scope="module")
+def simulator() -> CSDSimulator:
+    return CSDSimulator(DotArrayDevice.double_dot())
+
+
+class TestContainerValidation:
+    def test_axis_mismatch_rejected(self):
+        with pytest.raises(DatasetError):
+            ChargeStabilityDiagram(
+                data=np.zeros((4, 5)),
+                x_voltages=np.linspace(0, 1, 4),
+                y_voltages=np.linspace(0, 1, 4),
+            )
+
+    def test_non_monotonic_axis_rejected(self):
+        with pytest.raises(DatasetError):
+            ChargeStabilityDiagram(
+                data=np.zeros((3, 3)),
+                x_voltages=np.array([0.0, 0.2, 0.1]),
+                y_voltages=np.linspace(0, 1, 3),
+            )
+
+    def test_one_pixel_axis_rejected(self):
+        with pytest.raises(DatasetError):
+            ChargeStabilityDiagram(
+                data=np.zeros((1, 3)),
+                x_voltages=np.linspace(0, 1, 3),
+                y_voltages=np.array([0.0]),
+            )
+
+
+class TestPixelVoltageConversion:
+    def test_round_trip(self, clean_csd):
+        vx, vy = clean_csd.voltage_at(10, 20)
+        row, col = clean_csd.pixel_at(vx, vy)
+        assert (row, col) == (10, 20)
+
+    def test_contains_voltage(self, clean_csd):
+        assert clean_csd.contains_voltage(
+            float(clean_csd.x_voltages[5]), float(clean_csd.y_voltages[5])
+        )
+        assert not clean_csd.contains_voltage(
+            float(clean_csd.x_voltages[-1]) + 1.0, float(clean_csd.y_voltages[0])
+        )
+
+    def test_value_accessors(self, clean_csd):
+        assert clean_csd.value(3, 4) == pytest.approx(clean_csd.data[3, 4])
+        vx, vy = clean_csd.voltage_at(3, 4)
+        assert clean_csd.value_at_voltage(vx, vy) == pytest.approx(clean_csd.data[3, 4])
+
+    def test_steps_positive(self, clean_csd):
+        assert clean_csd.x_step > 0
+        assert clean_csd.y_step > 0
+
+
+class TestCropAndNormalize:
+    def test_crop_shapes(self, clean_csd):
+        cropped = clean_csd.crop(slice(10, 30), slice(5, 25))
+        assert cropped.shape == (20, 20)
+        assert cropped.metadata.get("cropped") is True
+
+    def test_crop_fraction_centers_on_geometry(self, clean_csd):
+        cropped = clean_csd.crop_fraction(0.5)
+        assert cropped.shape[0] == pytest.approx(clean_csd.shape[0] * 0.5, abs=1)
+        geometry = clean_csd.geometry
+        assert geometry is not None
+        # The crossing point stays inside the cropped window.
+        assert cropped.contains_voltage(geometry.crossing_x, geometry.crossing_y)
+
+    def test_crop_fraction_invalid(self, clean_csd):
+        with pytest.raises(DatasetError):
+            clean_csd.crop_fraction(0.0)
+
+    def test_normalized_range(self, noisy_csd):
+        normalized = noisy_csd.normalized()
+        assert normalized.data.min() == pytest.approx(0.0)
+        assert normalized.data.max() == pytest.approx(1.0)
+
+
+class TestSimulator:
+    def test_all_four_regions_present(self, clean_csd):
+        occupations = clean_csd.occupations
+        states = {tuple(occupations[r, c]) for r in range(0, 63, 4) for c in range(0, 63, 4)}
+        assert {(0, 0), (0, 1), (1, 0), (1, 1)}.issubset(states)
+
+    def test_corner_states(self, clean_csd):
+        occ = clean_csd.occupations
+        assert tuple(occ[0, 0]) == (0, 0)
+        assert tuple(occ[0, -1]) == (1, 0)
+        assert tuple(occ[-1, 0]) == (0, 1)
+        assert tuple(occ[-1, -1]) == (1, 1)
+
+    def test_geometry_consistent_with_device(self, simulator, double_dot_device):
+        geometry = simulator.geometry()
+        alpha_12, alpha_21 = double_dot_device.ground_truth_alphas(0, 1, "P1", "P2")
+        assert geometry.alpha_12 == pytest.approx(alpha_12)
+        assert geometry.alpha_21 == pytest.approx(alpha_21)
+        assert geometry.slope_steep < -1 < geometry.slope_shallow < 0
+
+    def test_crossing_point_is_inside_default_window(self, simulator):
+        (x_min, x_max), (y_min, y_max) = simulator.default_window()
+        crossing_x, crossing_y = simulator.first_transition_crossing()
+        assert x_min < crossing_x < x_max
+        assert y_min < crossing_y < y_max
+
+    def test_crossing_matches_charge_state_boundary(self, simulator, double_dot_device):
+        crossing_x, crossing_y = simulator.first_transition_crossing()
+        delta = 0.003
+        below = double_dot_device.charge_state([crossing_x - delta, crossing_y - delta])
+        assert below.occupations == (0, 0)
+        above = double_dot_device.charge_state([crossing_x + delta, crossing_y + delta])
+        assert above.total_electrons >= 1
+
+    def test_noise_seed_reproducibility(self, simulator):
+        a = simulator.simulate(32, noise=WhiteNoise(0.05), seed=9)
+        b = simulator.simulate(32, noise=WhiteNoise(0.05), seed=9)
+        c = simulator.simulate(32, noise=WhiteNoise(0.05), seed=10)
+        assert np.array_equal(a.data, b.data)
+        assert not np.array_equal(a.data, c.data)
+
+    def test_ideal_current_matches_grid(self, simulator):
+        csd = simulator.simulate(32, seed=0)
+        row, col = 10, 20
+        vx, vy = csd.voltage_at(row, col)
+        assert simulator.ideal_current(vx, vy) == pytest.approx(csd.data[row, col], rel=1e-9)
+
+    def test_rectangular_resolution(self, simulator):
+        csd = simulator.simulate((20, 30), seed=0)
+        assert csd.shape == (20, 30)
+
+    def test_invalid_resolution(self, simulator):
+        with pytest.raises(DatasetError):
+            simulator.simulate(1)
+
+    def test_invalid_window(self, simulator):
+        with pytest.raises(DatasetError):
+            simulator.simulate(32, window=((0.1, 0.0), (0.0, 0.1)))
+
+    def test_same_gate_rejected(self):
+        with pytest.raises(DeviceModelError):
+            CSDSimulator(DotArrayDevice.double_dot(), gate_x="P1", gate_y="P1")
+
+    def test_single_dot_device_rejected(self):
+        device = DotArrayDevice.linear_array(n_dots=1)
+        with pytest.raises(DeviceModelError):
+            CSDSimulator(device)

@@ -1,0 +1,90 @@
+"""Tests for the device-level model (DotArrayDevice, GateSpec)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import DeviceModelError
+from repro.physics import DotArrayDevice, GateSpec
+
+
+class TestGateSpec:
+    def test_clamp(self):
+        spec = GateSpec(name="P1", min_voltage=0.0, max_voltage=1.0)
+        assert spec.clamp(-0.5) == 0.0
+        assert spec.clamp(0.5) == 0.5
+        assert spec.clamp(2.0) == 1.0
+
+    def test_contains(self):
+        spec = GateSpec(name="P1", min_voltage=0.0, max_voltage=1.0)
+        assert spec.contains(0.0) and spec.contains(1.0)
+        assert not spec.contains(1.0001)
+
+    def test_invalid_range(self):
+        with pytest.raises(DeviceModelError):
+            GateSpec(name="P1", min_voltage=1.0, max_voltage=0.0)
+
+
+class TestDoubleDot:
+    def test_factory_shapes(self, double_dot_device):
+        assert double_dot_device.n_dots == 2
+        assert double_dot_device.n_gates == 2
+        assert double_dot_device.gate_names == ("P1", "P2")
+        assert len(double_dot_device.gate_specs) == 2
+
+    def test_charge_state_at_origin(self, double_dot_device):
+        state = double_dot_device.charge_state([0.0, 0.0])
+        assert state.occupations == (0, 0)
+
+    def test_sensor_current_consistency(self, double_dot_device):
+        vg = np.array([0.01, 0.01])
+        state = double_dot_device.charge_state(vg)
+        explicit = double_dot_device.sensor_current(vg, occupations=state.occupations)
+        implicit = double_dot_device.sensor_current(vg)
+        assert explicit == pytest.approx(implicit)
+
+    def test_sensor_current_changes_across_transition(self, double_dot_device):
+        low = double_dot_device.sensor_current([0.0, 0.0])
+        high = double_dot_device.sensor_current([0.06, 0.06])
+        assert low != pytest.approx(high)
+
+    def test_ground_truth_alphas_positive(self, double_dot_device):
+        alpha_12, alpha_21 = double_dot_device.ground_truth_alphas(0, 1, "P1", "P2")
+        assert 0 < alpha_12 < 1
+        assert 0 < alpha_21 < 1
+
+    def test_ground_truth_slopes_ordering(self, double_dot_device):
+        steep, shallow = double_dot_device.ground_truth_slopes(0, 1, "P1", "P2")
+        assert steep < -1 < shallow < 0
+
+    def test_wrong_voltage_vector_shape(self, double_dot_device):
+        with pytest.raises(DeviceModelError):
+            double_dot_device.charge_state([0.0])
+
+    def test_gate_index(self, double_dot_device):
+        assert double_dot_device.gate_index("P2") == 1
+
+
+class TestLinearArray:
+    def test_quadruple_dot_factory(self):
+        device = DotArrayDevice.quadruple_dot()
+        assert device.n_dots == 4
+        assert device.n_gates == 4
+        assert device.name == "quadruple-dot"
+
+    def test_all_neighbour_pairs_have_ground_truth(self):
+        device = DotArrayDevice.linear_array(n_dots=4)
+        for k in range(3):
+            alpha_12, alpha_21 = device.ground_truth_alphas(
+                k, k + 1, device.gate_names[k], device.gate_names[k + 1]
+            )
+            assert 0 < alpha_12 < 1
+            assert 0 < alpha_21 < 1
+
+    def test_gate_spec_count_mismatch_rejected(self, double_dot_device):
+        with pytest.raises(DeviceModelError):
+            DotArrayDevice(
+                capacitance=double_dot_device.capacitance,
+                gate_specs=(GateSpec(name="only-one"),),
+            )

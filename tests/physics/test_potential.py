@@ -1,0 +1,85 @@
+"""Tests for the 1-D channel potential model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import DeviceModelError
+from repro.physics import ChannelPotential, GateElectrode
+
+
+class TestGateElectrode:
+    def test_invalid_width(self):
+        with pytest.raises(DeviceModelError):
+            GateElectrode(name="P1", position_nm=0.0, width_nm=0.0)
+
+    def test_invalid_polarity(self):
+        with pytest.raises(DeviceModelError):
+            GateElectrode(name="P1", position_nm=0.0, polarity=2)
+
+    def test_invalid_lever_arm(self):
+        with pytest.raises(DeviceModelError):
+            GateElectrode(name="P1", position_nm=0.0, lever_arm_mev_per_v=-5.0)
+
+
+class TestStandardStack:
+    def test_gate_count(self):
+        stack = ChannelPotential.standard_stack(n_plungers=4)
+        names = [gate.name for gate in stack.gates]
+        assert names.count("P1") == 1
+        assert len([n for n in names if n.startswith("P")]) == 4
+        assert len([n for n in names if n.startswith("B")]) == 5
+
+    def test_invalid_plunger_count(self):
+        with pytest.raises(DeviceModelError):
+            ChannelPotential.standard_stack(n_plungers=0)
+
+    def test_gate_lookup(self):
+        stack = ChannelPotential.standard_stack(n_plungers=2)
+        assert stack.gate_by_name("P2").polarity == 1
+        with pytest.raises(DeviceModelError):
+            stack.gate_by_name("Q7")
+
+
+class TestProfileAndWells:
+    def test_zero_voltages_give_flat_profile(self):
+        stack = ChannelPotential.standard_stack(n_plungers=2)
+        profile = stack.profile({})
+        assert profile.min() == pytest.approx(profile.max())
+
+    def test_plunger_voltage_creates_well(self):
+        stack = ChannelPotential.standard_stack(n_plungers=2)
+        voltages = {"P1": 0.5, "B1": 0.3, "B2": 0.3}
+        wells = stack.find_wells(voltages, min_confinement_mev=1.0)
+        assert len(wells) >= 1
+        p1_position = stack.gate_by_name("P1").position_nm
+        closest = min(wells, key=lambda w: abs(w.position_nm - p1_position))
+        assert abs(closest.position_nm - p1_position) < 20.0
+
+    def test_four_plungers_form_four_dots(self):
+        stack = ChannelPotential.standard_stack(n_plungers=4)
+        voltages = {f"P{i}": 0.6 for i in range(1, 5)}
+        voltages.update({f"B{i}": 0.4 for i in range(1, 6)})
+        assert stack.count_dots(voltages, min_confinement_mev=1.0) == 4
+
+    def test_barriers_only_form_no_dots(self):
+        stack = ChannelPotential.standard_stack(n_plungers=3)
+        voltages = {f"B{i}": 0.5 for i in range(1, 5)}
+        assert stack.count_dots(voltages, min_confinement_mev=1.0) == 0
+
+    def test_deeper_plunger_deepens_well(self):
+        stack = ChannelPotential.standard_stack(n_plungers=1)
+        shallow = stack.profile({"P1": 0.2})
+        deep = stack.profile({"P1": 0.8})
+        assert deep.min() < shallow.min()
+
+    def test_well_confinement_property(self):
+        stack = ChannelPotential.standard_stack(n_plungers=2)
+        voltages = {"P1": 0.6, "P2": 0.6, "B1": 0.4, "B2": 0.4, "B3": 0.4}
+        wells = stack.find_wells(voltages, min_confinement_mev=0.5)
+        for well in wells:
+            assert well.confinement_mev == min(well.left_barrier_mev, well.right_barrier_mev)
+
+    def test_requires_gates(self):
+        with pytest.raises(DeviceModelError):
+            ChannelPotential(gates=())

@@ -1,0 +1,110 @@
+"""Tests for the SET charge-sensor model."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import SensorModelError
+from repro.physics import ChargeSensor, ChargeSensorConfig
+
+
+class TestConfigValidation:
+    def test_defaults_are_valid(self):
+        config = ChargeSensorConfig()
+        assert config.peak_spacing_mv > 0
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"peak_spacing_mv": 0.0},
+            {"peak_width_mv": -1.0},
+            {"peak_current_na": 0.0},
+            {"dot_shift_mv": ()},
+            {"background_current_na": -0.1},
+        ],
+    )
+    def test_invalid_configs_rejected(self, kwargs):
+        with pytest.raises(SensorModelError):
+            ChargeSensorConfig(**kwargs)
+
+
+class TestCoulombPeakShape:
+    def test_peak_maximum_at_zero_detuning(self):
+        sensor = ChargeSensor()
+        peak = sensor.current_from_detuning(0.0)
+        off_peak = sensor.current_from_detuning(1.5)
+        assert peak > off_peak
+
+    def test_periodicity(self):
+        sensor = ChargeSensor()
+        spacing = sensor.config.peak_spacing_mv
+        assert sensor.current_from_detuning(0.3) == pytest.approx(
+            sensor.current_from_detuning(0.3 + spacing), rel=1e-9
+        )
+
+    def test_vectorised_evaluation(self):
+        sensor = ChargeSensor()
+        detunings = np.linspace(-5, 5, 101)
+        currents = sensor.current_from_detuning(detunings)
+        assert isinstance(currents, np.ndarray)
+        assert currents.shape == detunings.shape
+        assert np.all(currents >= sensor.config.background_current_na - 1e-12)
+
+    def test_background_far_from_peak(self):
+        config = ChargeSensorConfig(peak_spacing_mv=100.0, peak_width_mv=0.5)
+        sensor = ChargeSensor(config)
+        assert sensor.current_from_detuning(50.0) == pytest.approx(
+            config.background_current_na, abs=1e-6
+        )
+
+
+class TestChargeResponse:
+    def test_adding_electron_changes_current(self):
+        sensor = ChargeSensor()
+        zeros = np.zeros(2)
+        before = sensor.current([0, 0], zeros)
+        after = sensor.current([1, 0], zeros)
+        assert before != pytest.approx(after)
+
+    def test_default_operating_point_makes_added_electron_darker(self):
+        # The default sensor is parked on the falling flank, so loading an
+        # electron reduces the current; this is what makes the (0,0) region
+        # the brightest, as the anchor search assumes.
+        sensor = ChargeSensor()
+        assert sensor.step_contrast(0) < 0
+        assert sensor.step_contrast(1) < 0
+
+    def test_closer_dot_has_larger_contrast(self):
+        sensor = ChargeSensor()
+        assert abs(sensor.step_contrast(0)) > abs(sensor.step_contrast(1))
+
+    def test_step_contrast_invalid_dot(self):
+        sensor = ChargeSensor()
+        with pytest.raises(SensorModelError):
+            sensor.step_contrast(7)
+
+    def test_detuning_includes_gate_crosstalk(self):
+        sensor = ChargeSensor()
+        base = sensor.detuning_mv([0, 0], [0.0, 0.0])
+        shifted = sensor.detuning_mv([0, 0], [0.1, 0.0])
+        assert shifted > base
+
+    def test_detuning_requires_enough_occupations(self):
+        sensor = ChargeSensor()
+        with pytest.raises(SensorModelError):
+            sensor.detuning_mv([0], [0.0, 0.0])
+        with pytest.raises(SensorModelError):
+            sensor.detuning_mv([0, 0], [0.0])
+
+
+class TestWithSensitivity:
+    def test_sizes_vectors_to_device(self):
+        sensor = ChargeSensor.with_sensitivity(n_dots=4, n_gates=4)
+        assert len(sensor.config.dot_shift_mv) == 4
+        assert len(sensor.config.gate_crosstalk_mv_per_v) == 4
+
+    def test_shifts_decay_with_distance(self):
+        sensor = ChargeSensor.with_sensitivity(n_dots=3, n_gates=3)
+        shifts = sensor.config.dot_shift_mv
+        assert shifts[0] > shifts[1] > shifts[2]

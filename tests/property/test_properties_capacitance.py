@@ -1,0 +1,99 @@
+"""Property-based tests (hypothesis) for the capacitance / charge-state model."""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.physics import CapacitanceModel, ChargeStateSolver
+
+charging = st.floats(min_value=1.0, max_value=8.0)
+cross = st.floats(min_value=0.02, max_value=0.45)
+lever = st.floats(min_value=0.05, max_value=0.3)
+mutual = st.floats(min_value=0.0, max_value=0.35)
+voltage = st.floats(min_value=0.0, max_value=0.08)
+
+
+def build_model(ec1, ec2, x12, x21, a1, a2, m):
+    return CapacitanceModel.double_dot(
+        charging_energy_mev=(ec1, ec2),
+        mutual_fraction=m,
+        plunger_lever_arms=(a1, a2),
+        cross_lever_fractions=(x12, x21),
+    )
+
+
+class TestCapacitanceProperties:
+    @given(ec1=charging, ec2=charging, x12=cross, x21=cross, a1=lever, a2=lever, m=mutual)
+    @settings(max_examples=80, deadline=None)
+    def test_slopes_always_negative_and_ordered(self, ec1, ec2, x12, x21, a1, a2, m):
+        model = build_model(ec1, ec2, x12, x21, a1, a2, m)
+        steep, shallow = model.transition_slopes(0, 1, "P1", "P2")
+        assert steep < 0 and shallow < 0
+        assert abs(steep) > abs(shallow)
+
+    @given(ec1=charging, ec2=charging, x12=cross, x21=cross, a1=lever, a2=lever, m=mutual)
+    @settings(max_examples=80, deadline=None)
+    def test_alphas_positive_and_jointly_invertible(self, ec1, ec2, x12, x21, a1, a2, m):
+        model = build_model(ec1, ec2, x12, x21, a1, a2, m)
+        alpha_12, alpha_21 = model.virtualization_alphas(0, 1, "P1", "P2")
+        assert alpha_12 > 0.0
+        assert alpha_21 > 0.0
+        # det(lever-arm matrix) > 0 guarantees the virtualization matrix
+        # [[1, a12], [a21, 1]] is invertible for the true coefficients.
+        assert alpha_12 * alpha_21 < 1.0
+
+    @given(ec1=charging, ec2=charging, x12=cross, x21=cross, a1=lever, a2=lever, m=mutual)
+    @settings(max_examples=60, deadline=None)
+    def test_lever_arm_matrix_positive(self, ec1, ec2, x12, x21, a1, a2, m):
+        model = build_model(ec1, ec2, x12, x21, a1, a2, m)
+        assert np.all(model.lever_arm_matrix > 0)
+
+    @given(
+        ec1=charging,
+        ec2=charging,
+        x12=cross,
+        x21=cross,
+        a1=lever,
+        a2=lever,
+        m=mutual,
+        v1=voltage,
+        v2=voltage,
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_ground_state_energy_never_above_alternatives(
+        self, ec1, ec2, x12, x21, a1, a2, m, v1, v2
+    ):
+        model = build_model(ec1, ec2, x12, x21, a1, a2, m)
+        solver = ChargeStateSolver(model, max_electrons_per_dot=2)
+        vg = np.array([v1, v2])
+        state = solver.ground_state(vg)
+        for n1 in range(3):
+            for n2 in range(3):
+                assert (
+                    state.energy_mev
+                    <= model.electrostatic_energy([n1, n2], vg) + 1e-9
+                )
+
+    @given(
+        ec1=charging,
+        ec2=charging,
+        x12=cross,
+        x21=cross,
+        a1=lever,
+        a2=lever,
+        m=mutual,
+        v1=voltage,
+        v2=voltage,
+        dv=st.floats(min_value=0.001, max_value=0.03),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_occupation_monotone_in_own_gate(
+        self, ec1, ec2, x12, x21, a1, a2, m, v1, v2, dv
+    ):
+        model = build_model(ec1, ec2, x12, x21, a1, a2, m)
+        solver = ChargeStateSolver(model, max_electrons_per_dot=3)
+        low = solver.ground_state([v1, v2])
+        high = solver.ground_state([v1 + dv, v2])
+        assert high.occupations[0] >= low.occupations[0]

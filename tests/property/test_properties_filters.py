@@ -1,0 +1,69 @@
+"""Property-based tests (hypothesis) for the baseline image filters."""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.baseline import gaussian_blur, gaussian_kernel_1d, normalize_image, sobel_gradients
+from repro.core import gaussian_window
+
+images = hnp.arrays(
+    dtype=np.float64,
+    shape=st.tuples(st.integers(8, 24), st.integers(8, 24)),
+    elements=st.floats(min_value=-5.0, max_value=5.0, allow_nan=False, allow_infinity=False),
+)
+
+
+class TestFilterProperties:
+    @given(image=images, sigma=st.floats(min_value=0.5, max_value=3.0))
+    @settings(max_examples=50, deadline=None)
+    def test_blur_preserves_value_bounds(self, image, sigma):
+        blurred = gaussian_blur(image, sigma)
+        assert blurred.min() >= image.min() - 1e-9
+        assert blurred.max() <= image.max() + 1e-9
+
+    @given(image=images, sigma=st.floats(min_value=0.5, max_value=3.0))
+    @settings(max_examples=50, deadline=None)
+    def test_blur_commutes_with_constant_offset(self, image, sigma):
+        offset = 2.5
+        lhs = gaussian_blur(image + offset, sigma)
+        rhs = gaussian_blur(image, sigma) + offset
+        assert np.allclose(lhs, rhs, atol=1e-9)
+
+    @given(sigma=st.floats(min_value=0.3, max_value=5.0))
+    @settings(max_examples=50, deadline=None)
+    def test_kernel_normalised_and_symmetric(self, sigma):
+        kernel = gaussian_kernel_1d(sigma)
+        assert np.isclose(kernel.sum(), 1.0)
+        assert np.allclose(kernel, kernel[::-1])
+
+    @given(image=images)
+    @settings(max_examples=50, deadline=None)
+    def test_normalize_bounds(self, image):
+        normalized = normalize_image(image)
+        assert normalized.min() >= 0.0
+        assert normalized.max() <= 1.0
+
+    @given(image=images)
+    @settings(max_examples=40, deadline=None)
+    def test_sobel_zero_on_constant_rows_and_columns(self, image):
+        constant = np.full_like(image, 1.25)
+        gx, gy, magnitude, _ = sobel_gradients(constant)
+        assert np.allclose(gx, 0.0)
+        assert np.allclose(gy, 0.0)
+        assert np.allclose(magnitude, 0.0)
+
+    @given(
+        length=st.integers(min_value=1, max_value=200),
+        center=st.floats(min_value=0.0, max_value=1.0),
+        sigma=st.floats(min_value=0.05, max_value=1.0),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_gaussian_window_bounds(self, length, center, sigma):
+        window = gaussian_window(length, center_fraction=center, sigma_fraction=sigma)
+        assert window.shape == (length,)
+        assert np.all(window > 0)
+        assert np.all(window <= 1.0 + 1e-12)

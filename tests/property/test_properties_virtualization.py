@@ -1,0 +1,95 @@
+"""Property-based tests (hypothesis) for virtualization matrices."""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import ArrayVirtualization, VirtualizationMatrix
+
+#: Physically sensible compensation coefficients (strictly below 1 so the
+#: matrix is always invertible).
+alphas = st.floats(min_value=0.0, max_value=0.8, allow_nan=False, allow_infinity=False)
+voltages = st.floats(min_value=-1.0, max_value=1.0, allow_nan=False, allow_infinity=False)
+
+
+class TestPairwiseMatrixProperties:
+    @given(alpha_12=alphas, alpha_21=alphas, vx=voltages, vy=voltages)
+    @settings(max_examples=120, deadline=None)
+    def test_round_trip_is_identity(self, alpha_12, alpha_21, vx, vy):
+        matrix = VirtualizationMatrix(alpha_12=alpha_12, alpha_21=alpha_21)
+        physical = np.array([vx, vy])
+        recovered = matrix.to_physical(matrix.to_virtual(physical))
+        assert np.allclose(recovered, physical, atol=1e-9)
+
+    @given(alpha_12=alphas, alpha_21=alphas)
+    @settings(max_examples=120, deadline=None)
+    def test_determinant_positive(self, alpha_12, alpha_21):
+        matrix = VirtualizationMatrix(alpha_12=alpha_12, alpha_21=alpha_21)
+        assert np.linalg.det(matrix.matrix) > 0
+
+    @given(
+        alpha_12=st.floats(min_value=0.01, max_value=0.8),
+        alpha_21=st.floats(min_value=0.01, max_value=0.8),
+    )
+    @settings(max_examples=120, deadline=None)
+    def test_from_slopes_inverts_slope_properties(self, alpha_12, alpha_21):
+        original = VirtualizationMatrix(alpha_12=alpha_12, alpha_21=alpha_21)
+        rebuilt = VirtualizationMatrix.from_slopes(
+            original.slope_steep, original.slope_shallow
+        )
+        assert np.isclose(rebuilt.alpha_12, alpha_12, atol=1e-9)
+        assert np.isclose(rebuilt.alpha_21, alpha_21, atol=1e-9)
+
+    @given(
+        alpha_12=st.floats(min_value=0.01, max_value=0.8),
+        alpha_21=st.floats(min_value=0.01, max_value=0.8),
+    )
+    @settings(max_examples=120, deadline=None)
+    def test_true_matrix_orthogonalizes_its_own_lines(self, alpha_12, alpha_21):
+        matrix = VirtualizationMatrix(alpha_12=alpha_12, alpha_21=alpha_21)
+        error = matrix.orthogonality_error(matrix.slope_steep, matrix.slope_shallow)
+        assert error < 1e-6
+
+    @given(alpha_12=alphas, alpha_21=alphas, vx=voltages, vy=voltages)
+    @settings(max_examples=80, deadline=None)
+    def test_transformation_is_linear(self, alpha_12, alpha_21, vx, vy):
+        matrix = VirtualizationMatrix(alpha_12=alpha_12, alpha_21=alpha_21)
+        a = np.array([vx, vy])
+        b = np.array([0.3, -0.2])
+        lhs = matrix.to_virtual(a + b)
+        rhs = matrix.to_virtual(a) + matrix.to_virtual(b)
+        assert np.allclose(lhs, rhs, atol=1e-9)
+
+
+class TestArrayMatrixProperties:
+    @given(
+        pair_alphas=st.lists(
+            st.tuples(
+                st.floats(min_value=0.0, max_value=0.45),
+                st.floats(min_value=0.0, max_value=0.45),
+            ),
+            min_size=2,
+            max_size=5,
+        ),
+        scale=st.floats(min_value=-0.5, max_value=0.5),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_chain_round_trip(self, pair_alphas, scale):
+        n_gates = len(pair_alphas) + 1
+        names = tuple(f"P{i + 1}" for i in range(n_gates))
+        array = ArrayVirtualization(names)
+        for k, (alpha_12, alpha_21) in enumerate(pair_alphas):
+            array.add_pair(
+                VirtualizationMatrix(
+                    alpha_12=alpha_12,
+                    alpha_21=alpha_21,
+                    gate_x=names[k],
+                    gate_y=names[k + 1],
+                )
+            )
+        assert array.is_complete_chain()
+        physical = np.full(n_gates, scale)
+        recovered = array.to_physical(array.to_virtual(physical))
+        assert np.allclose(recovered, physical, atol=1e-8)

@@ -1,0 +1,60 @@
+"""Tests of the public package surface (imports, __all__, version)."""
+
+from __future__ import annotations
+
+import importlib
+
+import pytest
+
+import repro
+
+
+SUBPACKAGES = [
+    "repro.physics",
+    "repro.instrument",
+    "repro.datasets",
+    "repro.core",
+    "repro.baseline",
+    "repro.analysis",
+    "repro.visualization",
+]
+
+
+class TestTopLevelApi:
+    def test_version_string(self):
+        assert isinstance(repro.__version__, str)
+        assert repro.__version__.count(".") == 2
+
+    def test_all_exports_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), f"repro.__all__ lists missing attribute {name}"
+
+    def test_headline_classes_exported(self):
+        assert repro.FastVirtualGateExtractor is not None
+        assert repro.HoughBaselineExtractor is not None
+        assert repro.DotArrayDevice is not None
+        assert repro.ExperimentSession is not None
+
+    @pytest.mark.parametrize("module_name", SUBPACKAGES)
+    def test_subpackage_all_exports_resolve(self, module_name):
+        module = importlib.import_module(module_name)
+        assert hasattr(module, "__all__")
+        for name in module.__all__:
+            assert hasattr(module, name), f"{module_name}.__all__ lists missing {name}"
+
+    def test_exceptions_form_one_hierarchy(self):
+        from repro import exceptions
+
+        for name in dir(exceptions):
+            obj = getattr(exceptions, name)
+            if isinstance(obj, type) and issubclass(obj, Exception) and obj is not Exception:
+                assert issubclass(obj, exceptions.ReproError)
+
+    def test_docstring_example_runs(self):
+        # The usage sketched in the package docstring must actually work.
+        device = repro.DotArrayDevice.double_dot(cross_coupling=(0.25, 0.22))
+        csd = repro.CSDSimulator(device).simulate(resolution=48, seed=1)
+        session = repro.ExperimentSession.from_csd(csd)
+        result = repro.FastVirtualGateExtractor().extract(session)
+        assert result.success
+        assert 0 < result.probe_stats.probe_fraction < 1

@@ -1,0 +1,85 @@
+"""Tests for ASCII rendering of diagrams and probe maps."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.visualization import (
+    DEFAULT_RAMP,
+    ascii_csd,
+    ascii_heatmap,
+    ascii_probe_map,
+    side_by_side,
+)
+
+
+class TestAsciiHeatmap:
+    def test_dimensions_respect_limits(self):
+        data = np.random.default_rng(0).uniform(size=(100, 200))
+        text = ascii_heatmap(data, max_rows=25, max_cols=60)
+        lines = text.split("\n")
+        assert len(lines) <= 25
+        assert all(len(line) <= 60 for line in lines)
+
+    def test_bright_maps_to_last_ramp_char(self):
+        data = np.zeros((10, 10))
+        data[0, 0] = 1.0  # row 0 is printed last (bottom)
+        text = ascii_heatmap(data, max_rows=10, max_cols=10)
+        lines = text.split("\n")
+        assert lines[-1][0] == DEFAULT_RAMP[-1]
+        assert lines[0][-1] == DEFAULT_RAMP[0]
+
+    def test_constant_image_renders(self):
+        text = ascii_heatmap(np.full((5, 5), 2.0))
+        assert len(text.split("\n")) == 5
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ConfigurationError):
+            ascii_heatmap(np.zeros(10))
+        with pytest.raises(ConfigurationError):
+            ascii_heatmap(np.zeros((5, 5)), max_rows=0)
+        with pytest.raises(ConfigurationError):
+            ascii_heatmap(np.zeros((5, 5)), ramp="x")
+
+
+class TestProbeMap:
+    def test_marks_probed_pixels(self):
+        text = ascii_probe_map((10, 10), [(0, 0), (9, 9)], max_rows=10, max_cols=10)
+        lines = text.split("\n")
+        assert lines[-1][0] == "o"  # row 0 at the bottom
+        assert lines[0][9] == "o"
+        assert lines[5][5] == "."
+
+    def test_accepts_boolean_mask(self):
+        mask = np.zeros((10, 10), dtype=bool)
+        mask[3, 4] = True
+        text = ascii_probe_map((10, 10), mask, max_rows=10, max_cols=10)
+        assert text.split("\n")[10 - 1 - 3][4] == "o"
+
+    def test_out_of_range_points_ignored(self):
+        text = ascii_probe_map((5, 5), [(99, 99)], max_rows=5, max_cols=5)
+        assert "o" not in text
+
+
+class TestAsciiCsd:
+    def test_renders_and_overlays_points(self, clean_csd):
+        text = ascii_csd(clean_csd, max_rows=30, max_cols=60, overlay_points=[(5, 5), (40, 40)])
+        assert "+" in text
+        assert len(text.split("\n")) <= 30
+
+    def test_without_overlay(self, clean_csd):
+        assert "+" not in ascii_csd(clean_csd, max_rows=20, max_cols=40)
+
+
+class TestSideBySide:
+    def test_concatenates_blocks(self):
+        left = "aa\nbb"
+        right = "cc\ndd\nee"
+        combined = side_by_side(left, right, gap=2, titles=("L", "R"))
+        lines = combined.split("\n")
+        assert lines[0].startswith("L")
+        assert "R" in lines[0]
+        assert len(lines) == 4  # title + 3 content rows
+        assert "cc" in lines[1]

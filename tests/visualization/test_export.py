@@ -1,0 +1,56 @@
+"""Tests for CSV / NPZ export helpers."""
+
+from __future__ import annotations
+
+import csv
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.visualization import export_points_csv, export_probe_map, export_table_csv
+
+
+class TestTableCsv:
+    def test_writes_header_and_rows(self, tmp_path):
+        path = export_table_csv(tmp_path / "t.csv", ["a", "b"], [[1, 2], [3, 4]])
+        with open(path) as handle:
+            rows = list(csv.reader(handle))
+        assert rows[0] == ["a", "b"]
+        assert rows[1] == ["1", "2"]
+        assert len(rows) == 3
+
+    def test_creates_directories(self, tmp_path):
+        path = export_table_csv(tmp_path / "x" / "y" / "t.csv", ["a"], [[1]])
+        assert path.exists()
+
+    def test_row_length_mismatch_rejected(self, tmp_path):
+        with pytest.raises(ConfigurationError):
+            export_table_csv(tmp_path / "t.csv", ["a", "b"], [[1]])
+
+    def test_empty_headers_rejected(self, tmp_path):
+        with pytest.raises(ConfigurationError):
+            export_table_csv(tmp_path / "t.csv", [], [])
+
+
+class TestPointsCsv:
+    def test_round_trip(self, tmp_path):
+        path = export_points_csv(tmp_path / "p.csv", [(1, 2), (3, 4)])
+        with open(path) as handle:
+            rows = list(csv.reader(handle))
+        assert rows == [["row", "col"], ["1", "2"], ["3", "4"]]
+
+
+class TestProbeMapNpz:
+    def test_round_trip(self, clean_csd, tmp_path):
+        mask = np.zeros(clean_csd.shape, dtype=bool)
+        mask[10, 10] = True
+        path = export_probe_map(tmp_path / "probe.npz", clean_csd, mask)
+        with np.load(path) as archive:
+            assert np.array_equal(archive["probe_mask"], mask)
+            assert np.array_equal(archive["data"], clean_csd.data)
+            assert archive["x_voltages"].shape == clean_csd.x_voltages.shape
+
+    def test_shape_mismatch_rejected(self, clean_csd, tmp_path):
+        with pytest.raises(ConfigurationError):
+            export_probe_map(tmp_path / "probe.npz", clean_csd, np.zeros((2, 2), dtype=bool))
