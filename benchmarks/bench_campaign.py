@@ -1,0 +1,116 @@
+"""Benchmark: parallel batch-tuning campaign vs sequential execution.
+
+The campaign engine's contract is twofold: per-job results are bit-identical
+whether the grid runs on one worker or many (seeds are bound to jobs at grid
+expansion, not to execution order), and on a multi-core machine the wall
+time drops roughly with the worker count because the jobs are independent
+CPU-bound extractions fanned out over a process pool.
+
+This file is both a pytest benchmark (like its siblings) and a standalone
+script for CI smoke runs::
+
+    PYTHONPATH=src python benchmarks/bench_campaign.py --quick
+    PYTHONPATH=src python benchmarks/bench_campaign.py --jobs 50 --workers 4
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import pytest
+
+from repro.campaign import CampaignGrid, DeviceSpec, TuningCampaign
+
+
+def build_grid(n_repeats: int, seed: int = 2024) -> CampaignGrid:
+    """A campaign grid over two device families and two noise conditions.
+
+    Two double dots contribute one gate pair each and the 4-dot linear array
+    contributes three, so with two noise scales the grid expands into
+    ``(2 + 3) * 2 * n_repeats = 10 * n_repeats`` jobs.
+    """
+    return CampaignGrid(
+        devices=(
+            DeviceSpec.of("double_dot", cross_coupling=(0.25, 0.22)),
+            DeviceSpec.of("double_dot", cross_coupling=(0.32, 0.27)),
+            DeviceSpec.of("linear_array", n_dots=4),
+        ),
+        resolutions=(63,),
+        noise_scales=(0.0, 1.0),
+        methods=("fast",),
+        n_repeats=n_repeats,
+        seed=seed,
+    )
+
+
+def records_identical(a, b) -> bool:
+    """Bit-identical per-job extraction results (the determinism contract)."""
+    if len(a.records) != len(b.records):
+        return False
+    return all(
+        ra.job_id == rb.job_id
+        and ra.success == rb.success
+        and ra.alpha_12 == rb.alpha_12
+        and ra.alpha_21 == rb.alpha_21
+        and ra.n_probes == rb.n_probes
+        and ra.sim_elapsed_s == rb.sim_elapsed_s
+        for ra, rb in zip(a.records, b.records)
+    )
+
+
+@pytest.mark.benchmark(group="campaign")
+def test_campaign_parallel_determinism(benchmark, write_report):
+    """Sequential and 2-worker campaigns agree job for job."""
+    grid = build_grid(n_repeats=1)
+    sequential = TuningCampaign(grid, n_workers=1).run()
+    parallel = benchmark.pedantic(
+        lambda: TuningCampaign(grid, n_workers=2).run(), rounds=1, iterations=1
+    )
+    write_report("campaign.txt", parallel.format_report())
+
+    assert records_identical(sequential, parallel)
+    assert sequential.n_jobs == grid.n_jobs
+    assert sequential.success_rate > 0.8
+    # Aggregates derive from the same records, so they agree exactly.
+    assert sequential.total_probes == parallel.total_probes
+    assert sequential.summary()["failure_taxonomy"] == parallel.summary()["failure_taxonomy"]
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="small smoke grid (8 jobs, 2 workers) for CI",
+    )
+    parser.add_argument("--jobs", type=int, default=56, help="approximate job count")
+    parser.add_argument("--workers", type=int, default=4, help="parallel worker count")
+    args = parser.parse_args(argv)
+
+    if args.quick:
+        grid = build_grid(n_repeats=1)
+        workers = 2
+    else:
+        # 10 jobs per repeat (5 gate pairs x 2 noise scales).
+        grid = build_grid(n_repeats=max(1, args.jobs // 10))
+        workers = args.workers
+
+    print(f"campaign grid: {grid.n_jobs} jobs, comparing n_workers=1 vs {workers}")
+    sequential = TuningCampaign(grid, n_workers=1).run()
+    parallel = TuningCampaign(grid, n_workers=workers).run()
+
+    print(parallel.format_report(max_rows=10))
+    print()
+    print(f"sequential wall time: {sequential.wall_time_s:.2f}s")
+    print(f"parallel wall time:   {parallel.wall_time_s:.2f}s "
+          f"({sequential.wall_time_s / max(parallel.wall_time_s, 1e-9):.2f}x)")
+
+    if not records_identical(sequential, parallel):
+        print("ERROR: parallel records differ from the sequential reference")
+        return 1
+    print("determinism check: sequential and parallel records are identical")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -21,6 +21,13 @@ Typical use::
 """
 
 from .baseline import BaselineConfig, HoughBaselineExtractor
+from .campaign import (
+    CampaignGrid,
+    CampaignJob,
+    CampaignResult,
+    DeviceSpec,
+    TuningCampaign,
+)
 from .core import (
     ArrayVirtualGateExtractor,
     ArrayVirtualization,
@@ -30,7 +37,14 @@ from .core import (
     VirtualizationMatrix,
 )
 from .exceptions import ReproError
-from .instrument import ChargeSensorMeter, ExperimentSession, TimingModel, VirtualClock
+from .instrument import (
+    ChargeSensorMeter,
+    ExperimentSession,
+    SessionFactory,
+    TimingModel,
+    VirtualClock,
+)
+from .seeding import spawn_seeds
 from .physics import (
     CapacitanceModel,
     ChargeSensor,
@@ -45,6 +59,11 @@ __version__ = "1.0.0"
 __all__ = [
     "BaselineConfig",
     "HoughBaselineExtractor",
+    "CampaignGrid",
+    "CampaignJob",
+    "CampaignResult",
+    "DeviceSpec",
+    "TuningCampaign",
     "ArrayVirtualGateExtractor",
     "ArrayVirtualization",
     "ExtractionConfig",
@@ -54,8 +73,10 @@ __all__ = [
     "ReproError",
     "ChargeSensorMeter",
     "ExperimentSession",
+    "SessionFactory",
     "TimingModel",
     "VirtualClock",
+    "spawn_seeds",
     "CapacitanceModel",
     "ChargeSensor",
     "ChargeStabilityDiagram",

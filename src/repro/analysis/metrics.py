@@ -32,6 +32,11 @@ class SuccessCriterion:
 
     max_alpha_abs_error: float = 0.08
     max_alpha_rel_error: float = 0.35
+    #: Denominator floor of the relative-error branch.  Without it a
+    #: near-zero (but non-zero) ground truth makes ``abs_error / |true|``
+    #: overflow; with it, couplings below the floor are judged by the
+    #: absolute branch alone — exactly how a truly-zero truth is handled.
+    rel_error_denominator_floor: float = 1e-6
 
     def alpha_matches(self, extracted: float, true_value: float) -> bool:
         """Whether one extracted coefficient is acceptably close to the truth."""
@@ -40,9 +45,10 @@ class SuccessCriterion:
         abs_error = abs(extracted - true_value)
         if abs_error <= self.max_alpha_abs_error:
             return True
-        if true_value != 0 and abs_error / abs(true_value) <= self.max_alpha_rel_error:
-            return True
-        return False
+        denominator = abs(true_value)
+        if denominator < self.rel_error_denominator_floor:
+            return False
+        return abs_error / denominator <= self.max_alpha_rel_error
 
     def evaluate(
         self, result: ExtractionResult, geometry: TransitionLineGeometry | None
@@ -98,14 +104,21 @@ def accuracy_metrics(
 
 
 def speedup(baseline_elapsed_s: float, fast_elapsed_s: float) -> float:
-    """Wall-clock speedup of the fast method over the baseline."""
+    """Wall-clock speedup of the fast method over the baseline.
+
+    ``nan`` when both costs are zero (an empty run has no defined speedup),
+    ``inf`` when only the fast cost is zero.
+    """
     if fast_elapsed_s <= 0:
-        return float("inf")
+        return float("nan") if baseline_elapsed_s <= 0 else float("inf")
     return baseline_elapsed_s / fast_elapsed_s
 
 
 def probe_reduction(baseline_probes: int, fast_probes: int) -> float:
-    """Factor by which the number of probed points is reduced."""
+    """Factor by which the number of probed points is reduced.
+
+    ``nan`` when both counts are zero, ``inf`` when only the fast count is.
+    """
     if fast_probes <= 0:
-        return float("inf")
+        return float("nan") if baseline_probes <= 0 else float("inf")
     return baseline_probes / float(fast_probes)

@@ -172,3 +172,77 @@ def _fmt(value: float | None) -> str:
     if value is None or not np.isfinite(value):
         return "-"
     return f"{value:.3f}"
+
+
+CAMPAIGN_HEADERS = [
+    "Job",
+    "Device",
+    "Gates",
+    "Method",
+    "Res",
+    "Noise",
+    "Verdict",
+    "Max |a err|",
+    "Probes",
+    "Runtime",
+    "Failure",
+]
+
+
+def campaign_rows(rows: list[dict]) -> list[list[str]]:
+    """Table rows from per-job campaign dicts (see ``CampaignResult.job_rows``)."""
+    out = []
+    for row in rows:
+        out.append(
+            [
+                str(row["job_id"]),
+                str(row["device"]),
+                str(row["gates"]),
+                str(row["method"]),
+                str(row["resolution"]),
+                f"{row['noise_scale']:g}x",
+                _success_label(bool(row["success"])),
+                _fmt(row["max_alpha_error"]),
+                f"{row['n_probes']} ({100.0 * row['probe_fraction']:.1f}%)",
+                f"{row['sim_elapsed_s']:.1f}s",
+                "-" if row["success"] else str(row["failure_category"]),
+            ]
+        )
+    return out
+
+
+def format_campaign_table(rows: list[dict], max_rows: int | None = None) -> str:
+    """Per-job campaign table, optionally truncated to the first ``max_rows``."""
+    shown = rows if max_rows is None else rows[:max_rows]
+    table = format_table(
+        CAMPAIGN_HEADERS,
+        campaign_rows(shown),
+        title="Batch-tuning campaign: per-job outcomes",
+    )
+    if max_rows is not None and len(rows) > max_rows:
+        table += f"\n... ({len(rows) - max_rows} more jobs)"
+    return table
+
+
+def format_campaign_summary(summary: dict) -> str:
+    """Aggregate block of a campaign (see ``CampaignResult.summary``)."""
+    rate = summary["success_rate"]
+    fraction = summary["mean_probe_fraction"]
+    lines = [
+        "Campaign summary",
+        f"  jobs:                  {summary['n_jobs']}",
+        f"  succeeded:             {summary['n_succeeded']}/{summary['n_jobs']}"
+        + (f" ({100.0 * rate:.1f}%)" if np.isfinite(rate) else ""),
+        f"  total probes:          {summary['total_probes']}",
+        f"  simulated time:        {summary['total_sim_elapsed_s']:.1f}s",
+        f"  mean probe fraction:   "
+        + (f"{100.0 * fraction:.1f}%" if np.isfinite(fraction) else "-"),
+        f"  workers:               {summary['n_workers']}",
+        f"  wall time:             {summary['wall_time_s']:.2f}s",
+    ]
+    taxonomy = summary.get("failure_taxonomy") or {}
+    if taxonomy:
+        lines.append("  failure taxonomy:")
+        for category, count in sorted(taxonomy.items(), key=lambda kv: (-kv[1], kv[0])):
+            lines.append(f"    {category}: {count}")
+    return "\n".join(lines)

@@ -1,0 +1,51 @@
+"""Batch-tuning campaigns: declarative job grids fanned out over workers.
+
+The paper's evaluation tunes one plunger-gate pair at a time; a production
+bring-up tunes *fleets* — many devices, many gate pairs, many resolutions and
+noise conditions, often comparing methods side by side.  This subpackage is
+the managed layer for that workload:
+
+* :class:`~repro.campaign.grid.CampaignGrid` declares the job grid
+  (device × gate pair × resolution × noise × method × repeat) and expands it
+  into :class:`~repro.campaign.grid.CampaignJob` specs with independent
+  spawned seeds;
+* :func:`~repro.campaign.worker.run_campaign_job` executes one job in
+  isolation and condenses the outcome into a picklable record with a failure
+  taxonomy;
+* :class:`~repro.campaign.engine.TuningCampaign` runs the jobs sequentially
+  or over a :class:`~concurrent.futures.ProcessPoolExecutor` — results are
+  bit-identical either way — and aggregates everything into a
+  :class:`~repro.campaign.results.CampaignResult` that renders through the
+  :mod:`repro.analysis.reporting` tables.
+
+Typical use::
+
+    from repro.campaign import CampaignGrid, DeviceSpec, TuningCampaign
+
+    grid = CampaignGrid(
+        devices=(DeviceSpec.of("double_dot", cross_coupling=(0.25, 0.22)),),
+        resolutions=(63, 100),
+        noise_scales=(0.0, 1.0),
+        n_repeats=5,
+        seed=7,
+    )
+    result = TuningCampaign(grid, n_workers=4).run()
+    print(result.format_report())
+"""
+
+from .engine import TuningCampaign
+from .grid import CampaignGrid, CampaignJob, DeviceSpec, KNOWN_METHODS
+from .results import CampaignJobRecord, CampaignResult
+from .worker import classify_failure, run_campaign_job
+
+__all__ = [
+    "TuningCampaign",
+    "CampaignGrid",
+    "CampaignJob",
+    "DeviceSpec",
+    "KNOWN_METHODS",
+    "CampaignJobRecord",
+    "CampaignResult",
+    "classify_failure",
+    "run_campaign_job",
+]

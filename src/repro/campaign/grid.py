@@ -1,0 +1,227 @@
+"""Declarative job grids for batch-tuning campaigns.
+
+A campaign is declared, not scripted: a :class:`CampaignGrid` names the
+devices, resolutions, noise amplitudes, methods, and repeat count, and
+:meth:`CampaignGrid.expand` turns the cross product into a flat tuple of
+:class:`CampaignJob` specs.  Expansion is where determinism is fixed:
+
+* jobs are enumerated in a stable order
+  (device → gate pair → resolution → noise → method → repeat), and
+* every job gets its own child of the grid's root seed via
+  :func:`repro.seeding.spawn_seeds`, assigned by job index *before* anything
+  runs.
+
+Because the seeds are bound to job identity rather than execution order, a
+campaign produces bit-identical per-job results whether it runs on one
+worker or many.  Jobs are small frozen dataclasses built from plain values,
+so they pickle cheaply into worker processes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import cache
+
+import numpy as np
+
+from ..exceptions import ConfigurationError
+from ..physics.dot_array import DotArrayDevice
+from ..physics.noise import NoiseModel, standard_lab_noise
+from ..seeding import spawn_seeds
+
+#: Extraction methods a campaign job can name.
+KNOWN_METHODS: tuple[str, ...] = ("fast", "baseline")
+
+#: Device factory registry: every entry is a classmethod of
+#: :class:`~repro.physics.dot_array.DotArrayDevice` that builds a device from
+#: keyword arguments.  Registering by name keeps job specs declarative and
+#: trivially picklable.
+DEVICE_FACTORIES: dict[str, str] = {
+    "double_dot": "double_dot",
+    "linear_array": "linear_array",
+    "quadruple_dot": "quadruple_dot",
+}
+
+
+@dataclass(frozen=True)
+class DeviceSpec:
+    """Declarative recipe for building one simulated device.
+
+    ``kwargs`` is stored as a sorted tuple of ``(name, value)`` pairs so the
+    spec stays hashable and picklable; use :meth:`DeviceSpec.of` to build one
+    from ordinary keyword arguments.
+    """
+
+    factory: str = "double_dot"
+    kwargs: tuple[tuple[str, object], ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.factory not in DEVICE_FACTORIES:
+            raise ConfigurationError(
+                f"unknown device factory {self.factory!r}; "
+                f"known: {sorted(DEVICE_FACTORIES)}"
+            )
+
+    @classmethod
+    def of(cls, factory: str = "double_dot", **kwargs) -> "DeviceSpec":
+        """Build a spec from keyword arguments."""
+        return cls(factory=factory, kwargs=tuple(sorted(kwargs.items())))
+
+    def build(self) -> DotArrayDevice:
+        """Construct the device."""
+        builder = getattr(DotArrayDevice, DEVICE_FACTORIES[self.factory])
+        return builder(**dict(self.kwargs))
+
+    @property
+    def label(self) -> str:
+        """Short human-readable identifier."""
+        parts = [f"{k}={v}" for k, v in self.kwargs]
+        return self.factory if not parts else f"{self.factory}({', '.join(parts)})"
+
+
+def noise_for_scale(scale: float) -> NoiseModel | None:
+    """The campaign noise axis: ``scale`` multiples of the standard lab mix."""
+    if scale < 0:
+        raise ConfigurationError("noise scale must be non-negative")
+    if scale == 0:
+        return None
+    return standard_lab_noise(
+        white_sigma_na=0.012 * scale,
+        pink_sigma_na=0.015 * scale,
+        drift_na=0.02 * scale,
+    )
+
+
+@dataclass(frozen=True)
+class CampaignJob:
+    """One fully specified tuning job within a campaign."""
+
+    job_id: int
+    device: DeviceSpec
+    gate_x: str
+    gate_y: str
+    dot_a: int
+    dot_b: int
+    resolution: int
+    noise_scale: float
+    method: str
+    repeat: int
+    seed: np.random.SeedSequence | None
+
+    @property
+    def label(self) -> str:
+        """Stable identifier used in reports and failure listings."""
+        return (
+            f"#{self.job_id} {self.device.factory}:{self.gate_x}-{self.gate_y}"
+            f" r{self.resolution} n{self.noise_scale:g} {self.method} x{self.repeat}"
+        )
+
+
+@dataclass(frozen=True)
+class CampaignGrid:
+    """Cross product of campaign axes, expandable into concrete jobs.
+
+    Every neighbouring plunger-gate pair of every device is tuned at every
+    ``resolution`` × ``noise_scale`` × ``method`` combination, ``n_repeats``
+    times with independent seeds.
+    """
+
+    devices: tuple[DeviceSpec, ...] = (DeviceSpec(),)
+    resolutions: tuple[int, ...] = (100,)
+    noise_scales: tuple[float, ...] = (0.0,)
+    methods: tuple[str, ...] = ("fast",)
+    n_repeats: int = 1
+    seed: int | None = 0
+
+    def __post_init__(self) -> None:
+        if not self.devices:
+            raise ConfigurationError("a campaign grid needs at least one device")
+        if not self.resolutions or any(r < 16 for r in self.resolutions):
+            raise ConfigurationError("resolutions must all be at least 16")
+        if not self.noise_scales or any(s < 0 for s in self.noise_scales):
+            raise ConfigurationError("noise scales must be non-negative")
+        unknown = set(self.methods) - set(KNOWN_METHODS)
+        if not self.methods or unknown:
+            raise ConfigurationError(
+                f"methods must be a non-empty subset of {KNOWN_METHODS}; "
+                f"got unknown {sorted(unknown)}"
+            )
+        if self.n_repeats < 1:
+            raise ConfigurationError("n_repeats must be at least 1")
+
+    # ------------------------------------------------------------------
+    @cache
+    def _device_pairs(self) -> list[tuple[DeviceSpec, tuple[tuple[int, int, str, str], ...]]]:
+        # Cached (the grid is frozen and hashable) so n_jobs + expand() do
+        # not rebuild every device just to re-enumerate its gate pairs.
+        pairs_per_device = []
+        for spec in self.devices:
+            pairs = spec.build().neighbour_pairs()
+            if not pairs:
+                raise ConfigurationError(
+                    f"device {spec.label!r} has fewer than two dots"
+                )
+            pairs_per_device.append((spec, pairs))
+        return pairs_per_device
+
+    @property
+    def n_jobs(self) -> int:
+        """Number of jobs the grid expands into."""
+        n_pairs = sum(len(pairs) for _, pairs in self._device_pairs())
+        return (
+            n_pairs
+            * len(self.resolutions)
+            * len(self.noise_scales)
+            * len(self.methods)
+            * self.n_repeats
+        )
+
+    def expand(self) -> tuple[CampaignJob, ...]:
+        """Expand the grid into jobs with per-job spawned seeds."""
+        combos = []
+        for spec, pairs in self._device_pairs():
+            for dot_a, dot_b, gate_x, gate_y in pairs:
+                for resolution in self.resolutions:
+                    for noise_scale in self.noise_scales:
+                        for method in self.methods:
+                            for repeat in range(self.n_repeats):
+                                combos.append(
+                                    (
+                                        spec,
+                                        dot_a,
+                                        dot_b,
+                                        gate_x,
+                                        gate_y,
+                                        resolution,
+                                        noise_scale,
+                                        method,
+                                        repeat,
+                                    )
+                                )
+        seeds = spawn_seeds(self.seed, len(combos))
+        return tuple(
+            CampaignJob(
+                job_id=job_id,
+                device=spec,
+                gate_x=gate_x,
+                gate_y=gate_y,
+                dot_a=dot_a,
+                dot_b=dot_b,
+                resolution=resolution,
+                noise_scale=noise_scale,
+                method=method,
+                repeat=repeat,
+                seed=seeds[job_id],
+            )
+            for job_id, (
+                spec,
+                dot_a,
+                dot_b,
+                gate_x,
+                gate_y,
+                resolution,
+                noise_scale,
+                method,
+                repeat,
+            ) in enumerate(combos)
+        )

@@ -1,0 +1,153 @@
+"""Aggregated outcomes of a batch-tuning campaign.
+
+A campaign's product is not one matrix but a *population* of runs, so the
+result object is organised around aggregate questions: what fraction
+succeeded, what did the fleet cost in probes and simulated time, and — for
+the runs that failed — *how* did they fail (the failure taxonomy).  Per-job
+records stay available for drill-down, and the whole object renders through
+the same plain-text table machinery as the paper's reproduced tables
+(:mod:`repro.analysis.reporting`).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..analysis.reporting import format_campaign_summary, format_campaign_table
+
+
+@dataclass(frozen=True)
+class CampaignJobRecord:
+    """Condensed, picklable outcome of one campaign job."""
+
+    job_id: int
+    label: str
+    device: str
+    method: str
+    resolution: int
+    noise_scale: float
+    repeat: int
+    gate_x: str
+    gate_y: str
+    success: bool
+    extractor_success: bool
+    alpha_12: float | None
+    alpha_21: float | None
+    true_alpha_12: float | None
+    true_alpha_21: float | None
+    max_alpha_error: float
+    n_probes: int
+    probe_fraction: float
+    sim_elapsed_s: float
+    wall_elapsed_s: float
+    failure_category: str
+    failure_reason: str
+
+    def as_dict(self) -> dict:
+        """Plain-dict view used by the report tables."""
+        return {
+            "job_id": self.job_id,
+            "device": self.device,
+            "gates": f"{self.gate_x}-{self.gate_y}",
+            "method": self.method,
+            "resolution": self.resolution,
+            "noise_scale": self.noise_scale,
+            "repeat": self.repeat,
+            "success": self.success,
+            "max_alpha_error": self.max_alpha_error,
+            "n_probes": self.n_probes,
+            "probe_fraction": self.probe_fraction,
+            "sim_elapsed_s": self.sim_elapsed_s,
+            "failure_category": self.failure_category,
+        }
+
+
+@dataclass(frozen=True)
+class CampaignResult:
+    """Everything a finished campaign produced, ordered by job id."""
+
+    records: tuple[CampaignJobRecord, ...]
+    n_workers: int
+    wall_time_s: float
+    metadata: dict = field(default_factory=dict)
+
+    # ------------------------------------------------------------------
+    @property
+    def n_jobs(self) -> int:
+        """Total number of jobs that ran."""
+        return len(self.records)
+
+    @property
+    def n_succeeded(self) -> int:
+        """Jobs whose extraction matched the ground truth."""
+        return sum(1 for r in self.records if r.success)
+
+    @property
+    def success_rate(self) -> float:
+        """Fraction of jobs that succeeded (``nan`` for an empty campaign)."""
+        if not self.records:
+            return float("nan")
+        return self.n_succeeded / float(self.n_jobs)
+
+    @property
+    def total_probes(self) -> int:
+        """Physical probes spent across the whole campaign."""
+        return sum(r.n_probes for r in self.records)
+
+    @property
+    def total_sim_elapsed_s(self) -> float:
+        """Simulated experiment time summed over all jobs."""
+        return float(sum(r.sim_elapsed_s for r in self.records))
+
+    def failure_taxonomy(self) -> dict[str, int]:
+        """Failure-category counts over the non-successful jobs."""
+        return dict(
+            Counter(r.failure_category for r in self.records if not r.success)
+        )
+
+    def failed_records(self) -> tuple[CampaignJobRecord, ...]:
+        """The jobs that did not succeed."""
+        return tuple(r for r in self.records if not r.success)
+
+    def records_for(
+        self, method: str | None = None, noise_scale: float | None = None
+    ) -> tuple[CampaignJobRecord, ...]:
+        """Filter records by method and/or noise scale."""
+        out = self.records
+        if method is not None:
+            out = tuple(r for r in out if r.method == method)
+        if noise_scale is not None:
+            out = tuple(r for r in out if r.noise_scale == noise_scale)
+        return out
+
+    def mean_probe_fraction(self) -> float:
+        """Average probe fraction over the successful jobs."""
+        fractions = [r.probe_fraction for r in self.records if r.success]
+        return float(np.mean(fractions)) if fractions else float("nan")
+
+    # ------------------------------------------------------------------
+    def summary(self) -> dict:
+        """Aggregate numbers as a plain dict."""
+        return {
+            "n_jobs": self.n_jobs,
+            "n_succeeded": self.n_succeeded,
+            "success_rate": self.success_rate,
+            "total_probes": self.total_probes,
+            "total_sim_elapsed_s": self.total_sim_elapsed_s,
+            "mean_probe_fraction": self.mean_probe_fraction(),
+            "n_workers": self.n_workers,
+            "wall_time_s": self.wall_time_s,
+            "failure_taxonomy": self.failure_taxonomy(),
+        }
+
+    def job_rows(self) -> list[dict]:
+        """Per-job dict rows in job-id order, for the report tables."""
+        return [r.as_dict() for r in self.records]
+
+    def format_report(self, max_rows: int | None = None) -> str:
+        """Full plain-text report: per-job table plus the aggregate block."""
+        table = format_campaign_table(self.job_rows(), max_rows=max_rows)
+        return table + "\n\n" + format_campaign_summary(self.summary())

@@ -1,0 +1,142 @@
+"""Execution of a single campaign job, isolated and picklable.
+
+:func:`run_campaign_job` is the unit of work a :class:`~repro.campaign.engine.TuningCampaign`
+dispatches: build the device and session from the declarative spec, run the
+requested extraction method, score it against the session's ground truth,
+and condense everything into a flat :class:`~repro.campaign.results.CampaignJobRecord`.
+It is a module-level function of picklable arguments so a
+:class:`~concurrent.futures.ProcessPoolExecutor` can ship it to workers, and
+it never raises: an unexpected exception becomes a failed record with the
+``"crash"`` category, so one broken job cannot take down a 1000-job campaign.
+"""
+
+from __future__ import annotations
+
+import time
+
+from ..analysis.metrics import SuccessCriterion, accuracy_metrics
+from ..baseline.extraction import HoughBaselineExtractor
+from ..core.extraction import FastVirtualGateExtractor
+from ..core.result import ExtractionResult
+from ..instrument.session import SessionFactory
+from .grid import CampaignJob, noise_for_scale
+from .results import CampaignJobRecord
+
+#: Ordered (pattern, category) rules matched against lower-cased failure
+#: reasons.  First hit wins; the patterns mirror the messages raised by the
+#: extraction pipeline and its validators.
+_FAILURE_RULES: tuple[tuple[str, str], ...] = (
+    ("did not converge", "fit-divergence"),
+    ("did not produce a fit", "no-fit"),
+    ("not finite", "non-finite-slopes"),
+    ("must both be negative", "slope-sign"),
+    ("slope magnitude", "slope-bounds"),
+    ("alpha_", "alpha-range"),
+    ("too few", "too-few-points"),
+    ("need at least", "too-few-points"),
+    ("anchor", "anchor-search"),
+    ("transition", "no-transition"),
+    ("budget", "probe-budget"),
+)
+
+
+def classify_failure(reason: str, extractor_success: bool, matched_truth: bool) -> str:
+    """Map a failure reason onto a small stable taxonomy for aggregation."""
+    if extractor_success and matched_truth:
+        return "ok"
+    if extractor_success and not matched_truth:
+        return "truth-mismatch"
+    lowered = reason.lower()
+    for pattern, category in _FAILURE_RULES:
+        if pattern in lowered:
+            return category
+    return "other"
+
+
+def _extractor_for(method: str):
+    if method == "fast":
+        return FastVirtualGateExtractor()
+    if method == "baseline":
+        return HoughBaselineExtractor()
+    raise ValueError(f"unknown extraction method {method!r}")
+
+
+def _base_record_fields(job: CampaignJob) -> dict:
+    """Record fields that come straight from the job spec."""
+    return {
+        "job_id": job.job_id,
+        "label": job.label,
+        "device": job.device.label,
+        "method": job.method,
+        "resolution": job.resolution,
+        "noise_scale": job.noise_scale,
+        "repeat": job.repeat,
+        "gate_x": job.gate_x,
+        "gate_y": job.gate_y,
+    }
+
+
+def run_campaign_job(
+    job: CampaignJob, criterion: SuccessCriterion | None = None
+) -> CampaignJobRecord:
+    """Run one campaign job and return its condensed, picklable record."""
+    criterion = criterion or SuccessCriterion()
+    started = time.perf_counter()
+    try:
+        device = job.device.build()
+        factory = SessionFactory(
+            device=device,
+            resolution=job.resolution,
+            noise=noise_for_scale(job.noise_scale),
+        )
+        session = factory.make(
+            gate_x=job.gate_x,
+            gate_y=job.gate_y,
+            dot_a=job.dot_a,
+            dot_b=job.dot_b,
+            seed=job.seed,
+            label=job.label,
+        )
+        result: ExtractionResult = _extractor_for(job.method).extract(session)
+        geometry = session.geometry
+        matched = criterion.evaluate(result, geometry)
+        max_alpha_error = float("nan")
+        true_alpha_12 = true_alpha_21 = None
+        if geometry is not None:
+            true_alpha_12 = geometry.alpha_12
+            true_alpha_21 = geometry.alpha_21
+            max_alpha_error = accuracy_metrics(result, geometry).max_alpha_error
+        category = classify_failure(result.failure_reason, result.success, matched)
+        return CampaignJobRecord(
+            **_base_record_fields(job),
+            success=matched,
+            extractor_success=result.success,
+            alpha_12=result.alpha_12,
+            alpha_21=result.alpha_21,
+            true_alpha_12=true_alpha_12,
+            true_alpha_21=true_alpha_21,
+            max_alpha_error=max_alpha_error,
+            n_probes=result.probe_stats.n_probes,
+            probe_fraction=result.probe_stats.probe_fraction,
+            sim_elapsed_s=result.probe_stats.elapsed_s,
+            wall_elapsed_s=time.perf_counter() - started,
+            failure_category=category,
+            failure_reason=result.failure_reason if not matched else "",
+        )
+    except Exception as exc:  # a crashed job must not sink the campaign
+        return CampaignJobRecord(
+            **_base_record_fields(job),
+            success=False,
+            extractor_success=False,
+            alpha_12=None,
+            alpha_21=None,
+            true_alpha_12=None,
+            true_alpha_21=None,
+            max_alpha_error=float("inf"),
+            n_probes=0,
+            probe_fraction=0.0,
+            sim_elapsed_s=0.0,
+            wall_elapsed_s=time.perf_counter() - started,
+            failure_category="crash",
+            failure_reason=f"{type(exc).__name__}: {exc}",
+        )

@@ -113,10 +113,13 @@ class FastVirtualGateExtractor:
                 failure_reason=str(exc),
             )
         failure = self._validate(fit, matrix)
+        # A validation failure deliberately keeps the rejected matrix: callers
+        # diagnosing a failed run need to see *what* was extracted alongside
+        # the failure_reason explaining why it was rejected.
         return ExtractionResult(
             success=failure is None,
             method=METHOD_NAME,
-            matrix=matrix if failure is None else matrix,
+            matrix=matrix,
             slopes=slopes,
             probe_stats=self._probe_stats(meter),
             anchors=anchors,

@@ -161,7 +161,7 @@ class TransitionWindowFinder:
         y_range: tuple[float, float] | None = None,
         fixed_voltages: np.ndarray | list | None = None,
         noise: NoiseModel | None = None,
-        seed: int | None = None,
+        seed: int | np.random.SeedSequence | None = None,
         timing: TimingModel | None = None,
         config: WindowSearchConfig | None = None,
     ) -> None:

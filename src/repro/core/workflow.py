@@ -18,11 +18,14 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+import numpy as np
+
 from ..exceptions import ExtractionError
 from ..instrument.session import ExperimentSession
 from ..instrument.timing import TimingModel
 from ..physics.dot_array import DotArrayDevice
 from ..physics.noise import NoiseModel
+from ..seeding import spawn_seeds
 from .config import ExtractionConfig
 from .extraction import FastVirtualGateExtractor
 from .result import ExtractionResult
@@ -77,7 +80,7 @@ class AutoTuningWorkflow:
         window_config: WindowSearchConfig | None = None,
         noise: NoiseModel | None = None,
         timing: TimingModel | None = None,
-        seed: int | None = None,
+        seed: int | np.random.SeedSequence | None = None,
     ) -> None:
         if resolution < 16:
             raise ExtractionError("resolution must be at least 16")
@@ -100,6 +103,10 @@ class AutoTuningWorkflow:
         y_range: tuple[float, float] | None = None,
     ) -> AutoTuneResult:
         """Run both stages against a simulated device."""
+        # Spawned children keep the two stages' noise streams independent of
+        # each other and of neighbouring root seeds (seed + 1 would collide
+        # with the window-search stream of a run rooted at seed + 1).
+        window_seed, extraction_seed = spawn_seeds(self._seed, 2)
         finder = TransitionWindowFinder(
             device,
             gate_x=gate_x,
@@ -107,7 +114,7 @@ class AutoTuningWorkflow:
             x_range=x_range,
             y_range=y_range,
             noise=self._noise,
-            seed=self._seed,
+            seed=window_seed,
             timing=self._timing,
             config=self._window_config,
         )
@@ -121,7 +128,7 @@ class AutoTuningWorkflow:
             dot_a=dot_a,
             dot_b=dot_b,
             noise=self._noise,
-            seed=None if self._seed is None else self._seed + 1,
+            seed=extraction_seed,
             timing=self._timing,
             label=f"{device.name}:autotune",
         )

@@ -13,7 +13,7 @@ from .measurement import (
     ProbeLog,
     ProbeRecord,
 )
-from .session import ExperimentSession, SessionSummary
+from .session import ExperimentSession, SessionFactory, SessionSummary
 from .timing import TimingModel, VirtualClock
 from .voltage_source import ChannelSpec, VoltageSource
 
@@ -25,6 +25,7 @@ __all__ = [
     "ProbeLog",
     "ProbeRecord",
     "ExperimentSession",
+    "SessionFactory",
     "SessionSummary",
     "TimingModel",
     "VirtualClock",

@@ -199,7 +199,7 @@ class DeviceBackend(MeasurementBackend):
         gate_y: int | str = "P2",
         fixed_voltages: np.ndarray | list | None = None,
         noise: NoiseModel | None = None,
-        seed: int | None = None,
+        seed: int | np.random.SeedSequence | None = None,
     ) -> None:
         self._device = device
         self._xs = np.asarray(x_voltages, dtype=float)

@@ -137,7 +137,7 @@ class ExperimentSession:
         dot_a: int = 0,
         dot_b: int = 1,
         noise: NoiseModel | None = None,
-        seed: int | None = None,
+        seed: int | np.random.SeedSequence | None = None,
         timing: TimingModel | None = None,
         realtime: bool = False,
         cache: bool = True,
@@ -174,4 +174,56 @@ class ExperimentSession:
             geometry=simulator.geometry(),
             voltage_source=source,
             label=label or f"{device.name}-session",
+        )
+
+
+@dataclass(frozen=True)
+class SessionFactory:
+    """Reusable recipe for opening device sessions with shared settings.
+
+    The array extractor opens one session per neighbouring gate pair and a
+    tuning campaign opens one per job; both vary only the gate pair, the
+    window, and the seed while the device, resolution, noise model, and
+    timing stay fixed.  A factory captures that fixed part once, so every
+    consumer builds sessions through the same code path (and the same
+    defaults) instead of repeating the :meth:`ExperimentSession.from_device`
+    argument list.
+
+    Frozen and picklable, so a factory can be shipped to worker processes.
+    """
+
+    device: DotArrayDevice
+    resolution: int | tuple[int, int] = 100
+    noise: NoiseModel | None = None
+    timing: TimingModel | None = None
+    cache: bool = True
+    max_probes: int | None = None
+    realtime: bool = False
+
+    def make(
+        self,
+        gate_x: int | str = "P1",
+        gate_y: int | str = "P2",
+        dot_a: int = 0,
+        dot_b: int = 1,
+        window: tuple[tuple[float, float], tuple[float, float]] | None = None,
+        seed: int | np.random.SeedSequence | None = None,
+        label: str | None = None,
+    ) -> ExperimentSession:
+        """Open a session for one gate pair of the captured device."""
+        return ExperimentSession.from_device(
+            self.device,
+            resolution=self.resolution,
+            window=window,
+            gate_x=gate_x,
+            gate_y=gate_y,
+            dot_a=dot_a,
+            dot_b=dot_b,
+            noise=self.noise,
+            seed=seed,
+            timing=self.timing,
+            realtime=self.realtime,
+            cache=self.cache,
+            max_probes=self.max_probes,
+            label=label or f"{self.device.name}:{gate_x}-{gate_y}",
         )

@@ -127,6 +127,19 @@ class DotArrayDevice:
         """Resolve a gate by index or name."""
         return self._capacitance.gate_index(gate)
 
+    def neighbour_pairs(self) -> tuple[tuple[int, int, str, str], ...]:
+        """``(dot_a, dot_b, gate_x, gate_y)`` for every neighbouring pair.
+
+        The pairwise virtual gate procedure (paper §2.3) visits exactly
+        these ``n - 1`` pairs; the array extractor and the campaign grid
+        both enumerate them through this single helper.
+        """
+        plungers = self.gate_names[: self.n_dots]
+        return tuple(
+            (i, i + 1, plungers[i], plungers[i + 1])
+            for i in range(self.n_dots - 1)
+        )
+
     # ------------------------------------------------------------------
     # Physics queries
     # ------------------------------------------------------------------

@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import math
+
 import pytest
 
 from repro.analysis import SuccessCriterion, accuracy_metrics, probe_reduction, speedup
@@ -63,6 +65,33 @@ class TestSuccessCriterion:
         criterion = SuccessCriterion()
         assert not criterion.alpha_matches(float("nan"), 0.4)
 
+    def test_zero_truth_judged_by_absolute_branch(self):
+        criterion = SuccessCriterion(max_alpha_abs_error=0.08, max_alpha_rel_error=0.35)
+        assert criterion.alpha_matches(0.05, 0.0)
+        assert not criterion.alpha_matches(0.2, 0.0)
+
+    def test_near_zero_truth_does_not_explode_relative_branch(self):
+        # Regression: a denormal-scale truth used to hit the relative branch
+        # with a near-zero denominator; the floor routes it to the absolute
+        # branch like an exact zero.
+        criterion = SuccessCriterion(max_alpha_abs_error=0.08, max_alpha_rel_error=0.35)
+        assert criterion.alpha_matches(0.05, 1e-300)
+        assert not criterion.alpha_matches(0.2, 1e-300)
+        assert not criterion.alpha_matches(0.2, 1e-7)
+
+    def test_denominator_floor_boundary(self):
+        # Absolute tolerance tightened so only the relative branch can match.
+        criterion = SuccessCriterion(
+            max_alpha_abs_error=1e-9,
+            max_alpha_rel_error=0.5,
+            rel_error_denominator_floor=1e-6,
+        )
+        # Just above the floor the relative branch applies (40% error ok).
+        assert criterion.alpha_matches(1.4e-6, 1.0e-6)
+        # Just below it the relative branch is disabled, even though the
+        # relative error (~41%) would have been within tolerance.
+        assert not criterion.alpha_matches(1.4e-6, 9.9e-7)
+
 
 class TestAccuracyMetrics:
     def test_perfect_extraction_has_zero_errors(self):
@@ -98,6 +127,16 @@ class TestRatios:
     def test_probe_reduction(self):
         assert probe_reduction(10000, 1000) == pytest.approx(10.0)
         assert probe_reduction(10, 0) == float("inf")
+
+    def test_empty_runs_have_undefined_ratios(self):
+        # Both costs zero means "nothing ran": nan, not an infinite speedup
+        # that would poison campaign aggregate tables.
+        assert math.isnan(speedup(0.0, 0.0))
+        assert math.isnan(probe_reduction(0, 0))
+
+    def test_zero_baseline_with_real_fast_cost(self):
+        assert speedup(0.0, 2.0) == 0.0
+        assert probe_reduction(0, 5) == 0.0
 
 
 class TestEndToEndConsistency:

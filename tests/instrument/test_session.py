@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro.instrument import ExperimentSession, TimingModel
+from repro.instrument import ExperimentSession, SessionFactory, TimingModel
 from repro.physics import DotArrayDevice, WhiteNoise
 
 
@@ -72,3 +72,43 @@ class TestFromDevice:
         assert session.shape == (20, 20)
         assert session.geometry is not None
         assert session.geometry.alpha_12 > 0
+
+
+class TestSessionFactory:
+    def test_makes_sessions_with_shared_settings(self, double_dot_device):
+        factory = SessionFactory(
+            device=double_dot_device, resolution=24, noise=WhiteNoise(0.01)
+        )
+        session = factory.make(seed=3)
+        assert session.shape == (24, 24)
+        assert session.geometry is not None
+        assert session.label == f"{double_dot_device.name}:P1-P2"
+
+    def test_gate_pair_varies_per_session(self):
+        device = DotArrayDevice.quadruple_dot()
+        factory = SessionFactory(device=device, resolution=20)
+        first = factory.make(gate_x="P1", gate_y="P2", dot_a=0, dot_b=1, seed=1)
+        second = factory.make(gate_x="P2", gate_y="P3", dot_a=1, dot_b=2, seed=2)
+        assert first.label.endswith("P1-P2")
+        assert second.label.endswith("P2-P3")
+        truth = device.ground_truth_alphas(1, 2, "P2", "P3")
+        assert second.geometry.alpha_12 == pytest.approx(truth[0])
+
+    def test_accepts_seed_sequence(self, double_dot_device):
+        import numpy as np
+
+        factory = SessionFactory(
+            device=double_dot_device, resolution=24, noise=WhiteNoise(0.05)
+        )
+        seed = np.random.SeedSequence(4)
+        a = factory.make(seed=np.random.SeedSequence(4))
+        b = factory.make(seed=seed)
+        assert a.meter.get_current(3, 3) == b.meter.get_current(3, 3)
+
+    def test_factory_is_picklable(self, double_dot_device):
+        import pickle
+
+        factory = SessionFactory(device=double_dot_device, resolution=24)
+        restored = pickle.loads(pickle.dumps(factory))
+        assert restored.resolution == 24
+        assert restored.make(seed=0).shape == (24, 24)
