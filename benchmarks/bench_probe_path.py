@@ -1,0 +1,166 @@
+"""Benchmark: batched probe path vs the scalar per-pixel loop.
+
+The batch probe path (`ChargeSensorMeter.get_currents` feeding a vectorised
+`DeviceBackend.currents` physics kernel) must be *semantically invisible*:
+bit-identical currents, probe counts, cache hits, clock charges, and log
+contents compared with looping `get_current` pixel by pixel.  Its only
+observable effect is wall-clock speed — the full-grid acquisition that
+dominates the Hough baseline drops from 10,000 Python-level probes to one
+vectorised evaluation, targeting >= 10x on a 100x100 double-dot device grid.
+
+This file is both a pytest benchmark (like its siblings) and a standalone
+script for CI smoke runs::
+
+    PYTHONPATH=src python benchmarks/bench_probe_path.py --smoke
+    PYTHONPATH=src python benchmarks/bench_probe_path.py --resolution 100
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+import numpy as np
+import pytest
+
+from repro.instrument import ChargeSensorMeter, DeviceBackend
+from repro.physics import DotArrayDevice, WhiteNoise
+
+#: Speedup the batched full-grid acquisition must reach at 100x100.
+TARGET_SPEEDUP = 10.0
+
+
+def build_meter(resolution: int, seed: int = 7) -> ChargeSensorMeter:
+    """A meter over a noisy double-dot device backend at the given resolution."""
+    device = DotArrayDevice.double_dot(cross_coupling=(0.25, 0.22))
+    xs = np.linspace(0.0, 0.05, resolution)
+    ys = np.linspace(0.0, 0.05, resolution)
+    backend = DeviceBackend(device, xs, ys, noise=WhiteNoise(0.05), seed=seed)
+    return ChargeSensorMeter(backend)
+
+
+def scalar_acquire_full_grid(meter: ChargeSensorMeter) -> np.ndarray:
+    """The pre-batching acquisition: one Python-level probe per pixel."""
+    rows, cols = meter.shape
+    image = np.zeros((rows, cols), dtype=float)
+    for row in range(rows):
+        for col in range(cols):
+            image[row, col] = meter.get_current(row, col)
+    return image
+
+
+def paths_identical(batch_meter, scalar_meter, batch_image, scalar_image) -> list[str]:
+    """All ways the two paths could diverge; empty means bit-identical."""
+    problems: list[str] = []
+    if not np.array_equal(batch_image, scalar_image):
+        problems.append("acquired images differ")
+    if batch_meter.n_probes != scalar_meter.n_probes:
+        problems.append(
+            f"n_probes differ: {batch_meter.n_probes} vs {scalar_meter.n_probes}"
+        )
+    if batch_meter.n_requests != scalar_meter.n_requests:
+        problems.append(
+            f"n_requests differ: {batch_meter.n_requests} vs {scalar_meter.n_requests}"
+        )
+    if batch_meter.elapsed_s != scalar_meter.elapsed_s:
+        problems.append(
+            f"simulated time differs: {batch_meter.elapsed_s} vs {scalar_meter.elapsed_s}"
+        )
+    batch_log = batch_meter.log.as_arrays()
+    scalar_log = scalar_meter.log.as_arrays()
+    for column in batch_log:
+        if not np.array_equal(batch_log[column], scalar_log[column]):
+            problems.append(f"log column {column!r} differs")
+    return problems
+
+
+def compare_paths(resolution: int) -> tuple[float, float, list[str]]:
+    """Time both acquisition paths; returns (scalar_s, batch_s, problems)."""
+    scalar_meter = build_meter(resolution)
+    start = time.perf_counter()
+    scalar_image = scalar_acquire_full_grid(scalar_meter)
+    scalar_s = time.perf_counter() - start
+
+    batch_meter = build_meter(resolution)
+    start = time.perf_counter()
+    batch_image = batch_meter.acquire_full_grid()
+    batch_s = time.perf_counter() - start
+
+    problems = paths_identical(batch_meter, scalar_meter, batch_image, scalar_image)
+    return scalar_s, batch_s, problems
+
+
+@pytest.mark.benchmark(group="probe-path")
+def test_batched_full_grid_speedup(benchmark, write_report):
+    """Batched acquisition is bit-identical to, and >= 10x faster than, the loop."""
+    resolution = 100
+    scalar_meter = build_meter(resolution)
+    start = time.perf_counter()
+    scalar_image = scalar_acquire_full_grid(scalar_meter)
+    scalar_s = time.perf_counter() - start
+
+    batch_meter = build_meter(resolution)
+
+    def run_batch():
+        batch_meter.reset()
+        return batch_meter.acquire_full_grid()
+
+    benchmark(run_batch)
+    # Explicit timing (not benchmark.stats) so the test also runs under
+    # --benchmark-disable; the acquisition is deterministic across resets.
+    start = time.perf_counter()
+    batch_image = run_batch()
+    batch_s = time.perf_counter() - start
+
+    problems = paths_identical(batch_meter, scalar_meter, batch_image, scalar_image)
+    speedup = scalar_s / max(batch_s, 1e-12)
+    write_report(
+        "probe_path.txt",
+        "\n".join(
+            [
+                f"grid: {resolution}x{resolution} double-dot DeviceBackend",
+                f"scalar loop: {scalar_s:.3f}s",
+                f"batched:     {batch_s:.3f}s",
+                f"speedup:     {speedup:.1f}x",
+                f"bit-identical: {not problems}",
+            ]
+        ),
+    )
+    assert not problems, problems
+    assert speedup >= TARGET_SPEEDUP
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="small grid for CI: checks equivalence, skips the 10x assertion",
+    )
+    parser.add_argument(
+        "--resolution", type=int, default=100,
+        help="grid resolution per axis (default 100, the paper's baseline)",
+    )
+    args = parser.parse_args(argv)
+
+    resolution = 40 if args.smoke else args.resolution
+    print(f"probe path: {resolution}x{resolution} double-dot DeviceBackend grid")
+    scalar_s, batch_s, problems = compare_paths(resolution)
+    speedup = scalar_s / max(batch_s, 1e-12)
+    print(f"scalar loop: {scalar_s:.3f}s")
+    print(f"batched:     {batch_s:.3f}s  ({speedup:.1f}x)")
+
+    if problems:
+        for problem in problems:
+            print(f"ERROR: {problem}")
+        return 1
+    print("equivalence check: batched and scalar paths are bit-identical")
+
+    if not args.smoke and speedup < TARGET_SPEEDUP:
+        print(f"ERROR: speedup {speedup:.1f}x below the {TARGET_SPEEDUP:.0f}x target")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

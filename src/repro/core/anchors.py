@@ -48,7 +48,8 @@ class AnchorFinder:
         row_indices = np.linspace(0, rows - 1, n).round().astype(int)
         col_indices = np.linspace(0, cols - 1, n).round().astype(int)
         pixels = [(int(r), int(c)) for r, c in zip(row_indices, col_indices)]
-        currents = [self._meter.get_current(r, c) for r, c in pixels]
+        # All diagonal points go through one batched probe.
+        currents = self._meter.get_currents(row_indices, col_indices)
         brightest = pixels[int(np.argmax(currents))]
         return pixels, brightest
 

@@ -73,8 +73,10 @@ class TransitionLineSweeper:
             segment_lengths.append(len(segment))
             if not segment:
                 continue
-            gradients = [self._gradient.value(row, col) for col in segment]
-            best_col = segment[int(np.argmax(gradients))]
+            columns = np.asarray(segment, dtype=int)
+            # One batched gradient evaluation serves the whole segment.
+            gradients = self._gradient.values(np.full(columns.size, row), columns)
+            best_col = int(columns[int(np.argmax(gradients))])
             transition_points.append((row, best_col))
             region = region.with_steep_anchor(PixelPoint(row=row, col=best_col))
         return SweepTrace(
@@ -99,8 +101,10 @@ class TransitionLineSweeper:
             segment_lengths.append(len(segment))
             if not segment:
                 continue
-            gradients = [self._gradient.value(row, col) for row in segment]
-            best_row = segment[int(np.argmax(gradients))]
+            rows = np.asarray(segment, dtype=int)
+            # One batched gradient evaluation serves the whole segment.
+            gradients = self._gradient.values(rows, np.full(rows.size, col))
+            best_row = int(rows[int(np.argmax(gradients))])
             transition_points.append((best_row, col))
             region = region.with_shallow_anchor(PixelPoint(row=best_row, col=col))
         return SweepTrace(

@@ -20,19 +20,30 @@ Two backends supply the current value:
 log (used to reproduce Figure 7), optional per-pixel caching (re-requesting an
 already measured pixel costs nothing, mirroring how an automation script keeps
 values it has already paid for), and an optional probe budget.
+
+Every entry point exists in a scalar and a batched form: ``current`` /
+``currents`` on the backends and ``get_current`` / ``get_currents`` on the
+meter.  The batched form serves whole pixel-index arrays through one
+vectorised physics evaluation while preserving the scalar semantics
+bit-for-bit — same values, same probe counts, same cache and budget
+behaviour, same log contents — so algorithms can batch their hot loops
+without changing the paper's accounting.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 
 from ..exceptions import MeasurementError, ProbeBudgetExceededError
-from ..physics.csd import ChargeStabilityDiagram
+from ..physics.csd import ChargeStabilityDiagram, nearest_axis_index, uniform_axis_step
 from ..physics.dot_array import DotArrayDevice
 from ..physics.noise import NoiseModel, NoNoise
 from .timing import TimingModel, VirtualClock
+
+#: Initial column capacity of a probe log.
+_LOG_INITIAL_CAPACITY = 64
 
 
 @dataclass(frozen=True)
@@ -48,71 +59,199 @@ class ProbeRecord:
     cached: bool = False
 
 
-@dataclass
 class ProbeLog:
-    """Ordered log of every measurement request."""
+    """Ordered log of every measurement request.
 
-    records: list[ProbeRecord] = field(default_factory=list)
+    Stored as growable columnar numpy arrays (amortised O(1) appends, O(n)
+    bulk extends) rather than one Python object per request, so logging does
+    not dominate batched acquisitions.  The record-oriented surface —
+    :attr:`records`, iteration, indexing, ``append`` of a
+    :class:`ProbeRecord` — is preserved on top of the columns.
+    """
+
+    _COLUMN_NAMES = (
+        "_rows",
+        "_cols",
+        "_voltage_x",
+        "_voltage_y",
+        "_currents",
+        "_times",
+        "_cached",
+    )
+
+    def __init__(self, records: list[ProbeRecord] | None = None) -> None:
+        self._n = 0
+        self._rows = np.empty(_LOG_INITIAL_CAPACITY, dtype=np.int64)
+        self._cols = np.empty(_LOG_INITIAL_CAPACITY, dtype=np.int64)
+        self._voltage_x = np.empty(_LOG_INITIAL_CAPACITY, dtype=float)
+        self._voltage_y = np.empty(_LOG_INITIAL_CAPACITY, dtype=float)
+        self._currents = np.empty(_LOG_INITIAL_CAPACITY, dtype=float)
+        self._times = np.empty(_LOG_INITIAL_CAPACITY, dtype=float)
+        self._cached = np.empty(_LOG_INITIAL_CAPACITY, dtype=bool)
+        if records:
+            for record in records:
+                self.append(record)
+
+    # ------------------------------------------------------------------
+    # Appends
+    # ------------------------------------------------------------------
+    def _reserve(self, extra: int) -> None:
+        need = self._n + extra
+        capacity = self._rows.size
+        if need <= capacity:
+            return
+        new_capacity = max(need, 2 * capacity)
+        for name in self._COLUMN_NAMES:
+            old = getattr(self, name)
+            grown = np.empty(new_capacity, dtype=old.dtype)
+            grown[: self._n] = old[: self._n]
+            setattr(self, name, grown)
 
     def append(self, record: ProbeRecord) -> None:
         """Append a record."""
-        self.records.append(record)
+        self.append_probe(
+            record.row,
+            record.col,
+            record.voltage_x,
+            record.voltage_y,
+            record.current_na,
+            record.time_s,
+            record.cached,
+        )
 
+    def append_probe(
+        self,
+        row: int,
+        col: int,
+        voltage_x: float,
+        voltage_y: float,
+        current_na: float,
+        time_s: float,
+        cached: bool,
+    ) -> None:
+        """Append one request without building a :class:`ProbeRecord`."""
+        self._reserve(1)
+        i = self._n
+        self._rows[i] = row
+        self._cols[i] = col
+        self._voltage_x[i] = voltage_x
+        self._voltage_y[i] = voltage_y
+        self._currents[i] = current_na
+        self._times[i] = time_s
+        self._cached[i] = cached
+        self._n = i + 1
+
+    def extend(
+        self,
+        rows: np.ndarray,
+        cols: np.ndarray,
+        voltage_x: np.ndarray,
+        voltage_y: np.ndarray,
+        currents_na: np.ndarray,
+        times_s: np.ndarray,
+        cached: np.ndarray,
+    ) -> None:
+        """Append a whole batch of requests in one columnar copy."""
+        n = len(rows)
+        self._reserve(n)
+        grown = slice(self._n, self._n + n)
+        self._rows[grown] = rows
+        self._cols[grown] = cols
+        self._voltage_x[grown] = voltage_x
+        self._voltage_y[grown] = voltage_y
+        self._currents[grown] = currents_na
+        self._times[grown] = times_s
+        self._cached[grown] = cached
+        self._n += n
+
+    # ------------------------------------------------------------------
+    # Record-oriented views
+    # ------------------------------------------------------------------
     def __len__(self) -> int:
-        return len(self.records)
+        return self._n
 
+    def __getitem__(self, index: int) -> ProbeRecord:
+        i = int(index)
+        if i < 0:
+            i += self._n
+        if not 0 <= i < self._n:
+            raise IndexError(f"log index {index} out of range for {self._n} records")
+        return ProbeRecord(
+            row=int(self._rows[i]),
+            col=int(self._cols[i]),
+            voltage_x=float(self._voltage_x[i]),
+            voltage_y=float(self._voltage_y[i]),
+            current_na=float(self._currents[i]),
+            time_s=float(self._times[i]),
+            cached=bool(self._cached[i]),
+        )
+
+    def __iter__(self):
+        for i in range(self._n):
+            yield self[i]
+
+    @property
+    def records(self) -> tuple[ProbeRecord, ...]:
+        """Materialised record view of the columns (compatibility API).
+
+        A fresh tuple per access — O(n), and deliberately immutable so that
+        code appending to it fails loudly instead of mutating a throwaway
+        copy; append through :meth:`append` / :meth:`extend` instead.
+        """
+        return tuple(self[i] for i in range(self._n))
+
+    # ------------------------------------------------------------------
+    # Statistics
+    # ------------------------------------------------------------------
     @property
     def n_requests(self) -> int:
         """Total number of requests, including cache hits."""
-        return len(self.records)
+        return self._n
 
     @property
     def n_unique_pixels(self) -> int:
         """Number of distinct pixels that were physically measured."""
-        return len({(r.row, r.col) for r in self.records if not r.cached})
+        measured = ~self._cached[: self._n]
+        if not np.any(measured):
+            return 0
+        pairs = np.column_stack(
+            [self._rows[: self._n][measured], self._cols[: self._n][measured]]
+        )
+        return int(np.unique(pairs, axis=0).shape[0])
 
     def unique_pixels(self) -> list[tuple[int, int]]:
         """Distinct physically measured pixels in first-probe order."""
-        seen: set[tuple[int, int]] = set()
-        ordered: list[tuple[int, int]] = []
-        for record in self.records:
-            if record.cached:
-                continue
-            key = (record.row, record.col)
-            if key not in seen:
-                seen.add(key)
-                ordered.append(key)
-        return ordered
+        measured = ~self._cached[: self._n]
+        if not np.any(measured):
+            return []
+        pairs = np.column_stack(
+            [self._rows[: self._n][measured], self._cols[: self._n][measured]]
+        )
+        _, first_seen = np.unique(pairs, axis=0, return_index=True)
+        ordered = pairs[np.sort(first_seen)]
+        return [(int(row), int(col)) for row, col in ordered]
 
     def as_arrays(self) -> dict[str, np.ndarray]:
-        """Columns of the log as numpy arrays (for export / plotting)."""
-        if not self.records:
-            empty = np.zeros(0)
-            return {
-                "row": empty.astype(int),
-                "col": empty.astype(int),
-                "voltage_x": empty,
-                "voltage_y": empty,
-                "current_na": empty,
-                "time_s": empty,
-                "cached": empty.astype(bool),
-            }
+        """Columns of the log as independent numpy arrays (export/plotting)."""
+        n = self._n
         return {
-            "row": np.array([r.row for r in self.records], dtype=int),
-            "col": np.array([r.col for r in self.records], dtype=int),
-            "voltage_x": np.array([r.voltage_x for r in self.records]),
-            "voltage_y": np.array([r.voltage_y for r in self.records]),
-            "current_na": np.array([r.current_na for r in self.records]),
-            "time_s": np.array([r.time_s for r in self.records]),
-            "cached": np.array([r.cached for r in self.records], dtype=bool),
+            "row": self._rows[:n].astype(int),
+            "col": self._cols[:n].astype(int),
+            "voltage_x": self._voltage_x[:n].copy(),
+            "voltage_y": self._voltage_y[:n].copy(),
+            "current_na": self._currents[:n].copy(),
+            "time_s": self._times[:n].copy(),
+            "cached": self._cached[:n].copy(),
         }
 
     def probe_mask(self, shape: tuple[int, int]) -> np.ndarray:
         """Boolean image of which pixels were physically measured."""
         mask = np.zeros(shape, dtype=bool)
-        for row, col in self.unique_pixels():
-            if 0 <= row < shape[0] and 0 <= col < shape[1]:
-                mask[row, col] = True
+        measured = ~self._cached[: self._n]
+        rows = self._rows[: self._n][measured]
+        cols = self._cols[: self._n][measured]
+        in_bounds = (rows >= 0) & (rows < shape[0]) & (cols >= 0) & (cols < shape[1])
+        mask[rows[in_bounds], cols[in_bounds]] = True
         return mask
 
 
@@ -133,6 +272,19 @@ class MeasurementBackend:
         """Sensor current (nA) of the pixel at ``(row, col)``."""
         raise NotImplementedError
 
+    def currents(self, rows: np.ndarray, cols: np.ndarray) -> np.ndarray:
+        """Sensor currents (nA) for arrays of pixel indices.
+
+        The base implementation loops over :meth:`current`; both built-in
+        backends override it with a fully vectorised evaluation that returns
+        bit-identical values.
+        """
+        rows, cols = self.validate_pixels(rows, cols)
+        return np.array(
+            [self.current(int(row), int(col)) for row, col in zip(rows, cols)],
+            dtype=float,
+        )
+
     # Convenience shared by both backends -------------------------------
     @property
     def shape(self) -> tuple[int, int]:
@@ -148,10 +300,25 @@ class MeasurementBackend:
         """Voltages ``(vx, vy)`` of a pixel."""
         return float(self.x_voltages[col]), float(self.y_voltages[row])
 
+    def _axis_steps(self) -> tuple[float | None, float | None]:
+        steps = getattr(self, "_axis_steps_cache", None)
+        if steps is None:
+            steps = (
+                uniform_axis_step(self.x_voltages),
+                uniform_axis_step(self.y_voltages),
+            )
+            self._axis_steps_cache = steps
+        return steps
+
     def pixel_at(self, vx: float, vy: float) -> tuple[int, int]:
-        """Nearest pixel ``(row, col)`` to a voltage point."""
-        col = int(np.argmin(np.abs(self.x_voltages - vx)))
-        row = int(np.argmin(np.abs(self.y_voltages - vy)))
+        """Nearest pixel ``(row, col)`` to a voltage point.
+
+        O(1) round-and-clip arithmetic on uniformly spaced axes (the common
+        case); falls back to an ``argmin`` scan on irregular axes.
+        """
+        x_step, y_step = self._axis_steps()
+        col = nearest_axis_index(self.x_voltages, vx, x_step)
+        row = nearest_axis_index(self.y_voltages, vy, y_step)
         return row, col
 
     def validate_pixel(self, row: int, col: int) -> None:
@@ -161,6 +328,39 @@ class MeasurementBackend:
             raise MeasurementError(
                 f"pixel ({row}, {col}) outside the {rows}x{cols} measurement grid"
             )
+
+    def validate_pixels(
+        self, rows: np.ndarray | list, cols: np.ndarray | list
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Validate whole pixel-index arrays; returns them as 1-D ``int64``.
+
+        Raises :class:`MeasurementError` naming the first off-grid pixel.
+        """
+        rows = np.atleast_1d(np.asarray(rows))
+        cols = np.atleast_1d(np.asarray(cols))
+        if rows.shape != cols.shape:
+            raise MeasurementError(
+                f"rows and cols must have matching shapes, got {rows.shape} "
+                f"and {cols.shape}"
+            )
+        rows = rows.ravel()
+        cols = cols.ravel()
+        if rows.size and not (
+            np.issubdtype(rows.dtype, np.integer)
+            and np.issubdtype(cols.dtype, np.integer)
+        ):
+            raise MeasurementError("pixel indices must be integers")
+        rows = rows.astype(np.int64, copy=False)
+        cols = cols.astype(np.int64, copy=False)
+        n_rows, n_cols = self.shape
+        off_grid = (rows < 0) | (rows >= n_rows) | (cols < 0) | (cols >= n_cols)
+        if np.any(off_grid):
+            i = int(np.argmax(off_grid))
+            raise MeasurementError(
+                f"pixel ({int(rows[i])}, {int(cols[i])}) outside the "
+                f"{n_rows}x{n_cols} measurement grid"
+            )
+        return rows, cols
 
 
 class DatasetBackend(MeasurementBackend):
@@ -185,6 +385,11 @@ class DatasetBackend(MeasurementBackend):
     def current(self, row: int, col: int) -> float:
         self.validate_pixel(row, col)
         return float(self._csd.data[row, col])
+
+    def currents(self, rows: np.ndarray, cols: np.ndarray) -> np.ndarray:
+        """Batched replay: one fancy-index into the stored pixel grid."""
+        rows, cols = self.validate_pixels(rows, cols)
+        return self._csd.data[rows, cols].astype(float)
 
 
 class DeviceBackend(MeasurementBackend):
@@ -222,7 +427,6 @@ class DeviceBackend(MeasurementBackend):
         self._noise = noise or NoNoise()
         self._seed = seed
         self._noise_field: np.ndarray | None = None
-        self._cache: dict[tuple[int, int], float] = {}
 
     @property
     def device(self) -> DotArrayDevice:
@@ -247,21 +451,31 @@ class DeviceBackend(MeasurementBackend):
     def y_voltages(self) -> np.ndarray:
         return self._ys
 
-    def _noise_at(self, row: int, col: int) -> float:
+    def _noise_grid(self) -> np.ndarray:
         if self._noise_field is None:
             rng = np.random.default_rng(self._seed)
             self._noise_field = self._noise.sample_grid(self.shape, rng)
-        return float(self._noise_field[row, col])
+        return self._noise_field
 
     def current(self, row: int, col: int) -> float:
         self.validate_pixel(row, col)
-        key = (row, col)
-        if key not in self._cache:
-            vg = self._fixed.copy()
-            vg[self._gate_x] = self._xs[col]
-            vg[self._gate_y] = self._ys[row]
-            self._cache[key] = self._device.sensor_current(vg) + self._noise_at(row, col)
-        return self._cache[key]
+        return float(self.currents(np.array([row]), np.array([col]))[0])
+
+    def currents(self, rows: np.ndarray, cols: np.ndarray) -> np.ndarray:
+        """Batched physics evaluation of an arbitrary set of pixels.
+
+        Builds the gate-voltage points, solves all ground states through the
+        solver's vectorised lattice kernel, converts them to sensor currents
+        in one evaluation, and adds the pixel's share of the seeded noise
+        field — the same field the scalar path samples, so batched and
+        scalar probes agree bit-for-bit.
+        """
+        rows, cols = self.validate_pixels(rows, cols)
+        points = np.tile(self._fixed, (rows.size, 1))
+        points[:, self._gate_x] = self._xs[cols]
+        points[:, self._gate_y] = self._ys[rows]
+        values = self._device.sensor_currents(points)
+        return values + self._noise_grid()[rows, cols]
 
 
 class ChargeSensorMeter:
@@ -278,7 +492,8 @@ class ChargeSensorMeter:
         When true (default), re-requesting an already measured pixel returns
         the stored value without charging dwell time — this is how an
         automation script would behave, and it is what makes the probe counts
-        comparable to the paper's "number of data points probed".
+        comparable to the paper's "number of data points probed".  The meter
+        owns this cache; backends stay stateless value sources.
     max_probes:
         Optional hard budget on physical probes; exceeding it raises
         :class:`ProbeBudgetExceededError`.
@@ -296,7 +511,9 @@ class ChargeSensorMeter:
         self._cache_enabled = bool(cache)
         self._max_probes = max_probes
         self._log = ProbeLog()
-        self._values: dict[tuple[int, int], float] = {}
+        self._measured = np.zeros(backend.shape, dtype=bool)
+        self._value_grid = np.zeros(backend.shape, dtype=float)
+        self._n_probes = 0
 
     # ------------------------------------------------------------------
     @property
@@ -332,7 +549,7 @@ class ChargeSensorMeter:
     @property
     def n_probes(self) -> int:
         """Number of physically measured (non-cached) pixels."""
-        return len(self._values)
+        return self._n_probes
 
     @property
     def n_requests(self) -> int:
@@ -353,41 +570,117 @@ class ChargeSensorMeter:
     def get_current(self, row: int, col: int) -> float:
         """Measure the pixel at ``(row, col)`` — the paper's Algorithm 1."""
         self._backend.validate_pixel(row, col)
-        key = (row, col)
         vx, vy = self._backend.voltage_at(row, col)
-        if self._cache_enabled and key in self._values:
-            value = self._values[key]
-            self._log.append(
-                ProbeRecord(
-                    row=row,
-                    col=col,
-                    voltage_x=vx,
-                    voltage_y=vy,
-                    current_na=value,
-                    time_s=self._clock.elapsed_s,
-                    cached=True,
-                )
+        if self._cache_enabled and self._measured[row, col]:
+            value = float(self._value_grid[row, col])
+            self._log.append_probe(
+                row, col, vx, vy, value, self._clock.elapsed_s, True
             )
             return value
-        if self._max_probes is not None and len(self._values) >= self._max_probes:
+        if self._max_probes is not None and self._n_probes >= self._max_probes:
             raise ProbeBudgetExceededError(
                 f"probe budget of {self._max_probes} points exhausted"
             )
         self._clock.charge_probe()
         value = self._backend.current(row, col)
-        self._values[key] = value
-        self._log.append(
-            ProbeRecord(
-                row=row,
-                col=col,
-                voltage_x=vx,
-                voltage_y=vy,
-                current_na=value,
-                time_s=self._clock.elapsed_s,
-                cached=False,
-            )
-        )
+        if not self._measured[row, col]:
+            self._n_probes += 1
+        self._measured[row, col] = True
+        self._value_grid[row, col] = value
+        self._log.append_probe(row, col, vx, vy, value, self._clock.elapsed_s, False)
         return value
+
+    def get_currents(self, rows: np.ndarray | list, cols: np.ndarray | list) -> np.ndarray:
+        """Measure a whole batch of pixels — the vectorised Algorithm 1.
+
+        Equivalent, request by request, to calling :meth:`get_current` in a
+        loop — identical values, cache hits, probe counts, clock charges, and
+        log entries — but the cache split, the physics evaluation, the clock,
+        and the log append are all array operations, so large acquisitions
+        cost one vectorised pass instead of per-pixel Python overhead.
+
+        Duplicate pixels within a batch behave exactly like repeated scalar
+        requests: the first occurrence is a physical probe and later ones are
+        cache hits (when caching is enabled).  When the probe budget runs out
+        mid-batch, every request before the violating one is committed (as a
+        sequential loop would have) and :class:`ProbeBudgetExceededError` is
+        raised.  Unlike the sequential loop, all pixels are validated
+        up front before anything is measured.
+
+        Parameters
+        ----------
+        rows, cols:
+            Integer pixel indices of matching shape.
+
+        Returns
+        -------
+        numpy.ndarray
+            Measured currents (nA), one per request, in request order.
+        """
+        rows, cols = self._backend.validate_pixels(rows, cols)
+        n = rows.size
+        if n == 0:
+            return np.zeros(0)
+        # Split requests into physical probes and cache hits.  "Fresh" pixels
+        # have never been measured; only the first in-batch occurrence of a
+        # fresh pixel is physical when the cache is enabled.
+        fresh = ~self._measured[rows, cols]
+        new_unique = np.zeros(n, dtype=bool)
+        fresh_indices = np.flatnonzero(fresh)
+        if fresh_indices.size:
+            keys = rows[fresh_indices] * self._backend.shape[1] + cols[fresh_indices]
+            _, first_seen = np.unique(keys, return_index=True)
+            new_unique[fresh_indices[first_seen]] = True
+        physical = new_unique if self._cache_enabled else np.ones(n, dtype=bool)
+        # Budget enforcement with sequential semantics: the number of unique
+        # measured pixels before request i is n_probes + (new uniques in
+        # [0, i)); the first physical request that would exceed the budget
+        # stops the batch there, after committing everything before it.
+        stop = n
+        if self._max_probes is not None:
+            unique_before = np.cumsum(new_unique) - new_unique
+            violating = (self._n_probes + unique_before >= self._max_probes) & physical
+            hits = np.flatnonzero(violating)
+            if hits.size:
+                stop = int(hits[0])
+        committed_rows = rows[:stop]
+        committed_cols = cols[:stop]
+        committed_physical = physical[:stop]
+        values = np.empty(stop, dtype=float)
+        probe_rows = committed_rows[committed_physical]
+        probe_cols = committed_cols[committed_physical]
+        if probe_rows.size:
+            measured_values = self._backend.currents(probe_rows, probe_cols)
+            values[committed_physical] = measured_values
+            self._value_grid[probe_rows, probe_cols] = measured_values
+            self._measured[probe_rows, probe_cols] = True
+        from_cache = ~committed_physical
+        if np.any(from_cache):
+            values[from_cache] = self._value_grid[
+                committed_rows[from_cache], committed_cols[from_cache]
+            ]
+        self._n_probes += int(np.count_nonzero(new_unique[:stop]))
+        # Each physical probe charges the clock; a request's timestamp is the
+        # elapsed time after the last physical probe at or before it.
+        base_elapsed = self._clock.elapsed_s
+        probe_times = self._clock.charge_probes(int(np.count_nonzero(committed_physical)))
+        times = np.concatenate(([base_elapsed], probe_times))[
+            np.cumsum(committed_physical)
+        ]
+        self._log.extend(
+            committed_rows,
+            committed_cols,
+            self._backend.x_voltages[committed_cols].astype(float),
+            self._backend.y_voltages[committed_rows].astype(float),
+            values,
+            times,
+            from_cache,
+        )
+        if stop < n:
+            raise ProbeBudgetExceededError(
+                f"probe budget of {self._max_probes} points exhausted"
+            )
+        return values
 
     def get_current_at_voltage(self, vx: float, vy: float) -> float:
         """Measure the pixel nearest to a voltage point."""
@@ -395,24 +688,26 @@ class ChargeSensorMeter:
         return self.get_current(row, col)
 
     def acquire_full_grid(self) -> np.ndarray:
-        """Measure every pixel (what the Hough baseline does) and return the image."""
+        """Measure every pixel (what the Hough baseline does) and return the image.
+
+        Served through :meth:`get_currents` in row-major request order, so a
+        full 100x100 acquisition is one batched physics evaluation instead of
+        10,000 scalar probes.
+        """
         rows, cols = self._backend.shape
-        image = np.zeros((rows, cols), dtype=float)
-        for row in range(rows):
-            for col in range(cols):
-                image[row, col] = self.get_current(row, col)
-        return image
+        row_indices = np.repeat(np.arange(rows), cols)
+        col_indices = np.tile(np.arange(cols), rows)
+        return self.get_currents(row_indices, col_indices).reshape(rows, cols)
 
     def measured_image(self, fill_value: float = np.nan) -> np.ndarray:
         """Image of measured pixel values with unmeasured pixels set to ``fill_value``."""
-        rows, cols = self._backend.shape
-        image = np.full((rows, cols), fill_value, dtype=float)
-        for (row, col), value in self._values.items():
-            image[row, col] = value
+        image = np.full(self._backend.shape, fill_value, dtype=float)
+        image[self._measured] = self._value_grid[self._measured]
         return image
 
     def reset(self) -> None:
         """Clear the probe log, cache, and clock."""
         self._log = ProbeLog()
-        self._values = {}
+        self._measured.fill(False)
+        self._n_probes = 0
         self._clock.reset()

@@ -16,6 +16,8 @@ from __future__ import annotations
 import time
 from dataclasses import dataclass
 
+import numpy as np
+
 from ..exceptions import ConfigurationError
 
 
@@ -93,6 +95,30 @@ class VirtualClock:
     def charge_probe(self) -> None:
         """Charge the cost of one probed voltage point."""
         self.advance(self._timing.cost_per_probe_s)
+
+    def charge_probes(self, n: int) -> np.ndarray:
+        """Charge ``n`` probes at once; return the elapsed time after each.
+
+        Bit-identical to ``n`` successive :meth:`charge_probe` calls: the
+        accumulation runs through the same sequential float additions
+        (``numpy.cumsum``), so batched and scalar measurement paths agree on
+        every recorded timestamp.  In realtime mode the whole batch sleeps
+        once for the total duration.
+        """
+        if n < 0:
+            raise ConfigurationError("cannot charge a negative number of probes")
+        if n == 0:
+            return np.zeros(0)
+        cost = self._timing.cost_per_probe_s
+        times = np.cumsum(
+            np.concatenate(([self._elapsed_s], np.full(int(n), cost)))
+        )[1:]
+        if self._realtime:
+            total = float(times[-1]) - self._elapsed_s
+            if total > 0:
+                time.sleep(total)
+        self._elapsed_s = float(times[-1])
+        return times
 
     def reset(self) -> None:
         """Reset the accumulated simulated time to zero."""

@@ -62,12 +62,24 @@ class ChargeStateSolver:
         small bound (default 3) is both sufficient and fast.
     """
 
+    #: Points per chunk when scoring large batches, bounding the size of the
+    #: ``(points, lattice)`` score matrix held in memory at once.
+    _CHUNK = 32768
+
     def __init__(self, model: CapacitanceModel, max_electrons_per_dot: int = 3) -> None:
         if max_electrons_per_dot < 1:
             raise ChargeStateError("max_electrons_per_dot must be at least 1")
         self._model = model
         self._max_n = int(max_electrons_per_dot)
         self._lattice = self._build_lattice()
+        self._lattice_int = self._lattice.astype(int)
+        self._inverse_dot_dot = model.inverse_dot_dot
+        # lattice @ Cdd^-1 and the occupation self-energy term, precomputed
+        # once so every ground-state query reduces to one matmul + argmin.
+        self._lattice_proj = self._lattice @ self._inverse_dot_dot
+        self._self_term = 0.5 * np.einsum(
+            "ki,ki->k", self._lattice_proj, self._lattice
+        )
 
     @property
     def model(self) -> CapacitanceModel:
@@ -85,23 +97,113 @@ class ChargeStateSolver:
         return np.array(combos, dtype=float)
 
     # ------------------------------------------------------------------
+    # The shared scoring kernel
+    # ------------------------------------------------------------------
+    # Every ground-state query — scalar, batched, or whole-grid — runs through
+    # the same three steps so results cannot diverge between code paths:
+    #   1. project gate voltages to induced charges  q(Vg) = Cdg Vg / e,
+    #   2. score every lattice occupation            s_k = E_self(k) - n_k.Cdd^-1.q,
+    #   3. argmin over the lattice.
+    # The per-point term 0.5 q.Cdd^-1.q is occupation-independent and dropped
+    # from the scores; it is restored when an absolute energy is requested.
+
+    def _induced_charges(self, points: np.ndarray) -> np.ndarray:
+        """Induced dot charges (units of ``e``) for ``(n, n_gates)`` voltages.
+
+        Evaluated with ``einsum`` rather than BLAS ``@``: einsum's summation
+        per output element does not depend on the batch size, which keeps
+        one-point and many-point evaluations bit-identical.
+        """
+        return np.einsum("ng,dg->nd", points, self._model.dot_gate) / _e_af_v()
+
+    def _lattice_scores(self, induced: np.ndarray) -> np.ndarray:
+        """Occupation ranking scores, shape ``(n_points, n_lattice)``."""
+        return self._self_term[None, :] - np.einsum(
+            "nd,kd->nk", induced, self._lattice_proj
+        )
+
+    def _state_energies(self, best: np.ndarray, induced: np.ndarray) -> np.ndarray:
+        """Absolute electrostatic energy (meV) of chosen lattice states.
+
+        Two single-contraction einsums rather than one three-operand einsum:
+        the latter dispatches to a batch-size-dependent dot path, and the
+        batch kernel must match scalar evaluation bit-for-bit.
+        """
+        q = self._lattice[best] - induced
+        projected = np.einsum("ni,ij->nj", q, self._inverse_dot_dot)
+        energies = 0.5 * np.einsum("nj,nj->n", projected, q)
+        return energies * _e2_over_af_mev()
+
+    def _as_point_batch(self, points: np.ndarray | list) -> np.ndarray:
+        pts = np.asarray(points, dtype=float)
+        if pts.ndim != 2 or pts.shape[1] != self._model.n_gates:
+            raise ChargeStateError(
+                f"expected voltage points of shape (n, {self._model.n_gates}), "
+                f"got {pts.shape}"
+            )
+        return pts
+
+    # ------------------------------------------------------------------
     # Exact enumeration
     # ------------------------------------------------------------------
     def ground_state(self, gate_voltages: np.ndarray | list) -> ChargeState:
         """Exact ground state by enumerating the bounded occupation lattice."""
         vg = np.asarray(gate_voltages, dtype=float)
-        energies = self._lattice_energies(vg)
-        best = int(np.argmin(energies))
-        occupations = tuple(int(v) for v in self._lattice[best])
-        return ChargeState(occupations=occupations, energy_mev=float(energies[best]))
+        induced = self._induced_charges(vg[None, :])
+        best = np.argmin(self._lattice_scores(induced), axis=1)
+        occupations = tuple(int(v) for v in self._lattice_int[best[0]])
+        energy = float(self._state_energies(best, induced)[0])
+        return ChargeState(occupations=occupations, energy_mev=energy)
 
-    def _lattice_energies(self, gate_voltages: np.ndarray) -> np.ndarray:
-        model = self._model
-        induced = (model.dot_gate @ gate_voltages) / _e_af_v()
-        q = self._lattice - induced[None, :]
-        inv = model.inverse_dot_dot
-        energies = 0.5 * np.einsum("ki,ij,kj->k", q, inv, q)
-        return energies * _e2_over_af_mev()
+    def occupations_at(self, points: np.ndarray | list) -> np.ndarray:
+        """Ground-state occupations for an arbitrary batch of voltage points.
+
+        The vectorised core of the batch probe path: one matmul against the
+        occupation lattice scores all points at once instead of re-solving the
+        ground state per pixel.
+
+        Parameters
+        ----------
+        points:
+            Gate-voltage points, shape ``(n_points, n_gates)``.
+
+        Returns
+        -------
+        numpy.ndarray
+            Integer occupations, shape ``(n_points, n_dots)``; identical to
+            calling :meth:`ground_state` per point.
+        """
+        pts = self._as_point_batch(points)
+        out = np.empty((pts.shape[0], self._model.n_dots), dtype=int)
+        for start in range(0, pts.shape[0], self._CHUNK):
+            chunk = pts[start : start + self._CHUNK]
+            induced = self._induced_charges(chunk)
+            best = np.argmin(self._lattice_scores(induced), axis=1)
+            out[start : start + self._CHUNK] = self._lattice_int[best]
+        return out
+
+    def ground_states_batch(self, points: np.ndarray | list) -> list[ChargeState]:
+        """Batched :meth:`ground_state`: one :class:`ChargeState` per point.
+
+        Equivalent to ``[self.ground_state(p) for p in points]`` — same
+        occupations and energies — but scores all points through the shared
+        vectorised kernel.
+        """
+        pts = self._as_point_batch(points)
+        states: list[ChargeState] = []
+        for start in range(0, pts.shape[0], self._CHUNK):
+            chunk = pts[start : start + self._CHUNK]
+            induced = self._induced_charges(chunk)
+            best = np.argmin(self._lattice_scores(induced), axis=1)
+            energies = self._state_energies(best, induced)
+            for index, energy in zip(best, energies):
+                states.append(
+                    ChargeState(
+                        occupations=tuple(int(v) for v in self._lattice_int[index]),
+                        energy_mev=float(energy),
+                    )
+                )
+        return states
 
     # ------------------------------------------------------------------
     # Local descent (fast path for dense sweeps)
@@ -198,27 +300,14 @@ class ChargeStateSolver:
             raise ChargeStateError(
                 f"fixed_voltages must have shape ({model.n_gates},), got {base.shape}"
             )
-        # Vectorised exact enumeration.  For every pixel the ground state is
-        # argmin_k [ 0.5 n_k^T Cdd^-1 n_k - n_k^T Cdd^-1 q_induced(pixel) ];
-        # the pixel-only term 0.5 q^T Cdd^-1 q is constant per pixel and can
-        # be dropped from the argmin.
-        e_afv = _e_af_v()
-        base_induced = (model.dot_gate @ base) / e_afv
-        base_induced = base_induced - (model.dot_gate[:, ix] * base[ix]) / e_afv
-        base_induced = base_induced - (model.dot_gate[:, iy] * base[iy]) / e_afv
-        # induced[row, col, dot]
-        induced = (
-            base_induced[None, None, :]
-            + (model.dot_gate[:, ix][None, None, :] * xs[None, :, None]) / e_afv
-            + (model.dot_gate[:, iy][None, None, :] * ys[:, None, None]) / e_afv
-        )
-        inv = model.inverse_dot_dot
-        lattice = self._lattice
-        self_term = 0.5 * np.einsum("ki,ij,kj->k", lattice, inv, lattice)
-        cross = np.einsum("ki,ij,rcj->krc", lattice, inv, induced)
-        scores = self_term[:, None, None] - cross
-        best = np.argmin(scores, axis=0)
-        return lattice[best].astype(int)
+        # Expand the grid to explicit voltage points and score them through
+        # the shared batch kernel, so grid rasterisation, batched probes, and
+        # scalar ground-state queries all run exactly one physics kernel.
+        points = np.tile(base, (ys.size * xs.size, 1))
+        points[:, ix] = np.tile(xs, ys.size)
+        points[:, iy] = np.repeat(ys, xs.size)
+        occupations = self.occupations_at(points)
+        return occupations.reshape(ys.size, xs.size, model.n_dots)
 
 
 def _e_af_v() -> float:

@@ -29,6 +29,52 @@ from .dot_array import DotArrayDevice
 from .noise import NoiseModel, NoNoise
 
 
+def uniform_axis_step(axis: np.ndarray) -> float | None:
+    """The grid step of a uniformly spaced, increasing axis, else ``None``.
+
+    Voltage axes almost always come from :func:`numpy.linspace`, so nearest-
+    pixel lookups can be done with O(1) arithmetic instead of an O(n)
+    ``argmin`` scan; this helper detects when that fast path is safe.
+    """
+    axis = np.asarray(axis, dtype=float)
+    if axis.ndim != 1 or axis.size < 2:
+        return None
+    step = float(axis[-1] - axis[0]) / (axis.size - 1)
+    if step <= 0 or not np.isfinite(step):
+        return None
+    deviation = float(np.max(np.abs(np.diff(axis) - step)))
+    if deviation > 1e-9 * abs(step):
+        return None
+    return step
+
+
+def nearest_axis_index(axis: np.ndarray, value: float, step: float | None) -> int:
+    """Index of the axis entry nearest to ``value`` (ties to the lower index).
+
+    With a uniform ``step`` (from :func:`uniform_axis_step`) the lookup is
+    O(1): arithmetic narrows the answer to a three-index neighbourhood whose
+    *actual* axis distances are then compared, so the result matches the
+    ``argmin(|axis - value|)`` scan exactly — including float midpoint ties,
+    which break towards the lower index on both paths.  Irregular axes fall
+    back to the argmin scan.
+    """
+    offset = None if step is None else (float(value) - float(axis[0])) / step
+    if offset is None or not np.isfinite(offset):
+        # Non-finite values (NaN/inf) take the argmin path so both lookup
+        # paths agree on degenerate inputs (argmin returns index 0).
+        return int(np.argmin(np.abs(np.asarray(axis) - value)))
+    n = len(axis)
+    estimate = int(min(max(np.floor(offset), 0), n - 1))
+    best = -1
+    best_distance = np.inf
+    for candidate in range(max(estimate - 1, 0), min(estimate + 2, n)):
+        distance = abs(float(axis[candidate]) - float(value))
+        if distance < best_distance:
+            best = candidate
+            best_distance = distance
+    return best
+
+
 @dataclass(frozen=True)
 class TransitionLineGeometry:
     """Ground-truth geometry of the two addition lines in a CSD window.
@@ -101,6 +147,8 @@ class ChargeStabilityDiagram:
             raise DatasetError("CSD must have at least 2 pixels along each axis")
         if not (np.all(np.diff(self.x_voltages) > 0) and np.all(np.diff(self.y_voltages) > 0)):
             raise DatasetError("CSD voltage axes must be strictly increasing")
+        self._x_lookup_step = uniform_axis_step(self.x_voltages)
+        self._y_lookup_step = uniform_axis_step(self.y_voltages)
 
     # ------------------------------------------------------------------
     # Shape and axes
@@ -133,9 +181,13 @@ class ChargeStabilityDiagram:
         return float(self.x_voltages[col]), float(self.y_voltages[row])
 
     def pixel_at(self, vx: float, vy: float) -> tuple[int, int]:
-        """Nearest pixel ``(row, col)`` for a voltage point ``(vx, vy)``."""
-        col = int(np.clip(np.argmin(np.abs(self.x_voltages - vx)), 0, self.shape[1] - 1))
-        row = int(np.clip(np.argmin(np.abs(self.y_voltages - vy)), 0, self.shape[0] - 1))
+        """Nearest pixel ``(row, col)`` for a voltage point ``(vx, vy)``.
+
+        O(1) arithmetic on uniformly spaced axes (the common case); falls
+        back to an ``argmin`` scan on irregular axes.
+        """
+        col = nearest_axis_index(self.x_voltages, vx, self._x_lookup_step)
+        row = nearest_axis_index(self.y_voltages, vy, self._y_lookup_step)
         return row, col
 
     def contains_voltage(self, vx: float, vy: float) -> bool:
@@ -427,20 +479,12 @@ class CSDSimulator:
     def _sensor_currents(
         self, xs: np.ndarray, ys: np.ndarray, occupations: np.ndarray
     ) -> np.ndarray:
-        sensor = self._device.sensor
-        cfg = sensor.config
-        shifts = np.asarray(cfg.dot_shift_mv, dtype=float)
-        crosstalk = np.asarray(cfg.gate_crosstalk_mv_per_v, dtype=float)
-        n_dots = self._device.n_dots
-        n_gates = self._device.n_gates
-        # Build the full gate-voltage grids for the cross-talk term.
-        vg_grid = np.zeros((ys.size, xs.size, n_gates))
-        vg_grid[:, :, :] = self._fixed[None, None, :]
-        vg_grid[:, :, self._gate_x] = xs[None, :]
-        vg_grid[:, :, self._gate_y] = ys[:, None]
-        k_dots = min(shifts.size, n_dots)
-        k_gates = min(crosstalk.size, n_gates)
-        charge_term = occupations[:, :, :k_dots].astype(float) @ shifts[:k_dots]
-        gate_term = vg_grid[:, :, :k_gates] @ crosstalk[:k_gates]
-        detuning = cfg.operating_point_mv + charge_term + gate_term
-        return np.asarray(sensor.current_from_detuning(detuning), dtype=float)
+        # Flatten the grid to explicit voltage points and evaluate through
+        # the device's shared batch kernel (the same one the instrument
+        # layer's batch probe path uses).
+        points = np.tile(self._fixed, (ys.size * xs.size, 1))
+        points[:, self._gate_x] = np.tile(xs, ys.size)
+        points[:, self._gate_y] = np.repeat(ys, xs.size)
+        flat_occupations = occupations.reshape(-1, occupations.shape[-1])
+        currents = self._device.sensor_currents(points, occupations=flat_occupations)
+        return currents.reshape(ys.size, xs.size)

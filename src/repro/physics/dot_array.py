@@ -69,6 +69,20 @@ class DotArrayDevice:
         self._sensor = sensor or ChargeSensor.with_sensitivity(
             n_dots=capacitance.n_dots, n_gates=capacitance.n_gates
         )
+        # Catch sensor/device size mismatches at construction rather than
+        # deep inside a measurement: a sensor coupled to more dots or gates
+        # than the device has cannot be evaluated.
+        sensor_config = self._sensor.config
+        if len(sensor_config.dot_shift_mv) > capacitance.n_dots:
+            raise DeviceModelError(
+                f"sensor couples to {len(sensor_config.dot_shift_mv)} dots but "
+                f"the device has only {capacitance.n_dots}"
+            )
+        if len(sensor_config.gate_crosstalk_mv_per_v) > capacitance.n_gates:
+            raise DeviceModelError(
+                f"sensor crosstalk covers {len(sensor_config.gate_crosstalk_mv_per_v)} "
+                f"gates but the device has only {capacitance.n_gates}"
+            )
         if gate_specs is None:
             gate_specs = tuple(
                 GateSpec(name=gate_name) for gate_name in capacitance.gate_names
@@ -163,6 +177,40 @@ class DotArrayDevice:
         if occupations is None:
             occupations = self._solver.ground_state(vg).occupations
         return self._sensor.current(occupations, vg)
+
+    def sensor_currents(
+        self,
+        gate_voltage_points: np.ndarray,
+        occupations: np.ndarray | None = None,
+    ) -> np.ndarray:
+        """Vectorised :meth:`sensor_current` over a batch of voltage points.
+
+        Solves all ground states through the solver's batched lattice kernel
+        and converts them to currents in one vectorised sensor evaluation —
+        the physics core of the instrument layer's batch probe path.
+
+        Parameters
+        ----------
+        gate_voltage_points:
+            Gate-voltage points, shape ``(n_points, n_gates)``.
+        occupations:
+            Optional pre-solved occupations, shape ``(n_points, n_dots)``;
+            computed from the ground states when omitted.
+
+        Returns
+        -------
+        numpy.ndarray
+            Noise-free sensor currents in nA, shape ``(n_points,)``.
+        """
+        points = np.asarray(gate_voltage_points, dtype=float)
+        if points.ndim != 2 or points.shape[1] != self.n_gates:
+            raise DeviceModelError(
+                f"expected voltage points of shape (n, {self.n_gates}), "
+                f"got {points.shape}"
+            )
+        if occupations is None:
+            occupations = self._solver.occupations_at(points)
+        return self._sensor.currents(np.asarray(occupations, dtype=float), points)
 
     def ground_truth_alphas(
         self, dot_a: int, dot_b: int, gate_x: int | str, gate_y: int | str

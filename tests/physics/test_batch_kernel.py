@@ -1,0 +1,131 @@
+"""Equivalence tests for the vectorised physics kernel.
+
+`ChargeStateSolver.occupations_at` / `ground_states_batch` and
+`ChargeSensor.currents` / `DotArrayDevice.sensor_currents` must agree with
+their scalar counterparts point by point — the batch probe path in the
+instrument layer is built on that guarantee.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ChargeStateError, DeviceModelError, SensorModelError
+from repro.physics import CapacitanceModel, ChargeStateSolver, DotArrayDevice
+
+
+@pytest.fixture(scope="module")
+def solver() -> ChargeStateSolver:
+    model = CapacitanceModel.double_dot(cross_lever_fractions=(0.25, 0.22))
+    return ChargeStateSolver(model, max_electrons_per_dot=3)
+
+
+@pytest.fixture(scope="module")
+def quad_solver() -> ChargeStateSolver:
+    model = CapacitanceModel.linear_array(n_dots=4)
+    return ChargeStateSolver(model, max_electrons_per_dot=2)
+
+
+class TestGroundStatesBatch:
+    def test_matches_looped_ground_state(self, solver, rng):
+        points = rng.uniform(0.0, 0.08, size=(300, 2))
+        batch = solver.ground_states_batch(points)
+        for point, state in zip(points, batch):
+            exact = solver.ground_state(point)
+            assert state.occupations == exact.occupations
+            assert state.energy_mev == exact.energy_mev
+
+    def test_matches_on_larger_array(self, quad_solver, rng):
+        points = rng.uniform(0.0, 0.06, size=(50, 4))
+        batch = quad_solver.ground_states_batch(points)
+        for point, state in zip(points, batch):
+            exact = quad_solver.ground_state(point)
+            assert state.occupations == exact.occupations
+            assert state.energy_mev == exact.energy_mev
+
+    def test_chunked_evaluation_is_equivalent(self, solver, rng, monkeypatch):
+        points = rng.uniform(0.0, 0.08, size=(101, 2))
+        whole = solver.occupations_at(points)
+        monkeypatch.setattr(ChargeStateSolver, "_CHUNK", 17)
+        chunked = solver.occupations_at(points)
+        assert np.array_equal(whole, chunked)
+
+    def test_occupations_at_matches_ground_state(self, solver, rng):
+        points = rng.uniform(0.0, 0.08, size=(200, 2))
+        occupations = solver.occupations_at(points)
+        assert occupations.shape == (200, 2)
+        assert occupations.dtype.kind == "i"
+        for point, occupation in zip(points, occupations):
+            assert tuple(occupation) == solver.ground_state(point).occupations
+
+    def test_wrong_point_shape_rejected(self, solver):
+        with pytest.raises(ChargeStateError):
+            solver.occupations_at(np.zeros((4, 3)))
+        with pytest.raises(ChargeStateError):
+            solver.ground_states_batch(np.zeros(2))
+
+    def test_empty_batch(self, solver):
+        assert solver.occupations_at(np.zeros((0, 2))).shape == (0, 2)
+        assert solver.ground_states_batch(np.zeros((0, 2))) == []
+
+
+class TestSensorCurrentsBatch:
+    def test_matches_scalar_current(self, double_dot_device, rng):
+        sensor = double_dot_device.sensor
+        occupations = rng.integers(0, 3, size=(100, 2))
+        voltages = rng.uniform(0.0, 0.08, size=(100, 2))
+        batch = sensor.currents(occupations.astype(float), voltages)
+        scalar = np.array(
+            [sensor.current(n, vg) for n, vg in zip(occupations, voltages)]
+        )
+        assert batch == pytest.approx(scalar, rel=1e-12, abs=1e-15)
+
+    def test_shape_validation(self, double_dot_device):
+        sensor = double_dot_device.sensor
+        with pytest.raises(SensorModelError):
+            sensor.currents(np.zeros((3, 1)), np.zeros((3, 2)))
+        with pytest.raises(SensorModelError):
+            sensor.currents(np.zeros((3, 2)), np.zeros((4, 2)))
+
+    def test_device_sensor_currents_matches_scalar(self, double_dot_device, rng):
+        points = rng.uniform(0.0, 0.08, size=(150, 2))
+        batch = double_dot_device.sensor_currents(points)
+        scalar = np.array([double_dot_device.sensor_current(p) for p in points])
+        assert batch == pytest.approx(scalar, rel=1e-12, abs=1e-15)
+
+    def test_device_sensor_currents_with_precomputed_occupations(
+        self, double_dot_device, rng
+    ):
+        points = rng.uniform(0.0, 0.08, size=(40, 2))
+        occupations = double_dot_device.solver.occupations_at(points)
+        with_occ = double_dot_device.sensor_currents(points, occupations=occupations)
+        without = double_dot_device.sensor_currents(points)
+        assert np.array_equal(with_occ, without)
+
+    def test_device_point_shape_rejected(self, double_dot_device):
+        with pytest.raises(DeviceModelError):
+            double_dot_device.sensor_currents(np.zeros((5, 3)))
+
+    def test_oversized_sensor_rejected_at_construction(self):
+        from repro.physics import CapacitanceModel, ChargeSensor, ChargeSensorConfig
+
+        capacitance = CapacitanceModel.double_dot()
+        sensor = ChargeSensor(
+            ChargeSensorConfig(dot_shift_mv=(0.9, 0.55, 0.3))
+        )
+        with pytest.raises(DeviceModelError):
+            DotArrayDevice(capacitance=capacitance, sensor=sensor)
+
+
+class TestSimulatorSharedKernel:
+    def test_simulate_matches_ideal_current_pointwise(self, double_dot_device):
+        from repro.physics import CSDSimulator
+
+        simulator = CSDSimulator(double_dot_device)
+        csd = simulator.simulate(24, seed=0)
+        for row, col in [(0, 0), (5, 17), (23, 23), (12, 3)]:
+            vx, vy = csd.voltage_at(row, col)
+            assert csd.data[row, col] == pytest.approx(
+                simulator.ideal_current(vx, vy), rel=1e-10
+            )
