@@ -1,0 +1,176 @@
+"""Benchmark: the scenario catalogue end to end, and what time-dependence costs.
+
+Two questions:
+
+1. **Does every registered scenario run?**  Each catalogue entry is swept
+   through a seeded extraction; the sweep prints success, probes, and
+   simulated time per scenario — the library's standing robustness table.
+2. **What does time-dependent evaluation cost?**  A full-grid acquisition on
+   a time-dependent backend re-evaluates noise per probe timestamp instead
+   of fancy-indexing one cached field; the overhead must stay within a small
+   factor of the static batched path (it is still one vectorised pass).
+
+Like its siblings, this file is both a pytest benchmark and a standalone
+script for CI smoke runs::
+
+    PYTHONPATH=src python benchmarks/bench_scenarios.py --smoke
+    PYTHONPATH=src python benchmarks/bench_scenarios.py --resolution 100
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+import numpy as np
+import pytest
+
+from repro.core import FastVirtualGateExtractor
+from repro.instrument import ChargeSensorMeter, VirtualClock
+from repro.scenarios import all_scenarios, get_scenario
+
+#: The time-dependent full grid must stay within this factor of the static
+#: batched acquisition (both are single vectorised passes; the temporal
+#: samplers add elementwise work, not Python-level loops).
+MAX_TIME_DEPENDENT_OVERHEAD = 10.0
+
+
+def sweep_catalogue(resolution: int, seed: int = 17) -> list[dict]:
+    """Run a seeded extraction under every registered scenario."""
+    rows = []
+    for scenario in all_scenarios():
+        session = scenario.open_session(resolution=resolution, seed=seed)
+        started = time.perf_counter()
+        result = FastVirtualGateExtractor().extract(session)
+        rows.append(
+            {
+                "scenario": scenario.name,
+                "success": result.success,
+                "n_probes": session.meter.n_probes,
+                "sim_s": session.meter.elapsed_s,
+                "wall_s": time.perf_counter() - started,
+                "failure": result.failure_reason,
+            }
+        )
+    return rows
+
+
+def format_sweep(rows: list[dict]) -> str:
+    lines = [f"{'scenario':<18} {'ok':<5} {'probes':>7} {'sim':>9} {'wall':>8}"]
+    for row in rows:
+        lines.append(
+            f"{row['scenario']:<18} {str(row['success']):<5} "
+            f"{row['n_probes']:>7} {row['sim_s']:>8.1f}s {row['wall_s']:>7.3f}s"
+        )
+    return "\n".join(lines)
+
+
+def time_dependence_overhead(resolution: int) -> tuple[float, float, bool]:
+    """(static_s, time_dependent_s, bit_identical_checks) for a full grid."""
+    static_session = get_scenario("standard_lab").open_session(
+        resolution=resolution, seed=3
+    )
+    start = time.perf_counter()
+    static_session.meter.acquire_full_grid()
+    static_s = time.perf_counter() - start
+
+    # Equivalence spot-check: batched vs scalar on the time-dependent
+    # backend.  On an evolving device "equivalent" means the same *request
+    # sequence*, so the scalar loop replays the first row-major probes of the
+    # full-grid acquisition — same pixels at the same clock readings.
+    td_session = get_scenario("overnight_run").open_session(
+        resolution=resolution, seed=3
+    )
+    start = time.perf_counter()
+    image = td_session.meter.acquire_full_grid()
+    td_s = time.perf_counter() - start
+    scenario = get_scenario("overnight_run")
+    scalar_meter = ChargeSensorMeter(
+        scenario.open_session(resolution=resolution, seed=3).meter.backend,
+        clock=VirtualClock(scenario.timing),
+    )
+    n_check = min(resolution, 16)
+    identical = bool(
+        np.array_equal(
+            np.array([scalar_meter.get_current(0, c) for c in range(n_check)]),
+            image.ravel()[:n_check],
+        )
+    )
+    return static_s, td_s, identical
+
+
+@pytest.mark.benchmark(group="scenarios")
+def test_catalogue_sweep_and_overhead(benchmark, write_report):
+    """Every scenario runs; time-dependent acquisition stays cheap."""
+    resolution = 64
+    rows = sweep_catalogue(resolution)
+
+    session = get_scenario("overnight_run").open_session(resolution=resolution, seed=3)
+
+    def run_time_dependent_grid():
+        session.meter.reset()
+        return session.meter.acquire_full_grid()
+
+    benchmark(run_time_dependent_grid)
+    static_s, td_s, identical = time_dependence_overhead(resolution)
+    overhead = td_s / max(static_s, 1e-12)
+    write_report(
+        "scenarios.txt",
+        "\n".join(
+            [
+                format_sweep(rows),
+                "",
+                f"full grid {resolution}x{resolution}:",
+                f"  static batched:        {static_s:.3f}s",
+                f"  time-dependent batched: {td_s:.3f}s ({overhead:.1f}x)",
+                f"  scalar/batched identical: {identical}",
+            ]
+        ),
+    )
+    assert identical
+    # Every scenario either succeeds or reports *why* it failed; a failure
+    # with no reason means the pipeline machinery broke.
+    assert all(row["success"] or row["failure"] for row in rows)
+    assert overhead <= MAX_TIME_DEPENDENT_OVERHEAD
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="small grids for CI: checks the whole catalogue runs + equivalence",
+    )
+    parser.add_argument(
+        "--resolution", type=int, default=64,
+        help="extraction resolution per axis (default 64)",
+    )
+    args = parser.parse_args(argv)
+    resolution = 40 if args.smoke else args.resolution
+
+    rows = sweep_catalogue(resolution)
+    print(f"scenario catalogue sweep at {resolution}x{resolution}:")
+    print(format_sweep(rows))
+
+    static_s, td_s, identical = time_dependence_overhead(resolution)
+    overhead = td_s / max(static_s, 1e-12)
+    print(f"\nfull-grid acquisition: static {static_s:.3f}s, "
+          f"time-dependent {td_s:.3f}s ({overhead:.1f}x)")
+    if not identical:
+        print("ERROR: time-dependent scalar and batched paths diverge")
+        return 1
+    print("equivalence check: time-dependent scalar and batched paths agree")
+
+    crashed = [row["scenario"] for row in rows if not row["success"] and not row["failure"]]
+    if crashed:
+        print(f"ERROR: scenarios failed without a failure reason: {crashed}")
+        return 1
+    if not args.smoke and overhead > MAX_TIME_DEPENDENT_OVERHEAD:
+        print(f"ERROR: time-dependent overhead {overhead:.1f}x exceeds "
+              f"{MAX_TIME_DEPENDENT_OVERHEAD:.0f}x")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

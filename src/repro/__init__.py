@@ -50,8 +50,15 @@ from .physics import (
     ChargeSensor,
     ChargeStabilityDiagram,
     CSDSimulator,
+    DeviceDrift,
     DotArrayDevice,
     standard_lab_noise,
+)
+from .scenarios import (
+    LabScenario,
+    get_scenario,
+    register_scenario,
+    scenario_names,
 )
 
 __version__ = "1.0.0"
@@ -81,7 +88,12 @@ __all__ = [
     "ChargeSensor",
     "ChargeStabilityDiagram",
     "CSDSimulator",
+    "DeviceDrift",
     "DotArrayDevice",
     "standard_lab_noise",
+    "LabScenario",
+    "get_scenario",
+    "register_scenario",
+    "scenario_names",
     "__version__",
 ]

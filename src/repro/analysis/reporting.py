@@ -200,7 +200,11 @@ def campaign_rows(rows: list[dict]) -> list[list[str]]:
                 str(row["gates"]),
                 str(row["method"]),
                 str(row["resolution"]),
-                f"{row['noise_scale']:g}x",
+                # Scenario jobs run under the named environment; static jobs
+                # under a multiple of the standard noise mix.
+                str(row["scenario"])
+                if row.get("scenario")
+                else f"{row['noise_scale']:g}x",
                 _success_label(bool(row["success"])),
                 _fmt(row["max_alpha_error"]),
                 f"{row['n_probes']} ({100.0 * row['probe_fraction']:.1f}%)",

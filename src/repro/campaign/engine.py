@@ -19,6 +19,7 @@ from typing import Iterable, Sequence
 
 from ..analysis.metrics import SuccessCriterion
 from ..exceptions import ConfigurationError
+from ..scenarios.catalog import get_scenario
 from .grid import CampaignGrid, CampaignJob
 from .results import CampaignJobRecord, CampaignResult
 from .worker import run_campaign_job
@@ -81,7 +82,16 @@ class TuningCampaign:
     def run(self) -> CampaignResult:
         """Execute every job and aggregate the records."""
         started = time.perf_counter()
-        run_one = partial(run_campaign_job, criterion=self._criterion)
+        # Resolve scenario names in this process and ship the objects to the
+        # workers: user-registered scenarios live only in the parent's
+        # registry, which a spawn-start worker would not have.
+        scenarios = {
+            name: get_scenario(name)
+            for name in {job.scenario for job in self._jobs if job.scenario}
+        }
+        run_one = partial(
+            run_campaign_job, criterion=self._criterion, scenarios=scenarios
+        )
         if self._n_workers == 1 or len(self._jobs) <= 1:
             records = [run_one(job) for job in self._jobs]
         else:

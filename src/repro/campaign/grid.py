@@ -1,15 +1,26 @@
 """Declarative job grids for batch-tuning campaigns.
 
 A campaign is declared, not scripted: a :class:`CampaignGrid` names the
-devices, resolutions, noise amplitudes, methods, and repeat count, and
-:meth:`CampaignGrid.expand` turns the cross product into a flat tuple of
-:class:`CampaignJob` specs.  Expansion is where determinism is fixed:
+devices, resolutions, noise amplitudes, lab scenarios, methods, and repeat
+count, and :meth:`CampaignGrid.expand` turns the cross product into a flat
+tuple of :class:`CampaignJob` specs.  Expansion is where determinism is
+fixed:
 
 * jobs are enumerated in a stable order
-  (device → gate pair → resolution → noise → method → repeat), and
+  (device → gate pair → resolution → noise → scenario → method → repeat), and
 * every job gets its own child of the grid's root seed via
   :func:`repro.seeding.spawn_seeds`, assigned by job index *before* anything
   runs.
+
+The scenario axis sweeps named :class:`~repro.scenarios.catalog.LabScenario`
+*environments* — noise, device drift, timing, time-dependence — across the
+grid's own devices.  A ``None`` entry is the classic static environment and
+is crossed with every ``noise_scales`` amplitude; a named entry runs the
+scenario as registered (recorded at noise scale 1) and is *not* crossed with
+the noise axis — that would only duplicate jobs whose noise the scenario
+already fixes.  Hand-crafted jobs may still combine the two: the worker
+scales a scenario's noise by the job's ``noise_scale`` through
+:func:`repro.scenarios.catalog.scaled_scenario`.
 
 Because the seeds are bound to job identity rather than execution order, a
 campaign produces bit-identical per-job results whether it runs on one
@@ -25,58 +36,22 @@ from functools import cache
 import numpy as np
 
 from ..exceptions import ConfigurationError
-from ..physics.dot_array import DotArrayDevice
 from ..physics.noise import NoiseModel, standard_lab_noise
+from ..scenarios.catalog import get_scenario
+from ..scenarios.devices import DEVICE_FACTORIES, DeviceSpec
 from ..seeding import spawn_seeds
 
 #: Extraction methods a campaign job can name.
 KNOWN_METHODS: tuple[str, ...] = ("fast", "baseline")
 
-#: Device factory registry: every entry is a classmethod of
-#: :class:`~repro.physics.dot_array.DotArrayDevice` that builds a device from
-#: keyword arguments.  Registering by name keeps job specs declarative and
-#: trivially picklable.
-DEVICE_FACTORIES: dict[str, str] = {
-    "double_dot": "double_dot",
-    "linear_array": "linear_array",
-    "quadruple_dot": "quadruple_dot",
-}
-
-
-@dataclass(frozen=True)
-class DeviceSpec:
-    """Declarative recipe for building one simulated device.
-
-    ``kwargs`` is stored as a sorted tuple of ``(name, value)`` pairs so the
-    spec stays hashable and picklable; use :meth:`DeviceSpec.of` to build one
-    from ordinary keyword arguments.
-    """
-
-    factory: str = "double_dot"
-    kwargs: tuple[tuple[str, object], ...] = ()
-
-    def __post_init__(self) -> None:
-        if self.factory not in DEVICE_FACTORIES:
-            raise ConfigurationError(
-                f"unknown device factory {self.factory!r}; "
-                f"known: {sorted(DEVICE_FACTORIES)}"
-            )
-
-    @classmethod
-    def of(cls, factory: str = "double_dot", **kwargs) -> "DeviceSpec":
-        """Build a spec from keyword arguments."""
-        return cls(factory=factory, kwargs=tuple(sorted(kwargs.items())))
-
-    def build(self) -> DotArrayDevice:
-        """Construct the device."""
-        builder = getattr(DotArrayDevice, DEVICE_FACTORIES[self.factory])
-        return builder(**dict(self.kwargs))
-
-    @property
-    def label(self) -> str:
-        """Short human-readable identifier."""
-        parts = [f"{k}={v}" for k, v in self.kwargs]
-        return self.factory if not parts else f"{self.factory}({', '.join(parts)})"
+__all__ = [
+    "CampaignGrid",
+    "CampaignJob",
+    "DeviceSpec",
+    "DEVICE_FACTORIES",
+    "KNOWN_METHODS",
+    "noise_for_scale",
+]
 
 
 def noise_for_scale(scale: float) -> NoiseModel | None:
@@ -94,7 +69,12 @@ def noise_for_scale(scale: float) -> NoiseModel | None:
 
 @dataclass(frozen=True)
 class CampaignJob:
-    """One fully specified tuning job within a campaign."""
+    """One fully specified tuning job within a campaign.
+
+    ``scenario`` names a registered :class:`~repro.scenarios.catalog.LabScenario`
+    whose environment (noise, drift, timing, time-dependence) the job runs
+    under, or ``None`` for the classic static noise-axis environment.
+    """
 
     job_id: int
     device: DeviceSpec
@@ -107,13 +87,19 @@ class CampaignJob:
     method: str
     repeat: int
     seed: np.random.SeedSequence | None
+    scenario: str | None = None
 
     @property
     def label(self) -> str:
         """Stable identifier used in reports and failure listings."""
+        environment = (
+            f"n{self.noise_scale:g}"
+            if self.scenario is None
+            else f"{self.scenario} n{self.noise_scale:g}"
+        )
         return (
             f"#{self.job_id} {self.device.factory}:{self.gate_x}-{self.gate_y}"
-            f" r{self.resolution} n{self.noise_scale:g} {self.method} x{self.repeat}"
+            f" r{self.resolution} {environment} {self.method} x{self.repeat}"
         )
 
 
@@ -122,13 +108,19 @@ class CampaignGrid:
     """Cross product of campaign axes, expandable into concrete jobs.
 
     Every neighbouring plunger-gate pair of every device is tuned at every
-    ``resolution`` × ``noise_scale`` × ``method`` combination, ``n_repeats``
-    times with independent seeds.
+    ``resolution`` × *environment* × ``method`` combination, ``n_repeats``
+    times with independent seeds.  The environments are the ``None`` entry
+    of ``scenarios`` crossed with every ``noise_scales`` amplitude (the
+    classic static sweep), plus each named
+    :class:`~repro.scenarios.catalog.LabScenario` once, as registered —
+    named scenarios fix their own noise, so crossing them with the noise
+    axis would only clone jobs.
     """
 
     devices: tuple[DeviceSpec, ...] = (DeviceSpec(),)
     resolutions: tuple[int, ...] = (100,)
     noise_scales: tuple[float, ...] = (0.0,)
+    scenarios: tuple[str | None, ...] = (None,)
     methods: tuple[str, ...] = ("fast",)
     n_repeats: int = 1
     seed: int | None = 0
@@ -140,6 +132,16 @@ class CampaignGrid:
             raise ConfigurationError("resolutions must all be at least 16")
         if not self.noise_scales or any(s < 0 for s in self.noise_scales):
             raise ConfigurationError("noise scales must be non-negative")
+        if not self.scenarios:
+            raise ConfigurationError(
+                "the scenario axis must be non-empty; use (None,) for the "
+                "classic static environment"
+            )
+        if len(set(self.scenarios)) != len(self.scenarios):
+            raise ConfigurationError("the scenario axis must not repeat entries")
+        for name in self.scenarios:
+            if name is not None:
+                get_scenario(name)  # raises ConfigurationError when unknown
         unknown = set(self.methods) - set(KNOWN_METHODS)
         if not self.methods or unknown:
             raise ConfigurationError(
@@ -164,6 +166,20 @@ class CampaignGrid:
             pairs_per_device.append((spec, pairs))
         return pairs_per_device
 
+    def _environments(self) -> list[tuple[str | None, float]]:
+        """``(scenario, noise_scale)`` combinations, in deterministic order.
+
+        The static (``None``) environment sweeps the noise axis; each named
+        scenario appears once, recorded at scale 1 (its registered noise).
+        """
+        environments: list[tuple[str | None, float]] = []
+        if None in self.scenarios:
+            environments.extend((None, scale) for scale in self.noise_scales)
+        environments.extend(
+            (name, 1.0) for name in self.scenarios if name is not None
+        )
+        return environments
+
     @property
     def n_jobs(self) -> int:
         """Number of jobs the grid expands into."""
@@ -171,7 +187,7 @@ class CampaignGrid:
         return (
             n_pairs
             * len(self.resolutions)
-            * len(self.noise_scales)
+            * len(self._environments())
             * len(self.methods)
             * self.n_repeats
         )
@@ -182,7 +198,7 @@ class CampaignGrid:
         for spec, pairs in self._device_pairs():
             for dot_a, dot_b, gate_x, gate_y in pairs:
                 for resolution in self.resolutions:
-                    for noise_scale in self.noise_scales:
+                    for scenario, noise_scale in self._environments():
                         for method in self.methods:
                             for repeat in range(self.n_repeats):
                                 combos.append(
@@ -194,6 +210,7 @@ class CampaignGrid:
                                         gate_y,
                                         resolution,
                                         noise_scale,
+                                        scenario,
                                         method,
                                         repeat,
                                     )
@@ -212,6 +229,7 @@ class CampaignGrid:
                 method=method,
                 repeat=repeat,
                 seed=seeds[job_id],
+                scenario=scenario,
             )
             for job_id, (
                 spec,
@@ -221,6 +239,7 @@ class CampaignGrid:
                 gate_y,
                 resolution,
                 noise_scale,
+                scenario,
                 method,
                 repeat,
             ) in enumerate(combos)

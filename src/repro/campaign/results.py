@@ -45,6 +45,7 @@ class CampaignJobRecord:
     wall_elapsed_s: float
     failure_category: str
     failure_reason: str
+    scenario: str | None = None
 
     def as_dict(self) -> dict:
         """Plain-dict view used by the report tables."""
@@ -55,6 +56,7 @@ class CampaignJobRecord:
             "method": self.method,
             "resolution": self.resolution,
             "noise_scale": self.noise_scale,
+            "scenario": self.scenario,
             "repeat": self.repeat,
             "success": self.success,
             "max_alpha_error": self.max_alpha_error,
@@ -113,15 +115,33 @@ class CampaignResult:
         return tuple(r for r in self.records if not r.success)
 
     def records_for(
-        self, method: str | None = None, noise_scale: float | None = None
+        self,
+        method: str | None = None,
+        noise_scale: float | None = None,
+        scenario: str | None = None,
     ) -> tuple[CampaignJobRecord, ...]:
-        """Filter records by method and/or noise scale."""
+        """Filter records by method, noise scale, and/or scenario name."""
         out = self.records
         if method is not None:
             out = tuple(r for r in out if r.method == method)
         if noise_scale is not None:
             out = tuple(r for r in out if r.noise_scale == noise_scale)
+        if scenario is not None:
+            out = tuple(r for r in out if r.scenario == scenario)
         return out
+
+    def success_by_scenario(self) -> dict[str, tuple[int, int]]:
+        """``{scenario_label: (n_succeeded, n_jobs)}`` over the campaign.
+
+        Scenario-less jobs are grouped under ``"static"``.
+        """
+        grouped: dict[str, list[bool]] = {}
+        for record in self.records:
+            grouped.setdefault(record.scenario or "static", []).append(record.success)
+        return {
+            label: (sum(outcomes), len(outcomes))
+            for label, outcomes in grouped.items()
+        }
 
     def mean_probe_fraction(self) -> float:
         """Average probe fraction over the successful jobs."""

@@ -19,6 +19,7 @@ from ..baseline.extraction import HoughBaselineExtractor
 from ..core.extraction import FastVirtualGateExtractor
 from ..core.result import ExtractionResult
 from ..instrument.session import SessionFactory
+from ..scenarios.catalog import LabScenario, get_scenario
 from .grid import CampaignJob, noise_for_scale
 from .results import CampaignJobRecord
 
@@ -73,22 +74,47 @@ def _base_record_fields(job: CampaignJob) -> dict:
         "repeat": job.repeat,
         "gate_x": job.gate_x,
         "gate_y": job.gate_y,
+        "scenario": job.scenario,
     }
 
 
 def run_campaign_job(
-    job: CampaignJob, criterion: SuccessCriterion | None = None
+    job: CampaignJob,
+    criterion: SuccessCriterion | None = None,
+    scenarios: dict[str, LabScenario] | None = None,
 ) -> CampaignJobRecord:
-    """Run one campaign job and return its condensed, picklable record."""
+    """Run one campaign job and return its condensed, picklable record.
+
+    ``scenarios`` maps scenario names to resolved :class:`LabScenario`
+    objects.  The engine fills it in the parent process and ships it with
+    the job, because a scenario registered by the user exists only in the
+    parent's registry — a spawn-start worker process would re-import the
+    built-ins and miss it.  The per-process registry is only a fallback for
+    direct in-process calls.
+    """
     criterion = criterion or SuccessCriterion()
     started = time.perf_counter()
     try:
         device = job.device.build()
-        factory = SessionFactory(
-            device=device,
-            resolution=job.resolution,
-            noise=noise_for_scale(job.noise_scale),
-        )
+        if job.scenario is not None:
+            # The scenario supplies the environment (noise, drift, timing,
+            # time-dependence); the grid supplies the device under test.
+            # Grid-expanded scenario jobs carry noise_scale 1 (the scenario
+            # as registered); hand-crafted jobs may scale the scenario noise.
+            scenario = (
+                scenarios[job.scenario]
+                if scenarios is not None and job.scenario in scenarios
+                else get_scenario(job.scenario)
+            )
+            factory = scenario.scaled(job.noise_scale).session_factory(
+                device=device, resolution=job.resolution
+            )
+        else:
+            factory = SessionFactory(
+                device=device,
+                resolution=job.resolution,
+                noise=noise_for_scale(job.noise_scale),
+            )
         session = factory.make(
             gate_x=job.gate_x,
             gate_y=job.gate_y,

@@ -52,7 +52,13 @@ from .window_search import (
     WindowSearchResult,
     tilted_gradient_image,
 )
-from .workflow import AutoTuneResult, AutoTuningWorkflow
+from .workflow import (
+    AutoTuneResult,
+    AutoTuningWorkflow,
+    DriftAwareTuneResult,
+    RetuneCycle,
+    StalenessCheck,
+)
 
 __all__ = [
     "AnchorFinder",
@@ -93,4 +99,7 @@ __all__ = [
     "tilted_gradient_image",
     "AutoTuneResult",
     "AutoTuningWorkflow",
+    "DriftAwareTuneResult",
+    "RetuneCycle",
+    "StalenessCheck",
 ]

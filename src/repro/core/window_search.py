@@ -36,6 +36,7 @@ from ..exceptions import ExtractionError
 from ..instrument.measurement import ChargeSensorMeter, DeviceBackend
 from ..instrument.timing import TimingModel, VirtualClock
 from ..physics.dot_array import DotArrayDevice
+from ..physics.drift import DeviceDrift
 from ..physics.noise import NoiseModel
 
 
@@ -164,6 +165,8 @@ class TransitionWindowFinder:
         seed: int | np.random.SeedSequence | None = None,
         timing: TimingModel | None = None,
         config: WindowSearchConfig | None = None,
+        drift: DeviceDrift | None = None,
+        time_dependent_noise: bool = False,
     ) -> None:
         self._device = device
         self._gate_x = device.gate_index(gate_x)
@@ -179,6 +182,8 @@ class TransitionWindowFinder:
         self._seed = seed
         self._timing = timing or TimingModel.paper_default()
         self._config = config or WindowSearchConfig()
+        self._drift = drift
+        self._time_dependent_noise = bool(time_dependent_noise)
 
     @property
     def config(self) -> WindowSearchConfig:
@@ -199,6 +204,9 @@ class TransitionWindowFinder:
             fixed_voltages=self._fixed,
             noise=self._noise,
             seed=self._seed,
+            drift=self._drift,
+            time_dependent_noise=self._time_dependent_noise,
+            probe_interval_s=self._timing.cost_per_probe_s,
         )
         return ChargeSensorMeter(backend, clock=VirtualClock(self._timing))
 

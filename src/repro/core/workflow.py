@@ -1,4 +1,4 @@
-"""End-to-end auto-tuning workflow: window search + fast extraction.
+"""End-to-end auto-tuning workflow: window search + fast extraction (+ retuning).
 
 Ties together the two probe-efficient stages a real bring-up needs for each
 plunger-gate pair:
@@ -12,19 +12,32 @@ plunger-gate pair:
 The workflow reports the combined probe/time budget, so the cost of finding
 the window — which the paper's benchmarks assume has already been paid — is
 accounted for explicitly.
+
+On a *time-dependent* device (:class:`~repro.physics.drift.DeviceDrift`
+and/or time-dependent noise, bundled conveniently by a
+:class:`~repro.scenarios.catalog.LabScenario`), a matrix extracted at time
+zero goes stale: the sensor wanders, charges jump, lever arms creep.
+:meth:`AutoTuningWorkflow.run_with_retuning` is the drift-aware mode: it
+keeps one continuous simulated timeline, and after each idle period
+*detects* staleness by re-probing a handful of reference pixels it already
+paid for — a few dwell times, not a new scan — and re-extracts only when the
+device has measurably moved.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
 import numpy as np
 
 from ..exceptions import ExtractionError
+from ..instrument.measurement import ChargeSensorMeter, DeviceBackend
 from ..instrument.session import ExperimentSession
-from ..instrument.timing import TimingModel
+from ..instrument.timing import TimingModel, VirtualClock
 from ..physics.dot_array import DotArrayDevice
+from ..physics.drift import DeviceDrift
 from ..physics.noise import NoiseModel
+from ..scenarios.catalog import LabScenario, get_scenario
 from ..seeding import spawn_seeds
 from .config import ExtractionConfig
 from .extraction import FastVirtualGateExtractor
@@ -70,8 +83,88 @@ class AutoTuneResult:
         return payload
 
 
+@dataclass(frozen=True)
+class StalenessCheck:
+    """Outcome of one cheap re-probe of the reference pixels."""
+
+    checked_at_s: float
+    max_deviation_na: float
+    threshold_na: float
+    n_check_pixels: int
+
+    @property
+    def stale(self) -> bool:
+        """Whether the device moved past the tolerance since last extraction."""
+        return self.max_deviation_na > self.threshold_na
+
+
+@dataclass(frozen=True)
+class RetuneCycle:
+    """One idle period: the staleness check and (if stale) the re-extraction."""
+
+    check: StalenessCheck
+    extraction: ExtractionResult | None = None
+
+    @property
+    def retuned(self) -> bool:
+        """Whether this cycle triggered a re-extraction."""
+        return self.extraction is not None
+
+
+@dataclass(frozen=True)
+class DriftAwareTuneResult:
+    """Everything a drift-aware tuning run produced, on one timeline."""
+
+    initial: AutoTuneResult
+    cycles: tuple[RetuneCycle, ...]
+    final_elapsed_s: float
+    metadata: dict = field(default_factory=dict)
+
+    @property
+    def n_retunes(self) -> int:
+        """How many idle periods ended in a re-extraction."""
+        return sum(1 for cycle in self.cycles if cycle.retuned)
+
+    @property
+    def final_extraction(self) -> ExtractionResult:
+        """The most recent extraction (initial when nothing went stale)."""
+        for cycle in reversed(self.cycles):
+            if cycle.extraction is not None:
+                return cycle.extraction
+        return self.initial.extraction
+
+    @property
+    def total_probes(self) -> int:
+        """Physical probes across search, extractions, and staleness checks."""
+        probes = self.initial.total_probes
+        for cycle in self.cycles:
+            probes += cycle.check.n_check_pixels
+            if cycle.extraction is not None:
+                probes += cycle.extraction.probe_stats.n_probes
+        return probes
+
+    def summary(self) -> dict:
+        """Flat summary of the whole timeline."""
+        return {
+            "initial_success": self.initial.success,
+            "n_cycles": len(self.cycles),
+            "n_retunes": self.n_retunes,
+            "final_success": self.final_extraction.success,
+            "final_alpha_12": self.final_extraction.alpha_12,
+            "final_alpha_21": self.final_extraction.alpha_21,
+            "total_probes": self.total_probes,
+            "final_elapsed_s": self.final_elapsed_s,
+            **self.metadata,
+        }
+
+
 class AutoTuningWorkflow:
-    """Find the transition window of a gate pair, then extract virtual gates."""
+    """Find the transition window of a gate pair, then extract virtual gates.
+
+    ``noise``, ``drift``, and ``time_dependent_noise`` describe the simulated
+    environment every stage runs under; :meth:`for_scenario` fills them from
+    a registered :class:`~repro.scenarios.catalog.LabScenario`.
+    """
 
     def __init__(
         self,
@@ -81,6 +174,8 @@ class AutoTuningWorkflow:
         noise: NoiseModel | None = None,
         timing: TimingModel | None = None,
         seed: int | np.random.SeedSequence | None = None,
+        drift: DeviceDrift | None = None,
+        time_dependent_noise: bool = False,
     ) -> None:
         if resolution < 16:
             raise ExtractionError("resolution must be at least 16")
@@ -90,6 +185,31 @@ class AutoTuningWorkflow:
         self._noise = noise
         self._timing = timing or TimingModel.paper_default()
         self._seed = seed
+        self._drift = drift
+        self._time_dependent_noise = bool(time_dependent_noise)
+
+    @classmethod
+    def for_scenario(
+        cls,
+        scenario: LabScenario | str,
+        resolution: int = 100,
+        extraction_config: ExtractionConfig | None = None,
+        window_config: WindowSearchConfig | None = None,
+        seed: int | np.random.SeedSequence | None = None,
+    ) -> "AutoTuningWorkflow":
+        """A workflow configured for a (possibly named) lab scenario."""
+        if isinstance(scenario, str):
+            scenario = get_scenario(scenario)
+        return cls(
+            resolution=resolution,
+            extraction_config=extraction_config,
+            window_config=window_config,
+            noise=scenario.noise,
+            timing=scenario.timing,
+            seed=seed,
+            drift=scenario.drift,
+            time_dependent_noise=scenario.time_dependent_noise,
+        )
 
     # ------------------------------------------------------------------
     def run(
@@ -107,18 +227,9 @@ class AutoTuningWorkflow:
         # each other and of neighbouring root seeds (seed + 1 would collide
         # with the window-search stream of a run rooted at seed + 1).
         window_seed, extraction_seed = spawn_seeds(self._seed, 2)
-        finder = TransitionWindowFinder(
-            device,
-            gate_x=gate_x,
-            gate_y=gate_y,
-            x_range=x_range,
-            y_range=y_range,
-            noise=self._noise,
-            seed=window_seed,
-            timing=self._timing,
-            config=self._window_config,
+        window_result = self._find_window(
+            device, gate_x, gate_y, x_range, y_range, window_seed
         )
-        window_result = finder.find()
         session = ExperimentSession.from_device(
             device,
             resolution=self._resolution,
@@ -130,6 +241,8 @@ class AutoTuningWorkflow:
             noise=self._noise,
             seed=extraction_seed,
             timing=self._timing,
+            drift=self._drift,
+            time_dependent_noise=self._time_dependent_noise,
             label=f"{device.name}:autotune",
         )
         extraction = FastVirtualGateExtractor(self._extraction_config).extract(session)
@@ -143,3 +256,175 @@ class AutoTuningWorkflow:
                 "resolution": self._resolution,
             },
         )
+
+    def run_with_retuning(
+        self,
+        device: DotArrayDevice,
+        gate_x: int | str = "P1",
+        gate_y: int | str = "P2",
+        idle_time_s: float = 600.0,
+        n_cycles: int = 3,
+        staleness_threshold_na: float = 0.08,
+        n_check_pixels: int = 16,
+        x_range: tuple[float, float] | None = None,
+        y_range: tuple[float, float] | None = None,
+    ) -> DriftAwareTuneResult:
+        """Tune, then watch the device age and re-extract when it moves.
+
+        One continuous simulated timeline: the coarse window search, the
+        initial extraction, then ``n_cycles`` idle periods of
+        ``idle_time_s``.  After each idle period the workflow re-probes
+        ``n_check_pixels`` of the pixels the last extraction already
+        measured (a few dwell times of cost) and compares against the stored
+        values; a maximum deviation beyond ``staleness_threshold_na``
+        declares the virtualization matrix stale and triggers a fresh
+        extraction *at the device's current age* on the same window.
+
+        Returns the initial result plus every check and re-extraction, so
+        callers can see both how often the environment forced a retune and
+        what each retune cost.
+        """
+        if idle_time_s < 0:
+            raise ExtractionError("idle_time_s must be non-negative")
+        if n_cycles < 1:
+            raise ExtractionError("n_cycles must be at least 1")
+        if staleness_threshold_na <= 0:
+            raise ExtractionError("staleness_threshold_na must be positive")
+        if n_check_pixels < 1:
+            raise ExtractionError("n_check_pixels must be at least 1")
+        window_seed, extraction_seed = spawn_seeds(self._seed, 2)
+        window_result = self._find_window(
+            device, gate_x, gate_y, x_range, y_range, window_seed
+        )
+        (x_min, x_max), (y_min, y_max) = window_result.window
+        backend = DeviceBackend(
+            device,
+            x_voltages=np.linspace(x_min, x_max, self._resolution),
+            y_voltages=np.linspace(y_min, y_max, self._resolution),
+            gate_x=gate_x,
+            gate_y=gate_y,
+            noise=self._noise,
+            seed=extraction_seed,
+            drift=self._drift,
+            time_dependent_noise=self._time_dependent_noise,
+            probe_interval_s=self._timing.cost_per_probe_s,
+        )
+        # One clock for the whole timeline; the coarse search already spent
+        # simulated time, so the fine stages start aged by that much.
+        clock = VirtualClock(self._timing)
+        clock.advance(window_result.elapsed_s)
+        extractor = FastVirtualGateExtractor(self._extraction_config)
+
+        initial_extraction, meter = self._extract_stage(extractor, backend, clock)
+        initial = AutoTuneResult(
+            window_search=window_result,
+            extraction=initial_extraction,
+            metadata={
+                "device": device.name,
+                "gate_x": str(gate_x),
+                "gate_y": str(gate_y),
+                "resolution": self._resolution,
+            },
+        )
+        check_rows, check_cols, reference = self._reference_pixels(
+            meter, n_check_pixels
+        )
+
+        cycles: list[RetuneCycle] = []
+        for _ in range(n_cycles):
+            clock.advance(idle_time_s)
+            # Cache off: the whole point is paying for fresh values at the
+            # device's current age.
+            check_meter = ChargeSensorMeter(backend, clock=clock, cache=False)
+            fresh = check_meter.get_currents(check_rows, check_cols)
+            deviation = float(np.max(np.abs(fresh - reference)))
+            check = StalenessCheck(
+                checked_at_s=clock.elapsed_s,
+                max_deviation_na=deviation,
+                threshold_na=staleness_threshold_na,
+                n_check_pixels=int(check_rows.size),
+            )
+            extraction: ExtractionResult | None = None
+            if check.stale:
+                extraction, retune_meter = self._extract_stage(
+                    extractor, backend, clock
+                )
+                check_rows, check_cols, reference = self._reference_pixels(
+                    retune_meter, n_check_pixels
+                )
+            cycles.append(RetuneCycle(check=check, extraction=extraction))
+        return DriftAwareTuneResult(
+            initial=initial,
+            cycles=tuple(cycles),
+            final_elapsed_s=clock.elapsed_s,
+            metadata={
+                "device": device.name,
+                "idle_time_s": idle_time_s,
+                "staleness_threshold_na": staleness_threshold_na,
+            },
+        )
+
+    # ------------------------------------------------------------------
+    def _find_window(
+        self,
+        device: DotArrayDevice,
+        gate_x: int | str,
+        gate_y: int | str,
+        x_range: tuple[float, float] | None,
+        y_range: tuple[float, float] | None,
+        seed: np.random.SeedSequence,
+    ) -> WindowSearchResult:
+        finder = TransitionWindowFinder(
+            device,
+            gate_x=gate_x,
+            gate_y=gate_y,
+            x_range=x_range,
+            y_range=y_range,
+            noise=self._noise,
+            seed=seed,
+            timing=self._timing,
+            config=self._window_config,
+            drift=self._drift,
+            time_dependent_noise=self._time_dependent_noise,
+        )
+        return finder.find()
+
+    @staticmethod
+    def _extract_stage(
+        extractor: FastVirtualGateExtractor,
+        backend: DeviceBackend,
+        clock: VirtualClock,
+    ) -> tuple[ExtractionResult, ChargeSensorMeter]:
+        """One extraction on the shared timeline, with *stage-local* cost.
+
+        The shared clock reads absolute timeline age, so the raw
+        ``probe_stats.elapsed_s`` would include everything that happened
+        before this stage (window search, earlier cycles); rewrite it to the
+        time this extraction itself consumed.
+        """
+        started_s = clock.elapsed_s
+        meter = ChargeSensorMeter(backend, clock=clock)
+        result = extractor.extract(meter)
+        stats = replace(result.probe_stats, elapsed_s=clock.elapsed_s - started_s)
+        return replace(result, probe_stats=stats), meter
+
+    @staticmethod
+    def _reference_pixels(
+        meter: ChargeSensorMeter, n_check_pixels: int
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Evenly spaced sample of the meter's measured pixels + their values."""
+        measured = meter.log.unique_pixels()
+        if not measured:
+            raise ExtractionError(
+                "no measured pixels to build staleness references from"
+            )
+        indices = np.unique(
+            np.linspace(0, len(measured) - 1, min(n_check_pixels, len(measured)))
+            .round()
+            .astype(int)
+        )
+        pixels = np.asarray(measured, dtype=np.int64)[indices]
+        rows = pixels[:, 0]
+        cols = pixels[:, 1]
+        image = meter.measured_image()
+        return rows, cols, image[rows, cols]

@@ -39,7 +39,8 @@ import numpy as np
 from ..exceptions import MeasurementError, ProbeBudgetExceededError
 from ..physics.csd import ChargeStabilityDiagram, nearest_axis_index, uniform_axis_step
 from ..physics.dot_array import DotArrayDevice
-from ..physics.noise import NoiseModel, NoNoise
+from ..physics.drift import DeviceDrift, DeviceDriftState
+from ..physics.noise import NoiseModel, NoNoise, TimeDependentNoise
 from .timing import TimingModel, VirtualClock
 
 #: Initial column capacity of a probe log.
@@ -268,20 +269,45 @@ class MeasurementBackend:
         """Row voltages of the grid."""
         raise NotImplementedError
 
-    def current(self, row: int, col: int) -> float:
-        """Sensor current (nA) of the pixel at ``(row, col)``."""
+    @property
+    def is_time_dependent(self) -> bool:
+        """Whether pixel values depend on the simulated probe timestamp.
+
+        Static backends (the default) may be probed with or without
+        timestamps; time-dependent ones require them.
+        """
+        return False
+
+    def current(self, row: int, col: int, time_s: float | None = None) -> float:
+        """Sensor current (nA) of the pixel at ``(row, col)``.
+
+        ``time_s`` is the simulated clock reading at which the probe happens;
+        static backends ignore it, time-dependent ones require it.
+        """
         raise NotImplementedError
 
-    def currents(self, rows: np.ndarray, cols: np.ndarray) -> np.ndarray:
+    def currents(
+        self,
+        rows: np.ndarray,
+        cols: np.ndarray,
+        times_s: np.ndarray | None = None,
+    ) -> np.ndarray:
         """Sensor currents (nA) for arrays of pixel indices.
 
         The base implementation loops over :meth:`current`; both built-in
         backends override it with a fully vectorised evaluation that returns
-        bit-identical values.
+        bit-identical values.  ``times_s``, when given, carries one simulated
+        timestamp per probe.
         """
         rows, cols = self.validate_pixels(rows, cols)
+        times = self.validate_times(times_s, rows.size)
         return np.array(
-            [self.current(int(row), int(col)) for row, col in zip(rows, cols)],
+            [
+                self.current(int(row), int(col), None if times is None else float(t))
+                for row, col, t in zip(
+                    rows, cols, times if times is not None else np.zeros(rows.size)
+                )
+            ],
             dtype=float,
         )
 
@@ -362,6 +388,31 @@ class MeasurementBackend:
             )
         return rows, cols
 
+    def validate_times(
+        self, times_s: np.ndarray | list | None, n: int
+    ) -> np.ndarray | None:
+        """Check per-probe timestamps against the request count.
+
+        Returns a flat float array (or ``None`` when omitted); a
+        time-dependent backend refuses probes without timestamps, because it
+        cannot know *when* the evolving device is being measured.
+        """
+        if times_s is None:
+            if self.is_time_dependent:
+                raise MeasurementError(
+                    "this backend is time-dependent (drift and/or "
+                    "time-dependent noise); probes require per-probe "
+                    "timestamps — measure through a ChargeSensorMeter, or "
+                    "pass times_s explicitly"
+                )
+            return None
+        times = np.atleast_1d(np.asarray(times_s, dtype=float)).ravel()
+        if times.size != n:
+            raise MeasurementError(
+                f"expected {n} probe timestamps, got {times.size}"
+            )
+        return times
+
 
 class DatasetBackend(MeasurementBackend):
     """Replay a recorded/simulated charge-stability diagram."""
@@ -382,18 +433,41 @@ class DatasetBackend(MeasurementBackend):
     def y_voltages(self) -> np.ndarray:
         return self._csd.y_voltages
 
-    def current(self, row: int, col: int) -> float:
+    def current(self, row: int, col: int, time_s: float | None = None) -> float:
         self.validate_pixel(row, col)
         return float(self._csd.data[row, col])
 
-    def currents(self, rows: np.ndarray, cols: np.ndarray) -> np.ndarray:
+    def currents(
+        self,
+        rows: np.ndarray,
+        cols: np.ndarray,
+        times_s: np.ndarray | None = None,
+    ) -> np.ndarray:
         """Batched replay: one fancy-index into the stored pixel grid."""
         rows, cols = self.validate_pixels(rows, cols)
+        self.validate_times(times_s, rows.size)
         return self._csd.data[rows, cols].astype(float)
 
 
 class DeviceBackend(MeasurementBackend):
-    """Evaluate the device physics on demand over a configured grid."""
+    """Evaluate the device physics on demand over a configured grid.
+
+    Parameters beyond the grid/noise basics:
+
+    drift:
+        Optional :class:`~repro.physics.drift.DeviceDrift` describing how the
+        device itself evolves with simulated time (sensor operating-point
+        wander, charge jumps, periodic interference, lever-arm creep).
+    time_dependent_noise:
+        When true, the noise model is evaluated at each probe's simulated
+        timestamp through :meth:`~repro.physics.noise.NoiseModel.at_times`
+        instead of as one static per-pixel field — re-probing the same pixel
+        later in the run then sees *different* noise, as on real hardware.
+    probe_interval_s:
+        Nominal simulated cost of one probe; converts pixel-unit noise
+        parameters (telegraph dwell, 1/f band) into seconds.  Pass the
+        session's ``TimingModel.cost_per_probe_s``.
+    """
 
     def __init__(
         self,
@@ -405,6 +479,9 @@ class DeviceBackend(MeasurementBackend):
         fixed_voltages: np.ndarray | list | None = None,
         noise: NoiseModel | None = None,
         seed: int | np.random.SeedSequence | None = None,
+        drift: DeviceDrift | None = None,
+        time_dependent_noise: bool = False,
+        probe_interval_s: float = 0.05,
     ) -> None:
         self._device = device
         self._xs = np.asarray(x_voltages, dtype=float)
@@ -427,6 +504,21 @@ class DeviceBackend(MeasurementBackend):
         self._noise = noise or NoNoise()
         self._seed = seed
         self._noise_field: np.ndarray | None = None
+        if probe_interval_s < 0 or not np.isfinite(probe_interval_s):
+            raise MeasurementError("probe_interval_s must be finite and non-negative")
+        if time_dependent_noise and probe_interval_s == 0:
+            # With a free probe every timestamp is identical, so "noise"
+            # would silently collapse to one constant draw.
+            raise MeasurementError(
+                "time-dependent noise requires a positive probe_interval_s "
+                "(a zero-cost probe never advances the clock)"
+            )
+        self._drift = drift
+        self._time_dependent_noise = bool(time_dependent_noise)
+        self._probe_interval_s = float(probe_interval_s)
+        self._temporal_noise: TimeDependentNoise | None = None
+        self._drift_state: DeviceDriftState | None = None
+        self._seed_children_cache: tuple[np.random.SeedSequence, ...] | None = None
 
     @property
     def device(self) -> DotArrayDevice:
@@ -451,30 +543,101 @@ class DeviceBackend(MeasurementBackend):
     def y_voltages(self) -> np.ndarray:
         return self._ys
 
+    @property
+    def drift(self) -> DeviceDrift | None:
+        """The device-evolution model, if any."""
+        return self._drift
+
+    @property
+    def is_time_dependent(self) -> bool:
+        """Whether probe values depend on the simulated timestamp."""
+        drifting = self._drift is not None and not self._drift.is_static
+        return drifting or self._time_dependent_noise
+
     def _noise_grid(self) -> np.ndarray:
         if self._noise_field is None:
             rng = np.random.default_rng(self._seed)
             self._noise_field = self._noise.sample_grid(self.shape, rng)
         return self._noise_field
 
-    def current(self, row: int, col: int) -> float:
-        self.validate_pixel(row, col)
-        return float(self.currents(np.array([row]), np.array([col]))[0])
+    def _seed_children(self) -> tuple[np.random.SeedSequence, ...]:
+        # Independent child streams for the temporal noise sampler and the
+        # drift state, so the two mechanisms never share randomness.  The
+        # children are derived by extending the spawn key directly rather
+        # than through SeedSequence.spawn(), which would mutate a
+        # caller-supplied SeedSequence's child counter and make two backends
+        # seeded with the same object diverge.  The large constant keeps the
+        # keys clear of anything the caller's own spawn() will hand out.
+        if self._seed_children_cache is None:
+            root = (
+                self._seed
+                if isinstance(self._seed, np.random.SeedSequence)
+                else np.random.SeedSequence(self._seed)
+            )
+            self._seed_children_cache = tuple(
+                np.random.SeedSequence(
+                    entropy=root.entropy, spawn_key=root.spawn_key + (2**31, i)
+                )
+                for i in (0, 1)
+            )
+        return self._seed_children_cache
 
-    def currents(self, rows: np.ndarray, cols: np.ndarray) -> np.ndarray:
+    def _temporal(self) -> TimeDependentNoise:
+        if self._temporal_noise is None:
+            noise_seed, _ = self._seed_children()
+            self._temporal_noise = self._noise.at_times(
+                np.random.default_rng(noise_seed), self._probe_interval_s
+            )
+        return self._temporal_noise
+
+    def _drifting(self) -> DeviceDriftState:
+        assert self._drift is not None
+        if self._drift_state is None:
+            _, drift_seed = self._seed_children()
+            self._drift_state = self._drift.at_times(
+                np.random.default_rng(drift_seed)
+            )
+        return self._drift_state
+
+    def current(self, row: int, col: int, time_s: float | None = None) -> float:
+        self.validate_pixel(row, col)
+        times = None if time_s is None else np.array([float(time_s)])
+        return float(self.currents(np.array([row]), np.array([col]), times)[0])
+
+    def currents(
+        self,
+        rows: np.ndarray,
+        cols: np.ndarray,
+        times_s: np.ndarray | None = None,
+    ) -> np.ndarray:
         """Batched physics evaluation of an arbitrary set of pixels.
 
         Builds the gate-voltage points, solves all ground states through the
         solver's vectorised lattice kernel, converts them to sensor currents
-        in one evaluation, and adds the pixel's share of the seeded noise
-        field — the same field the scalar path samples, so batched and
-        scalar probes agree bit-for-bit.
+        in one evaluation, and adds the noise — either the pixel's share of
+        the seeded static field, or (for time-dependent noise) the temporal
+        sampler evaluated at each probe's timestamp.  Device drift enters as
+        a per-probe sensor-detuning offset and swept-gate scale.  Every term
+        is an elementwise function of (pixel, timestamp), so batched and
+        scalar probes agree bit-for-bit regardless of batch splitting.
         """
         rows, cols = self.validate_pixels(rows, cols)
+        times = self.validate_times(times_s, rows.size)
         points = np.tile(self._fixed, (rows.size, 1))
         points[:, self._gate_x] = self._xs[cols]
         points[:, self._gate_y] = self._ys[rows]
-        values = self._device.sensor_currents(points)
+        detuning_offset_mv: np.ndarray | float = 0.0
+        if self._drift is not None and not self._drift.is_static and rows.size:
+            state = self._drifting()
+            scale = state.gate_scale(times)
+            points[:, self._gate_x] *= scale
+            points[:, self._gate_y] *= scale
+            detuning_offset_mv = state.detuning_offset_mv(times)
+        values = self._device.sensor_currents(
+            points, detuning_offset_mv=detuning_offset_mv
+        )
+        if self._time_dependent_noise:
+            return values + self._temporal().sample_at(times)
         return values + self._noise_grid()[rows, cols]
 
 
@@ -581,8 +744,11 @@ class ChargeSensorMeter:
             raise ProbeBudgetExceededError(
                 f"probe budget of {self._max_probes} points exhausted"
             )
+        # The clock is charged first so the probe's timestamp — which
+        # time-dependent backends measure *at* — is the elapsed time after
+        # its dwell, matching the batched path's charge_probes readings.
         self._clock.charge_probe()
-        value = self._backend.current(row, col)
+        value = self._backend.current(row, col, time_s=self._clock.elapsed_s)
         if not self._measured[row, col]:
             self._n_probes += 1
         self._measured[row, col] = True
@@ -649,8 +815,15 @@ class ChargeSensorMeter:
         values = np.empty(stop, dtype=float)
         probe_rows = committed_rows[committed_physical]
         probe_cols = committed_cols[committed_physical]
+        # Each physical probe charges the clock before it is evaluated, so
+        # time-dependent backends see the same per-probe timestamps (elapsed
+        # time after each dwell) the scalar loop produces.
+        base_elapsed = self._clock.elapsed_s
+        probe_times = self._clock.charge_probes(int(probe_rows.size))
         if probe_rows.size:
-            measured_values = self._backend.currents(probe_rows, probe_cols)
+            measured_values = self._backend.currents(
+                probe_rows, probe_cols, times_s=probe_times
+            )
             values[committed_physical] = measured_values
             self._value_grid[probe_rows, probe_cols] = measured_values
             self._measured[probe_rows, probe_cols] = True
@@ -660,10 +833,8 @@ class ChargeSensorMeter:
                 committed_rows[from_cache], committed_cols[from_cache]
             ]
         self._n_probes += int(np.count_nonzero(new_unique[:stop]))
-        # Each physical probe charges the clock; a request's timestamp is the
-        # elapsed time after the last physical probe at or before it.
-        base_elapsed = self._clock.elapsed_s
-        probe_times = self._clock.charge_probes(int(np.count_nonzero(committed_physical)))
+        # A request's timestamp is the elapsed time after the last physical
+        # probe at or before it (cache hits cost nothing).
         times = np.concatenate(([base_elapsed], probe_times))[
             np.cumsum(committed_physical)
         ]

@@ -19,6 +19,7 @@ import numpy as np
 
 from ..physics.csd import ChargeStabilityDiagram, CSDSimulator, TransitionLineGeometry
 from ..physics.dot_array import DotArrayDevice
+from ..physics.drift import DeviceDrift
 from ..physics.noise import NoiseModel
 from .measurement import ChargeSensorMeter, DatasetBackend, DeviceBackend
 from .timing import TimingModel, VirtualClock
@@ -142,9 +143,18 @@ class ExperimentSession:
         realtime: bool = False,
         cache: bool = True,
         max_probes: int | None = None,
+        drift: DeviceDrift | None = None,
+        time_dependent_noise: bool = False,
         label: str | None = None,
     ) -> "ExperimentSession":
-        """Measure a simulated device on demand over a voltage grid."""
+        """Measure a simulated device on demand over a voltage grid.
+
+        ``drift`` and ``time_dependent_noise`` make the backend evolve with
+        the session's simulated clock (see
+        :class:`~repro.instrument.measurement.DeviceBackend`); the timing
+        model's per-probe cost doubles as the pixel-to-seconds conversion for
+        the time-dependent noise mechanisms.
+        """
         simulator = CSDSimulator(
             device, dot_a=dot_a, dot_b=dot_b, gate_x=gate_x, gate_y=gate_y
         )
@@ -157,6 +167,7 @@ class ExperimentSession:
         (x_min, x_max), (y_min, y_max) = window
         xs = np.linspace(x_min, x_max, n_cols)
         ys = np.linspace(y_min, y_max, n_rows)
+        timing = timing or TimingModel.paper_default()
         backend = DeviceBackend(
             device,
             x_voltages=xs,
@@ -165,8 +176,11 @@ class ExperimentSession:
             gate_y=gate_y,
             noise=noise,
             seed=seed,
+            drift=drift,
+            time_dependent_noise=time_dependent_noise,
+            probe_interval_s=timing.cost_per_probe_s,
         )
-        clock = VirtualClock(timing or TimingModel.paper_default(), realtime=realtime)
+        clock = VirtualClock(timing, realtime=realtime)
         meter = ChargeSensorMeter(backend, clock=clock, cache=cache, max_probes=max_probes)
         source = VoltageSource.for_gates(device.gate_names)
         return cls(
@@ -199,6 +213,8 @@ class SessionFactory:
     cache: bool = True
     max_probes: int | None = None
     realtime: bool = False
+    drift: DeviceDrift | None = None
+    time_dependent_noise: bool = False
 
     def make(
         self,
@@ -225,5 +241,7 @@ class SessionFactory:
             realtime=self.realtime,
             cache=self.cache,
             max_probes=self.max_probes,
+            drift=self.drift,
+            time_dependent_noise=self.time_dependent_noise,
             label=label or f"{self.device.name}:{gate_x}-{gate_y}",
         )

@@ -12,6 +12,7 @@ from .capacitance import CapacitanceModel
 from .charge_state import ChargeState, ChargeStateSolver, format_charge_state
 from .csd import ChargeStabilityDiagram, CSDSimulator, TransitionLineGeometry
 from .dot_array import DotArrayDevice, GateSpec
+from .drift import DeviceDrift, DeviceDriftState
 from .noise import (
     CompositeNoise,
     DriftNoise,
@@ -19,6 +20,7 @@ from .noise import (
     NoNoise,
     PinkNoise,
     TelegraphNoise,
+    TimeDependentNoise,
     WhiteNoise,
     standard_lab_noise,
 )
@@ -35,8 +37,11 @@ __all__ = [
     "TransitionLineGeometry",
     "DotArrayDevice",
     "GateSpec",
+    "DeviceDrift",
+    "DeviceDriftState",
     "NoiseModel",
     "NoNoise",
+    "TimeDependentNoise",
     "WhiteNoise",
     "PinkNoise",
     "TelegraphNoise",

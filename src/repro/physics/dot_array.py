@@ -182,6 +182,7 @@ class DotArrayDevice:
         self,
         gate_voltage_points: np.ndarray,
         occupations: np.ndarray | None = None,
+        detuning_offset_mv: np.ndarray | float = 0.0,
     ) -> np.ndarray:
         """Vectorised :meth:`sensor_current` over a batch of voltage points.
 
@@ -196,6 +197,10 @@ class DotArrayDevice:
         occupations:
             Optional pre-solved occupations, shape ``(n_points, n_dots)``;
             computed from the ground states when omitted.
+        detuning_offset_mv:
+            Extra sensor detuning per point (scalar or ``(n_points,)``);
+            drift-aware backends use it to move the sensor operating point
+            as a function of probe time.
 
         Returns
         -------
@@ -210,7 +215,11 @@ class DotArrayDevice:
             )
         if occupations is None:
             occupations = self._solver.occupations_at(points)
-        return self._sensor.currents(np.asarray(occupations, dtype=float), points)
+        return self._sensor.currents(
+            np.asarray(occupations, dtype=float),
+            points,
+            detuning_offset_mv=detuning_offset_mv,
+        )
 
     def ground_truth_alphas(
         self, dot_a: int, dot_b: int, gate_x: int | str, gate_y: int | str

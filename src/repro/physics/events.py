@@ -1,0 +1,75 @@
+"""Shared stochastic-process plumbing for the time-dependent physics models.
+
+Both the temporal telegraph sampler (:mod:`repro.physics.noise`) and the
+charge-jump drift state (:mod:`repro.physics.drift`) are driven by the same
+construction: a Poisson-like point process in simulated time whose event
+times (and optional per-event marks) form **one fixed random sequence**,
+generated lazily from a private stream as later and later horizons are
+queried.  Because the sequence is a function of the stream alone — never of
+the queries — values derived from it are independent of query order and
+batching, which is what keeps the scalar and batched probe paths
+bit-identical.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from ..exceptions import ConfigurationError
+
+
+def require_finite(name: str, value: float) -> None:
+    """Raise :class:`ConfigurationError` unless ``value`` is finite."""
+    if not np.isfinite(value):
+        raise ConfigurationError(f"{name} must be finite, got {value!r}")
+
+
+class ExponentialEventStream:
+    """Lazily extended event times with exponential gaps.
+
+    Parameters
+    ----------
+    rng:
+        Private generator the stream draws from; nothing else may consume it.
+    mean_gap_s:
+        Mean gap between events, in simulated seconds (must be positive).
+    draw_marks:
+        Optional callback ``(n_events, rng)`` invoked once per generated
+        chunk, *after* the chunk's gap draws, so implementations can attach
+        per-event randomness (jump signs/sizes) in a fixed order.
+    """
+
+    _CHUNK = 64
+
+    def __init__(
+        self,
+        rng: np.random.Generator,
+        mean_gap_s: float,
+        draw_marks: Callable[[int, np.random.Generator], None] | None = None,
+    ) -> None:
+        if mean_gap_s <= 0 or not np.isfinite(mean_gap_s):
+            raise ConfigurationError("mean_gap_s must be positive and finite")
+        self._rng = rng
+        self._mean_gap_s = float(mean_gap_s)
+        self._draw_marks = draw_marks
+        self._times = np.zeros(0, dtype=float)
+        self._horizon_s = 0.0
+
+    def extend_to(self, t_max: float) -> None:
+        """Generate events until the stream covers ``t_max``."""
+        while self._horizon_s <= t_max:
+            gaps = self._rng.exponential(self._mean_gap_s, size=self._CHUNK)
+            new = self._horizon_s + np.cumsum(gaps)
+            self._times = np.concatenate([self._times, new])
+            if self._draw_marks is not None:
+                self._draw_marks(self._CHUNK, self._rng)
+            self._horizon_s = float(new[-1])
+
+    def count_before(self, times_s: np.ndarray) -> np.ndarray:
+        """Number of events at or before each timestamp (extends as needed)."""
+        times = np.asarray(times_s, dtype=float)
+        if times.size:
+            self.extend_to(float(np.max(times[np.isfinite(times)], initial=0.0)))
+        return np.searchsorted(self._times, times, side="right")

@@ -16,9 +16,22 @@ models of the dominant mechanisms:
   point across the scan.
 * :class:`CompositeNoise` — sum of any of the above.
 
-All models expose a single method, :meth:`NoiseModel.sample_grid`, which
-returns an additive noise field for a ``(rows, cols)`` grid, and are
-deterministic given their seed.
+All models expose two sampling surfaces:
+
+* :meth:`NoiseModel.sample_grid` returns a *static* additive field for a
+  ``(rows, cols)`` grid — measurement time is implicitly mapped onto pixel
+  position, the way a raster scan renders temporal noise;
+* :meth:`NoiseModel.at_times` builds a :class:`TimeDependentNoise` sampler
+  that evaluates the same mechanism at explicit simulated timestamps (the
+  per-probe clock readings of
+  :class:`~repro.instrument.timing.VirtualClock`), so non-raster probe
+  patterns — and anything that revisits a voltage point later in the run —
+  see the device *evolve* between probes.
+
+Both surfaces are deterministic given their seed, and every time-dependent
+sampler is a pure function of the timestamp once constructed: splitting a
+batch of probes into smaller batches (or down to single scalar probes) cannot
+change a single bit of the sampled noise.
 """
 
 from __future__ import annotations
@@ -27,8 +40,30 @@ from dataclasses import dataclass
 from typing import Sequence
 
 import numpy as np
+from scipy.special import ndtri
 
 from ..exceptions import ConfigurationError
+from .events import ExponentialEventStream, require_finite as _require_finite
+
+
+class TimeDependentNoise:
+    """Protocol for noise evaluated at simulated probe timestamps.
+
+    Instances are built by :meth:`NoiseModel.at_times` and hold whatever
+    random structure the mechanism needs (hash keys, component phases,
+    telegraph switching times), drawn once from the seeded generator at
+    construction.  After that, :meth:`sample_at` is a deterministic function
+    of the timestamps — the same probe time always yields the same noise, no
+    matter how requests are batched or interleaved.
+    """
+
+    def sample_at(self, times_s: np.ndarray) -> np.ndarray:
+        """Additive noise (nA) at each simulated timestamp (seconds)."""
+        raise NotImplementedError
+
+    def describe(self) -> str:
+        """One-line human readable description used in metadata."""
+        return type(self).__name__
 
 
 class NoiseModel:
@@ -37,6 +72,26 @@ class NoiseModel:
     def sample_grid(self, shape: tuple[int, int], rng: np.random.Generator) -> np.ndarray:
         """Return an additive noise field of the requested shape (in nA)."""
         raise NotImplementedError
+
+    def at_times(
+        self, rng: np.random.Generator, probe_interval_s: float = 0.05
+    ) -> TimeDependentNoise:
+        """Build a time-dependent sampler of this mechanism.
+
+        Parameters
+        ----------
+        rng:
+            Seeded generator the sampler draws its random structure from,
+            once, at construction.
+        probe_interval_s:
+            Nominal simulated cost of one probe.  It converts the grid
+            models' per-pixel units into seconds (a telegraph dwell of 200
+            pixels becomes ``200 * probe_interval_s``), exactly the mapping a
+            slow raster scan applies implicitly.
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} does not implement time-dependent sampling"
+        )
 
     def describe(self) -> str:
         """One-line human readable description used in dataset metadata."""
@@ -49,6 +104,11 @@ class NoNoise(NoiseModel):
 
     def sample_grid(self, shape: tuple[int, int], rng: np.random.Generator) -> np.ndarray:
         return np.zeros(shape, dtype=float)
+
+    def at_times(
+        self, rng: np.random.Generator, probe_interval_s: float = 0.05
+    ) -> TimeDependentNoise:
+        return _ZeroTemporal()
 
     def describe(self) -> str:
         return "none"
@@ -67,11 +127,17 @@ class WhiteNoise(NoiseModel):
     sigma_na: float = 0.01
 
     def __post_init__(self) -> None:
+        _require_finite("sigma_na", self.sigma_na)
         if self.sigma_na < 0:
             raise ConfigurationError("sigma_na must be non-negative")
 
     def sample_grid(self, shape: tuple[int, int], rng: np.random.Generator) -> np.ndarray:
         return rng.normal(0.0, self.sigma_na, size=shape)
+
+    def at_times(
+        self, rng: np.random.Generator, probe_interval_s: float = 0.05
+    ) -> TimeDependentNoise:
+        return _WhiteTemporal(self.sigma_na, key=int(rng.integers(0, 2**63)))
 
     def describe(self) -> str:
         return f"white(sigma={self.sigma_na:g} nA)"
@@ -100,6 +166,8 @@ class PinkNoise(NoiseModel):
     exponent: float = 1.0
 
     def __post_init__(self) -> None:
+        _require_finite("sigma_na", self.sigma_na)
+        _require_finite("exponent", self.exponent)
         if self.sigma_na < 0:
             raise ConfigurationError("sigma_na must be non-negative")
         if self.exponent <= 0:
@@ -107,7 +175,9 @@ class PinkNoise(NoiseModel):
 
     def sample_grid(self, shape: tuple[int, int], rng: np.random.Generator) -> np.ndarray:
         rows, cols = shape
-        if self.sigma_na == 0:
+        if self.sigma_na == 0 or rows * cols <= 1:
+            # Degenerate grids — empty, or a single pixel whose spectrum has
+            # no non-DC component to shape — carry no 1/f structure.
             return np.zeros(shape, dtype=float)
         white = rng.normal(0.0, 1.0, size=shape)
         fy = np.fft.fftfreq(rows)[:, None]
@@ -121,6 +191,11 @@ class PinkNoise(NoiseModel):
         if rms == 0:
             return np.zeros(shape, dtype=float)
         return field * (self.sigma_na / rms)
+
+    def at_times(
+        self, rng: np.random.Generator, probe_interval_s: float = 0.05
+    ) -> TimeDependentNoise:
+        return _PinkTemporal(self.sigma_na, self.exponent, rng, probe_interval_s)
 
     def describe(self) -> str:
         return f"pink(sigma={self.sigma_na:g} nA, exp={self.exponent:g})"
@@ -146,6 +221,8 @@ class TelegraphNoise(NoiseModel):
     mean_dwell_pixels: float = 200.0
 
     def __post_init__(self) -> None:
+        _require_finite("amplitude_na", self.amplitude_na)
+        _require_finite("mean_dwell_pixels", self.mean_dwell_pixels)
         if self.amplitude_na < 0:
             raise ConfigurationError("amplitude_na must be non-negative")
         if self.mean_dwell_pixels <= 0:
@@ -167,6 +244,13 @@ class TelegraphNoise(NoiseModel):
         trace -= float(np.mean(trace))
         return trace.reshape(shape)
 
+    def at_times(
+        self, rng: np.random.Generator, probe_interval_s: float = 0.05
+    ) -> TimeDependentNoise:
+        return _TelegraphTemporal(
+            self.amplitude_na, self.mean_dwell_pixels * probe_interval_s, rng
+        )
+
     def describe(self) -> str:
         return (
             f"telegraph(amp={self.amplitude_na:g} nA, "
@@ -179,16 +263,31 @@ class DriftNoise(NoiseModel):
     """Slow drift of the sensor operating point across the scan.
 
     Combines a linear ramp along the slow (row) axis with an optional
-    sinusoidal modulation, both expressed in nanoamperes peak-to-peak.
+    sinusoidal modulation, both expressed in nanoamperes peak-to-peak.  In
+    time-dependent sampling the ramp and modulation unfold over
+    ``timescale_s`` of simulated time instead of over the rows of one scan
+    (and the ramp keeps growing past it — real drift does not stop when a
+    scan ends).
     """
 
     ramp_na: float = 0.03
     sine_amplitude_na: float = 0.0
     sine_periods: float = 1.5
+    timescale_s: float = 300.0
 
     def __post_init__(self) -> None:
+        _require_finite("ramp_na", self.ramp_na)
+        _require_finite("sine_amplitude_na", self.sine_amplitude_na)
+        _require_finite("sine_periods", self.sine_periods)
+        _require_finite("timescale_s", self.timescale_s)
+        if self.ramp_na < 0:
+            raise ConfigurationError("ramp_na must be non-negative")
+        if self.sine_amplitude_na < 0:
+            raise ConfigurationError("sine_amplitude_na must be non-negative")
         if self.sine_periods <= 0:
             raise ConfigurationError("sine_periods must be positive")
+        if self.timescale_s <= 0:
+            raise ConfigurationError("timescale_s must be positive")
 
     def sample_grid(self, shape: tuple[int, int], rng: np.random.Generator) -> np.ndarray:
         rows, cols = shape
@@ -199,6 +298,11 @@ class DriftNoise(NoiseModel):
                 2.0 * np.pi * self.sine_periods * row_phase
             )
         return np.broadcast_to(field, shape).copy()
+
+    def at_times(
+        self, rng: np.random.Generator, probe_interval_s: float = 0.05
+    ) -> TimeDependentNoise:
+        return _DriftTemporal(self)
 
     def describe(self) -> str:
         return f"drift(ramp={self.ramp_na:g} nA, sine={self.sine_amplitude_na:g} nA)"
@@ -222,6 +326,198 @@ class CompositeNoise(NoiseModel):
         for component in self._components:
             field = field + component.sample_grid(shape, rng)
         return field
+
+    def at_times(
+        self, rng: np.random.Generator, probe_interval_s: float = 0.05
+    ) -> TimeDependentNoise:
+        # Independent spawned streams per component, so adding or removing a
+        # component does not reshuffle the randomness of the others.
+        children = rng.spawn(len(self._components))
+        return _CompositeTemporal(
+            tuple(
+                component.at_times(child, probe_interval_s)
+                for component, child in zip(self._components, children)
+            )
+        )
+
+    def describe(self) -> str:
+        return " + ".join(component.describe() for component in self._components)
+
+
+# ---------------------------------------------------------------------------
+# Time-dependent samplers
+# ---------------------------------------------------------------------------
+
+class _ZeroTemporal(TimeDependentNoise):
+    """Time-dependent view of :class:`NoNoise`."""
+
+    def sample_at(self, times_s: np.ndarray) -> np.ndarray:
+        return np.zeros(np.asarray(times_s, dtype=float).shape, dtype=float)
+
+    def describe(self) -> str:
+        return "none"
+
+
+_MIX_MUL_1 = np.uint64(0xBF58476D1CE4E5B9)
+_MIX_MUL_2 = np.uint64(0x94D049BB133111EB)
+
+
+def _mix_bits(bits: np.ndarray) -> np.ndarray:
+    """SplitMix64 finaliser over a uint64 array (wrapping arithmetic)."""
+    z = bits.copy()
+    z ^= z >> np.uint64(30)
+    z *= _MIX_MUL_1
+    z ^= z >> np.uint64(27)
+    z *= _MIX_MUL_2
+    z ^= z >> np.uint64(31)
+    return z
+
+
+class _WhiteTemporal(TimeDependentNoise):
+    """Gaussian noise as a deterministic function of the probe timestamp.
+
+    The float bits of each timestamp are hashed (SplitMix64, keyed by one
+    draw from the seeded generator) into a uniform variate and mapped through
+    the normal inverse CDF.  Distinct probe times get independent-looking
+    draws; the same time always gets the same draw, which is what makes the
+    scalar and batched probe paths bit-identical by construction.
+    """
+
+    def __init__(self, sigma_na: float, key: int) -> None:
+        self._sigma_na = float(sigma_na)
+        self._key = np.uint64(key)
+
+    def sample_at(self, times_s: np.ndarray) -> np.ndarray:
+        times = np.ascontiguousarray(np.asarray(times_s, dtype=float))
+        if times.size == 0 or self._sigma_na == 0:
+            return np.zeros(times.shape, dtype=float)
+        bits = times.view(np.uint64) ^ self._key
+        # Map the hash to a uniform in (0, 1); the half-bit offset keeps the
+        # inverse CDF away from its infinities at 0 and 1.
+        uniform = (np.right_shift(_mix_bits(bits), np.uint64(11)) + 0.5) * 2.0**-53
+        return self._sigma_na * ndtri(uniform)
+
+    def describe(self) -> str:
+        return f"white(sigma={self._sigma_na:g} nA)"
+
+
+class _PinkTemporal(TimeDependentNoise):
+    """1/f^exponent noise as a finite sum of random-phase sinusoids.
+
+    Component frequencies are log-spaced from roughly one cycle per few
+    thousand probes up to the per-probe Nyquist rate, with amplitudes shaped
+    like the grid model's spectrum and normalised to the requested r.m.s.
+    """
+
+    _N_COMPONENTS = 48
+    _LOW_FREQUENCY_PROBES = 4096.0
+
+    def __init__(
+        self,
+        sigma_na: float,
+        exponent: float,
+        rng: np.random.Generator,
+        probe_interval_s: float,
+    ) -> None:
+        if probe_interval_s <= 0 or not np.isfinite(probe_interval_s):
+            raise ConfigurationError(
+                "probe_interval_s must be positive for time-dependent 1/f noise"
+            )
+        self._sigma_na = float(sigma_na)
+        self._exponent = float(exponent)
+        low = 1.0 / (self._LOW_FREQUENCY_PROBES * probe_interval_s)
+        high = 1.0 / (2.0 * probe_interval_s)
+        self._frequencies = np.geomspace(low, high, self._N_COMPONENTS)
+        self._phases = rng.uniform(0.0, 2.0 * np.pi, size=self._N_COMPONENTS)
+        amplitudes = np.power(self._frequencies, -self._exponent / 2.0)
+        rms = np.sqrt(0.5 * np.sum(amplitudes**2))
+        self._amplitudes = amplitudes * (self._sigma_na / rms if rms > 0 else 0.0)
+
+    def sample_at(self, times_s: np.ndarray) -> np.ndarray:
+        times = np.asarray(times_s, dtype=float)
+        if times.size == 0 or self._sigma_na == 0:
+            return np.zeros(times.shape, dtype=float)
+        angles = (
+            2.0 * np.pi * times[..., None] * self._frequencies + self._phases
+        )
+        return np.einsum("...k,k->...", np.sin(angles), self._amplitudes)
+
+    def describe(self) -> str:
+        return f"pink(sigma={self._sigma_na:g} nA, exp={self._exponent:g})"
+
+
+class _TelegraphTemporal(TimeDependentNoise):
+    """Random telegraph signal with dwell times measured in seconds.
+
+    The switching times form one fixed random sequence (an
+    :class:`~repro.physics.events.ExponentialEventStream`), so the state at
+    time ``t`` — the parity of the number of switches before ``t`` — is
+    independent of how queries are batched or ordered.  The two levels are
+    ``±amplitude/2``: analytically mean-centred, where the grid model can
+    only centre empirically over the pixels it rendered.
+    """
+
+    def __init__(
+        self, amplitude_na: float, mean_dwell_s: float, rng: np.random.Generator
+    ) -> None:
+        if mean_dwell_s <= 0 or not np.isfinite(mean_dwell_s):
+            raise ConfigurationError(
+                "telegraph dwell must be positive in seconds; "
+                "probe_interval_s must be positive for time-dependent sampling"
+            )
+        self._amplitude_na = float(amplitude_na)
+        self._mean_dwell_s = float(mean_dwell_s)
+        self._initial_high = bool(rng.integers(0, 2))
+        self._switches = ExponentialEventStream(rng, mean_dwell_s)
+
+    def sample_at(self, times_s: np.ndarray) -> np.ndarray:
+        times = np.asarray(times_s, dtype=float)
+        if times.size == 0 or self._amplitude_na == 0:
+            return np.zeros(times.shape, dtype=float)
+        switches_before = self._switches.count_before(times)
+        high = (switches_before % 2 == 0) == self._initial_high
+        half = 0.5 * self._amplitude_na
+        return np.where(high, half, -half)
+
+    def describe(self) -> str:
+        return (
+            f"telegraph(amp={self._amplitude_na:g} nA, "
+            f"dwell={self._mean_dwell_s:g} s)"
+        )
+
+
+class _DriftTemporal(TimeDependentNoise):
+    """Deterministic sensor drift: a ramp plus sinusoid over ``timescale_s``."""
+
+    def __init__(self, model: DriftNoise) -> None:
+        self._model = model
+
+    def sample_at(self, times_s: np.ndarray) -> np.ndarray:
+        model = self._model
+        phase = np.asarray(times_s, dtype=float) / model.timescale_s
+        values = model.ramp_na * (phase - 0.5)
+        if model.sine_amplitude_na:
+            values = values + model.sine_amplitude_na * np.sin(
+                2.0 * np.pi * model.sine_periods * phase
+            )
+        return values
+
+    def describe(self) -> str:
+        return self._model.describe()
+
+
+class _CompositeTemporal(TimeDependentNoise):
+    """Sum of several independent time-dependent samplers."""
+
+    def __init__(self, components: tuple[TimeDependentNoise, ...]) -> None:
+        self._components = components
+
+    def sample_at(self, times_s: np.ndarray) -> np.ndarray:
+        times = np.asarray(times_s, dtype=float)
+        values = np.zeros(times.shape, dtype=float)
+        for component in self._components:
+            values = values + component.sample_at(times)
+        return values
 
     def describe(self) -> str:
         return " + ".join(component.describe() for component in self._components)

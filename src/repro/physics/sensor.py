@@ -132,13 +132,25 @@ class ChargeSensor:
         return current
 
     def current(
-        self, occupations: np.ndarray | list, gate_voltages: np.ndarray | list
+        self,
+        occupations: np.ndarray | list,
+        gate_voltages: np.ndarray | list,
+        detuning_offset_mv: float = 0.0,
     ) -> float:
-        """Sensor current (nA) for a charge state at the given gate voltages."""
-        return float(self.current_from_detuning(self.detuning_mv(occupations, gate_voltages)))
+        """Sensor current (nA) for a charge state at the given gate voltages.
+
+        ``detuning_offset_mv`` shifts the sensor operating point, which is
+        how time-dependent device drift (trap charging, charge jumps, mains
+        pickup) enters the sensor response.
+        """
+        detuning = self.detuning_mv(occupations, gate_voltages) + detuning_offset_mv
+        return float(self.current_from_detuning(detuning))
 
     def currents(
-        self, occupations: np.ndarray, gate_voltages: np.ndarray
+        self,
+        occupations: np.ndarray,
+        gate_voltages: np.ndarray,
+        detuning_offset_mv: np.ndarray | float = 0.0,
     ) -> np.ndarray:
         """Vectorised :meth:`current` over a batch of points.
 
@@ -148,6 +160,9 @@ class ChargeSensor:
             Per-point dot occupations, shape ``(n_points, >= n_dot_shifts)``.
         gate_voltages:
             Per-point gate voltages, shape ``(n_points, >= n_crosstalk)``.
+        detuning_offset_mv:
+            Extra sensor detuning per point (scalar or ``(n_points,)``), used
+            by drift-aware backends to move the operating point over time.
 
         Returns
         -------
@@ -178,6 +193,7 @@ class ChargeSensor:
         charge_term = np.einsum("nd,d->n", occ[:, : shifts.size], shifts)
         gate_term = np.einsum("ng,g->n", vg[:, : crosstalk.size], crosstalk)
         detuning = cfg.operating_point_mv + charge_term + gate_term
+        detuning = detuning + detuning_offset_mv
         return np.asarray(self.current_from_detuning(detuning), dtype=float)
 
     # ------------------------------------------------------------------

@@ -94,6 +94,8 @@ class TestCampaignGrid:
             {"methods": ("magic",)},
             {"methods": ()},
             {"n_repeats": 0},
+            {"scenarios": ()},
+            {"scenarios": ("not_a_registered_scenario",)},
         ],
     )
     def test_invalid_grids_rejected(self, kwargs):
@@ -104,3 +106,50 @@ class TestCampaignGrid:
         jobs = CampaignGrid(n_repeats=1, seed=1).expand()
         restored = pickle.loads(pickle.dumps(jobs))
         assert restored[0].label == jobs[0].label
+
+
+class TestScenarioAxis:
+    def test_default_axis_is_static_only(self):
+        jobs = CampaignGrid(seed=1).expand()
+        assert all(job.scenario is None for job in jobs)
+
+    def test_scenario_axis_multiplies_the_cross_product(self):
+        grid = CampaignGrid(
+            resolutions=(48,),
+            scenarios=(None, "quiet_lab", "drifting_sensor"),
+            n_repeats=2,
+            seed=7,
+        )
+        jobs = grid.expand()
+        assert len(jobs) == grid.n_jobs == 1 * 1 * 1 * 3 * 1 * 2
+        assert {job.scenario for job in jobs} == {None, "quiet_lab", "drifting_sensor"}
+
+    def test_named_scenarios_not_crossed_with_noise_axis(self):
+        # The static environment sweeps the noise axis; a named scenario
+        # fixes its own noise, so it appears once (at recorded scale 1)
+        # instead of being cloned per noise scale.
+        grid = CampaignGrid(
+            resolutions=(48,),
+            noise_scales=(0.0, 0.5, 1.0),
+            scenarios=(None, "drifting_sensor"),
+            seed=7,
+        )
+        jobs = grid.expand()
+        assert len(jobs) == grid.n_jobs == 3 + 1
+        static = [job for job in jobs if job.scenario is None]
+        scenario = [job for job in jobs if job.scenario == "drifting_sensor"]
+        assert sorted(job.noise_scale for job in static) == [0.0, 0.5, 1.0]
+        assert [job.noise_scale for job in scenario] == [1.0]
+
+    def test_duplicate_scenario_entries_rejected(self):
+        with pytest.raises(ConfigurationError):
+            CampaignGrid(scenarios=("quiet_lab", "quiet_lab"))
+
+    def test_scenario_named_in_label(self):
+        jobs = CampaignGrid(scenarios=("telegraph_storm",), seed=1).expand()
+        assert "telegraph_storm" in jobs[0].label
+
+    def test_scenario_jobs_are_picklable(self):
+        jobs = CampaignGrid(scenarios=("overnight_run",), seed=1).expand()
+        restored = pickle.loads(pickle.dumps(jobs))
+        assert restored[0].scenario == "overnight_run"

@@ -21,7 +21,7 @@ from repro.instrument import (
     TimingModel,
     VirtualClock,
 )
-from repro.physics import DotArrayDevice, WhiteNoise
+from repro.physics import DeviceDrift, DotArrayDevice, WhiteNoise, standard_lab_noise
 
 
 def _device_backend(device, noise=True):
@@ -206,6 +206,162 @@ class TestGetCurrentsBudget:
             meter.get_currents([1, 2], [0, 0])
         assert meter.n_probes == 2
         assert meter.n_requests == 2
+
+
+def _time_dependent_backend(device):
+    """A backend whose noise AND device evolve with the probe timestamps."""
+    xs = np.linspace(0.0, 0.04, 40)
+    ys = np.linspace(0.0, 0.04, 40)
+    return DeviceBackend(
+        device,
+        xs,
+        ys,
+        noise=standard_lab_noise(telegraph_amplitude_na=0.03),
+        seed=11,
+        drift=DeviceDrift(
+            operating_point_mv_per_hour=40.0,
+            charge_jumps_per_hour=900.0,
+            charge_jump_mv=0.3,
+            interference_mv=0.2,
+            interference_period_s=0.7,
+            lever_arm_fraction_per_hour=0.05,
+        ),
+        time_dependent_noise=True,
+    )
+
+
+class TestTimeDependentEquivalence:
+    """Batched and scalar probe paths stay bit-identical when the noise (and
+    the device itself) depend on the per-probe simulated timestamps."""
+
+    @pytest.mark.parametrize("cache", [True, False])
+    def test_get_currents_matches_scalar_loop(self, double_dot_device, rng, cache):
+        batch_meter, scalar_meter = _meter_pair(
+            lambda: _time_dependent_backend(double_dot_device), cache=cache
+        )
+        rows, cols = _request_pattern(rng, batch_meter.shape, 300)
+        batch = batch_meter.get_currents(rows, cols)
+        scalar = np.array(
+            [scalar_meter.get_current(int(r), int(c)) for r, c in zip(rows, cols)]
+        )
+        assert np.array_equal(batch, scalar)
+        _assert_meters_identical(batch_meter, scalar_meter)
+
+    def test_batch_split_invariance_through_meter(self, double_dot_device, rng):
+        """Splitting one batch into many cannot change values, log, or clock."""
+        whole_meter, split_meter = _meter_pair(
+            lambda: _time_dependent_backend(double_dot_device)
+        )
+        rows, cols = _request_pattern(rng, whole_meter.shape, 400)
+        whole = whole_meter.get_currents(rows, cols)
+        parts = np.concatenate(
+            [
+                split_meter.get_currents(rows[i : i + 29], cols[i : i + 29])
+                for i in range(0, 400, 29)
+            ]
+        )
+        assert np.array_equal(whole, parts)
+        _assert_meters_identical(whole_meter, split_meter)
+
+    def test_revisiting_a_pixel_later_sees_an_evolved_device(self, double_dot_device):
+        backend = _time_dependent_backend(double_dot_device)
+        meter = ChargeSensorMeter(backend, cache=False)
+        first = meter.get_current(7, 9)
+        meter.clock.advance(3600.0)  # an hour of drift
+        second = meter.get_current(7, 9)
+        assert first != second
+
+    def test_direct_probe_without_timestamps_is_refused(self, double_dot_device):
+        backend = _time_dependent_backend(double_dot_device)
+        assert backend.is_time_dependent
+        with pytest.raises(MeasurementError):
+            backend.currents(np.array([0]), np.array([0]))
+        with pytest.raises(MeasurementError):
+            backend.current(0, 0)
+
+    def test_static_backend_ignores_timestamps(self, double_dot_device):
+        backend = _device_backend(double_dot_device)
+        assert not backend.is_time_dependent
+        plain = backend.currents(np.array([3, 4]), np.array([5, 6]))
+        timed = backend.currents(
+            np.array([3, 4]), np.array([5, 6]), times_s=np.array([0.05, 0.10])
+        )
+        assert np.array_equal(plain, timed)
+
+    def test_shared_seed_sequence_not_mutated(self, double_dot_device):
+        """Two backends seeded with the same SeedSequence object agree.
+
+        Regression: child streams used to be derived via SeedSequence.spawn,
+        which mutates the caller's object, so the second backend silently
+        got different noise/drift realisations.
+        """
+        root = np.random.SeedSequence(7)
+        xs = np.linspace(0.0, 0.04, 40)
+        make = lambda: DeviceBackend(  # noqa: E731 - local factory
+            double_dot_device,
+            xs,
+            xs,
+            noise=WhiteNoise(0.05),
+            seed=root,
+            drift=DeviceDrift(charge_jumps_per_hour=600.0, charge_jump_mv=0.4),
+            time_dependent_noise=True,
+        )
+        first, second = make(), make()
+        rows = np.arange(20)
+        times = (rows + 1) * 0.05
+        assert np.array_equal(
+            first.currents(rows, rows, times_s=times),
+            second.currents(rows, rows, times_s=times),
+        )
+        assert root.n_children_spawned == 0
+
+    def test_zero_probe_cost_with_time_dependent_noise_rejected(self, double_dot_device):
+        xs = np.linspace(0.0, 0.04, 40)
+        with pytest.raises(MeasurementError):
+            DeviceBackend(
+                double_dot_device,
+                xs,
+                xs,
+                noise=WhiteNoise(0.05),
+                seed=1,
+                time_dependent_noise=True,
+                probe_interval_s=0.0,
+            )
+
+    def test_timestamp_count_mismatch_rejected(self, double_dot_device):
+        backend = _time_dependent_backend(double_dot_device)
+        with pytest.raises(MeasurementError):
+            backend.currents(
+                np.array([0, 1]), np.array([0, 1]), times_s=np.array([0.05])
+            )
+
+    def test_acquire_full_grid_matches_scalar_loop(self, double_dot_device):
+        batch_meter, scalar_meter = _meter_pair(
+            lambda: _time_dependent_backend(double_dot_device)
+        )
+        image_batch = batch_meter.acquire_full_grid()
+        rows, cols = scalar_meter.shape
+        image_scalar = np.array(
+            [[scalar_meter.get_current(r, c) for c in range(cols)] for r in range(rows)]
+        )
+        assert np.array_equal(image_batch, image_scalar)
+        _assert_meters_identical(batch_meter, scalar_meter)
+
+    @pytest.mark.parametrize("cache", [True, False])
+    def test_budget_exhaustion_point_matches(self, double_dot_device, rng, cache):
+        rows, cols = _request_pattern(rng, (40, 40), 120)
+        batch_meter, scalar_meter = _meter_pair(
+            lambda: _time_dependent_backend(double_dot_device),
+            cache=cache,
+            max_probes=40,
+        )
+        with pytest.raises(ProbeBudgetExceededError):
+            batch_meter.get_currents(rows, cols)
+        with pytest.raises(ProbeBudgetExceededError):
+            for r, c in zip(rows, cols):
+                scalar_meter.get_current(int(r), int(c))
+        _assert_meters_identical(batch_meter, scalar_meter)
+        assert batch_meter.n_probes == 40
 
 
 class TestVirtualClockBatch:

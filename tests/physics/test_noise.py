@@ -113,6 +113,58 @@ class TestDriftNoise:
         with pytest.raises(ConfigurationError):
             DriftNoise(sine_periods=0.0)
 
+    @pytest.mark.parametrize("bad", [float("nan"), float("inf"), float("-inf")])
+    def test_non_finite_ramp_rejected(self, bad):
+        # Regression: ramp_na/sine_amplitude_na used to accept NaN/inf while
+        # the sibling models validated their amplitudes in __post_init__.
+        with pytest.raises(ConfigurationError):
+            DriftNoise(ramp_na=bad)
+
+    @pytest.mark.parametrize("bad", [float("nan"), float("inf"), float("-inf")])
+    def test_non_finite_sine_amplitude_rejected(self, bad):
+        with pytest.raises(ConfigurationError):
+            DriftNoise(sine_amplitude_na=bad)
+
+    def test_negative_ramp_rejected(self):
+        with pytest.raises(ConfigurationError):
+            DriftNoise(ramp_na=-0.01)
+
+    def test_negative_sine_amplitude_rejected(self):
+        with pytest.raises(ConfigurationError):
+            DriftNoise(sine_amplitude_na=-0.01)
+
+    @pytest.mark.parametrize("bad", [0.0, -5.0, float("nan"), float("inf")])
+    def test_invalid_timescale_rejected(self, bad):
+        with pytest.raises(ConfigurationError):
+            DriftNoise(timescale_s=bad)
+
+    def test_non_finite_periods_rejected(self):
+        with pytest.raises(ConfigurationError):
+            DriftNoise(sine_periods=float("nan"))
+
+
+class TestSiblingFinitenessValidation:
+    """The finiteness gap is closed across the whole family, not just drift."""
+
+    @pytest.mark.parametrize("bad", [float("nan"), float("inf")])
+    def test_white_sigma(self, bad):
+        with pytest.raises(ConfigurationError):
+            WhiteNoise(sigma_na=bad)
+
+    @pytest.mark.parametrize("bad", [float("nan"), float("inf")])
+    def test_pink_sigma_and_exponent(self, bad):
+        with pytest.raises(ConfigurationError):
+            PinkNoise(sigma_na=bad)
+        with pytest.raises(ConfigurationError):
+            PinkNoise(exponent=bad)
+
+    @pytest.mark.parametrize("bad", [float("nan"), float("inf")])
+    def test_telegraph_amplitude_and_dwell(self, bad):
+        with pytest.raises(ConfigurationError):
+            TelegraphNoise(amplitude_na=bad)
+        with pytest.raises(ConfigurationError):
+            TelegraphNoise(mean_dwell_pixels=bad)
+
 
 class TestCompositeNoise:
     def test_sum_of_components(self):

@@ -1,0 +1,151 @@
+"""Property-based tests (hypothesis) over every noise model.
+
+Sweeps the whole :mod:`repro.physics.noise` family through the invariants the
+measurement stack relies on:
+
+* determinism — the same seed always produces the same field / trace;
+* batch-split independence — a time-dependent sampler returns the same bits
+  whether the probe times arrive in one batch, many batches, or one at a
+  time (this is what makes the scalar and batched probe paths equivalent);
+* telegraph mean-centering — the rendered RTS trace has (numerically) zero
+  mean, and the temporal sampler's two levels are symmetric;
+* degenerate shapes — ``(0, N)``, ``(N, 0)``, ``(1, 1)``, ``(0, 0)`` grids
+  sample without crashing and with the right shape.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.physics import (
+    CompositeNoise,
+    DriftNoise,
+    NoNoise,
+    PinkNoise,
+    TelegraphNoise,
+    WhiteNoise,
+    standard_lab_noise,
+)
+
+#: One representative of every model (amplitudes chosen non-zero so a broken
+#: determinism or splitting property cannot hide behind a zero field).
+ALL_MODELS = [
+    NoNoise(),
+    WhiteNoise(sigma_na=0.05),
+    PinkNoise(sigma_na=0.03, exponent=1.0),
+    PinkNoise(sigma_na=0.02, exponent=2.0),
+    TelegraphNoise(amplitude_na=0.06, mean_dwell_pixels=17.0),
+    DriftNoise(ramp_na=0.04, sine_amplitude_na=0.02, sine_periods=2.5),
+    CompositeNoise([WhiteNoise(0.01), DriftNoise(ramp_na=0.02)]),
+    standard_lab_noise(telegraph_amplitude_na=0.02),
+]
+
+MODEL_IDS = [model.describe() for model in ALL_MODELS]
+
+shapes = st.tuples(st.integers(1, 24), st.integers(1, 24))
+seeds = st.integers(min_value=0, max_value=2**31 - 1)
+
+
+@pytest.mark.parametrize("model", ALL_MODELS, ids=MODEL_IDS)
+class TestGridProperties:
+    @given(shape=shapes, seed=seeds)
+    @settings(max_examples=15, deadline=None)
+    def test_deterministic_given_seed(self, model, shape, seed):
+        first = model.sample_grid(shape, np.random.default_rng(seed))
+        second = model.sample_grid(shape, np.random.default_rng(seed))
+        assert np.array_equal(first, second)
+
+    @given(shape=shapes, seed=seeds)
+    @settings(max_examples=15, deadline=None)
+    def test_shape_and_finiteness(self, model, shape, seed):
+        field = model.sample_grid(shape, np.random.default_rng(seed))
+        assert field.shape == shape
+        assert np.all(np.isfinite(field))
+
+    @pytest.mark.parametrize("shape", [(0, 5), (5, 0), (1, 1), (0, 0)])
+    def test_degenerate_shapes(self, model, shape):
+        field = model.sample_grid(shape, np.random.default_rng(0))
+        assert field.shape == shape
+        assert np.all(np.isfinite(field))
+
+
+@pytest.mark.parametrize("model", ALL_MODELS, ids=MODEL_IDS)
+class TestTemporalProperties:
+    @given(seed=seeds, n=st.integers(1, 300))
+    @settings(max_examples=15, deadline=None)
+    def test_deterministic_given_seed(self, model, seed, n):
+        times = np.arange(n) * 0.05
+        first = model.at_times(np.random.default_rng(seed)).sample_at(times)
+        second = model.at_times(np.random.default_rng(seed)).sample_at(times)
+        assert np.array_equal(first, second)
+
+    @given(seed=seeds, n=st.integers(1, 300), chunk=st.integers(1, 97))
+    @settings(max_examples=15, deadline=None)
+    def test_independent_of_batch_splitting(self, model, seed, n, chunk):
+        times = np.arange(n) * 0.05
+        whole = model.at_times(np.random.default_rng(seed)).sample_at(times)
+        split_sampler = model.at_times(np.random.default_rng(seed))
+        parts = np.concatenate(
+            [split_sampler.sample_at(times[i : i + chunk]) for i in range(0, n, chunk)]
+        )
+        assert np.array_equal(whole, parts)
+
+    @given(seed=seeds)
+    @settings(max_examples=15, deadline=None)
+    def test_scalar_queries_match_batch(self, model, seed):
+        times = np.arange(40) * 0.05
+        whole = model.at_times(np.random.default_rng(seed)).sample_at(times)
+        scalar_sampler = model.at_times(np.random.default_rng(seed))
+        one_by_one = np.array(
+            [scalar_sampler.sample_at(np.array([t]))[0] for t in times]
+        )
+        assert np.array_equal(whole, one_by_one)
+
+    def test_empty_times(self, model):
+        sampler = model.at_times(np.random.default_rng(0))
+        assert sampler.sample_at(np.zeros(0)).shape == (0,)
+
+
+class TestTelegraphCentering:
+    @given(
+        seed=seeds,
+        shape=st.tuples(st.integers(2, 32), st.integers(2, 32)),
+        amplitude=st.floats(min_value=1e-3, max_value=1.0),
+        dwell=st.floats(min_value=1.0, max_value=500.0),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_grid_trace_is_mean_centred(self, seed, shape, amplitude, dwell):
+        model = TelegraphNoise(amplitude_na=amplitude, mean_dwell_pixels=dwell)
+        field = model.sample_grid(shape, np.random.default_rng(seed))
+        assert abs(float(np.mean(field))) <= 1e-9 * amplitude
+
+    @given(seed=seeds, amplitude=st.floats(min_value=1e-3, max_value=1.0))
+    @settings(max_examples=40, deadline=None)
+    def test_temporal_levels_are_symmetric(self, seed, amplitude):
+        model = TelegraphNoise(amplitude_na=amplitude, mean_dwell_pixels=20.0)
+        sampler = model.at_times(np.random.default_rng(seed))
+        values = sampler.sample_at(np.arange(2000) * 0.05)
+        levels = np.unique(values)
+        assert levels.size <= 2
+        assert np.allclose(np.abs(levels), 0.5 * amplitude)
+
+
+class TestZeroAmplitudeIsZero:
+    """Zero-amplitude variants of every model must be exactly zero fields."""
+
+    ZERO_MODELS = [
+        WhiteNoise(sigma_na=0.0),
+        PinkNoise(sigma_na=0.0),
+        TelegraphNoise(amplitude_na=0.0),
+        DriftNoise(ramp_na=0.0, sine_amplitude_na=0.0),
+    ]
+
+    @pytest.mark.parametrize("model", ZERO_MODELS, ids=lambda m: m.describe())
+    def test_grid_and_temporal_zero(self, model):
+        field = model.sample_grid((13, 7), np.random.default_rng(1))
+        assert np.array_equal(field, np.zeros((13, 7)))
+        values = model.at_times(np.random.default_rng(1)).sample_at(np.arange(50) * 0.1)
+        assert np.array_equal(values, np.zeros(50))

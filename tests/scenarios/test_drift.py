@@ -1,0 +1,127 @@
+"""Tests for the DeviceDrift model and its seeded time-evaluable state."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.physics import DeviceDrift
+
+HOUR = 3600.0
+
+
+def _state(drift, seed=5):
+    return drift.at_times(np.random.default_rng(seed))
+
+
+class TestValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"operating_point_mv_per_hour": float("nan")},
+            {"lever_arm_fraction_per_hour": float("inf")},
+            {"charge_jumps_per_hour": -1.0},
+            {"charge_jump_mv": -0.1},
+            {"interference_mv": -0.1},
+            {"interference_period_s": 0.0},
+            {"interference_period_s": float("nan")},
+        ],
+    )
+    def test_bad_parameters_rejected(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            DeviceDrift(**kwargs)
+
+    def test_negative_rates_are_legal(self):
+        # The sensor can wander either way; only magnitudes must be positive.
+        drift = DeviceDrift(
+            operating_point_mv_per_hour=-10.0, lever_arm_fraction_per_hour=-0.01
+        )
+        assert not drift.is_static
+
+    def test_is_static(self):
+        assert DeviceDrift().is_static
+        assert DeviceDrift(charge_jump_mv=0.5).is_static  # rate is zero
+        assert DeviceDrift(charge_jumps_per_hour=5.0, charge_jump_mv=0.0).is_static
+        assert not DeviceDrift(operating_point_mv_per_hour=1.0).is_static
+        assert not DeviceDrift(interference_mv=0.1).is_static
+
+
+class TestOperatingPointRamp:
+    def test_linear_in_time(self):
+        state = _state(DeviceDrift(operating_point_mv_per_hour=12.0))
+        times = np.array([0.0, HOUR, 2 * HOUR])
+        assert np.allclose(state.detuning_offset_mv(times), [0.0, 12.0, 24.0])
+
+    def test_static_drift_is_zero(self):
+        state = _state(DeviceDrift())
+        times = np.linspace(0, 10 * HOUR, 50)
+        assert np.array_equal(state.detuning_offset_mv(times), np.zeros(50))
+        assert np.array_equal(state.gate_scale(times), np.ones(50))
+
+
+class TestInterference:
+    def test_bounded_by_amplitude_and_periodic(self):
+        drift = DeviceDrift(interference_mv=0.3, interference_period_s=60.0)
+        state = _state(drift)
+        times = np.linspace(0, 600, 4001)
+        values = state.detuning_offset_mv(times)
+        assert np.max(np.abs(values)) <= 0.3 + 1e-12
+        # One full period later the interference repeats exactly.
+        assert np.allclose(
+            state.detuning_offset_mv(times),
+            state.detuning_offset_mv(times + 60.0),
+        )
+
+    def test_phase_comes_from_the_seed(self):
+        drift = DeviceDrift(interference_mv=0.3, interference_period_s=60.0)
+        t = np.array([7.0])
+        a = _state(drift, seed=1).detuning_offset_mv(t)
+        b = _state(drift, seed=2).detuning_offset_mv(t)
+        assert a[0] != b[0]
+
+
+class TestChargeJumps:
+    DRIFT = DeviceDrift(charge_jumps_per_hour=120.0, charge_jump_mv=0.5)
+
+    def test_piecewise_constant_and_eventually_jumps(self):
+        state = _state(self.DRIFT)
+        times = np.linspace(0, 2 * HOUR, 2000)
+        values = state.detuning_offset_mv(times)
+        assert values[0] == 0.0
+        assert np.unique(values).size > 1  # ~240 expected jumps in 2 h
+
+    def test_independent_of_query_order_and_batching(self):
+        times = np.linspace(0, HOUR, 500)
+        forward = _state(self.DRIFT, seed=9).detuning_offset_mv(times)
+        state = _state(self.DRIFT, seed=9)
+        # Query the far future first, then the past, then everything.
+        state.detuning_offset_mv(np.array([HOUR]))
+        state.detuning_offset_mv(times[:10])
+        assert np.array_equal(state.detuning_offset_mv(times), forward)
+
+    def test_deterministic_given_seed(self):
+        times = np.linspace(0, HOUR, 300)
+        a = _state(self.DRIFT, seed=3).detuning_offset_mv(times)
+        b = _state(self.DRIFT, seed=3).detuning_offset_mv(times)
+        assert np.array_equal(a, b)
+
+
+class TestGateScale:
+    def test_fractional_ramp(self):
+        state = _state(DeviceDrift(lever_arm_fraction_per_hour=0.06))
+        scale = state.gate_scale(np.array([0.0, HOUR / 2, HOUR]))
+        assert np.allclose(scale, [1.0, 1.03, 1.06])
+
+
+class TestDescribe:
+    def test_mentions_active_mechanisms(self):
+        text = DeviceDrift(
+            operating_point_mv_per_hour=5.0,
+            charge_jumps_per_hour=10.0,
+            interference_mv=0.2,
+        ).describe()
+        assert "op=5" in text and "jumps=10" in text and "hum=0.2" in text
+
+    def test_static_says_so(self):
+        assert "static" in DeviceDrift().describe()
