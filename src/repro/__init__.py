@@ -37,6 +37,15 @@ from .core import (
     VirtualizationMatrix,
 )
 from .exceptions import ReproError
+from .execution import (
+    AsyncioBackend,
+    CheckpointJournal,
+    ExecutionBackend,
+    ProcessPoolBackend,
+    RetryPolicy,
+    RunController,
+    SerialBackend,
+)
 from .instrument import (
     ChargeSensorMeter,
     ExperimentSession,
@@ -78,6 +87,13 @@ __all__ = [
     "FastVirtualGateExtractor",
     "VirtualizationMatrix",
     "ReproError",
+    "AsyncioBackend",
+    "CheckpointJournal",
+    "ExecutionBackend",
+    "ProcessPoolBackend",
+    "RetryPolicy",
+    "RunController",
+    "SerialBackend",
     "ChargeSensorMeter",
     "ExperimentSession",
     "SessionFactory",

@@ -197,7 +197,7 @@ def campaign_rows(rows: list[dict]) -> list[list[str]]:
             [
                 str(row["job_id"]),
                 str(row["device"]),
-                str(row["gates"]),
+                f"{row['gate_x']}-{row['gate_y']}",
                 str(row["method"]),
                 str(row["resolution"]),
                 # Scenario jobs run under the named environment; static jobs
@@ -229,12 +229,25 @@ def format_campaign_table(rows: list[dict], max_rows: int | None = None) -> str:
 
 
 def format_campaign_summary(summary: dict) -> str:
-    """Aggregate block of a campaign (see ``CampaignResult.summary``)."""
+    """Aggregate block of a campaign (see ``CampaignResult.summary``).
+
+    A partial result — one rebuilt from an interrupted run's checkpoint
+    journal, where fewer records exist than the grid expanded into — is
+    flagged with a ``completed`` line so the aggregates read as
+    "so far", not as the finished campaign.
+    """
     rate = summary["success_rate"]
     fraction = summary["mean_probe_fraction"]
     lines = [
         "Campaign summary",
         f"  jobs:                  {summary['n_jobs']}",
+    ]
+    n_expected = summary.get("n_expected", summary["n_jobs"])
+    if n_expected > summary["n_jobs"]:
+        lines.append(
+            f"  completed:             {summary['n_jobs']}/{n_expected} (partial)"
+        )
+    lines += [
         f"  succeeded:             {summary['n_succeeded']}/{summary['n_jobs']}"
         + (f" ({100.0 * rate:.1f}%)" if np.isfinite(rate) else ""),
         f"  total probes:          {summary['total_probes']}",

@@ -12,11 +12,16 @@ the managed layer for that workload:
 * :func:`~repro.campaign.worker.run_campaign_job` executes one job in
   isolation and condenses the outcome into a picklable record with a failure
   taxonomy;
-* :class:`~repro.campaign.engine.TuningCampaign` runs the jobs sequentially
-  or over a :class:`~concurrent.futures.ProcessPoolExecutor` — results are
-  bit-identical either way — and aggregates everything into a
+* :class:`~repro.campaign.engine.TuningCampaign` dispatches the jobs
+  through a pluggable :mod:`repro.execution` backend (serial, process
+  pool, or asyncio — results are bit-identical at any worker count),
+  journals records to an optional JSONL checkpoint it can
+  :meth:`~repro.campaign.engine.TuningCampaign.resume` from, and
+  aggregates everything into a
   :class:`~repro.campaign.results.CampaignResult` that renders through the
-  :mod:`repro.analysis.reporting` tables.
+  :mod:`repro.analysis.reporting` tables and round-trips through JSON
+  (:meth:`~repro.campaign.results.CampaignResult.save` /
+  :meth:`~repro.campaign.results.CampaignResult.load`).
 
 Typical use::
 
@@ -29,14 +34,15 @@ Typical use::
         n_repeats=5,
         seed=7,
     )
-    result = TuningCampaign(grid, n_workers=4).run()
+    campaign = TuningCampaign(grid, n_workers=4)
+    result = campaign.run(checkpoint="campaign.jsonl")  # resumable
     print(result.format_report())
 """
 
-from .engine import TuningCampaign
+from .engine import TuningCampaign, campaign_fingerprint
 from .grid import CampaignGrid, CampaignJob, DeviceSpec, KNOWN_METHODS
 from .results import CampaignJobRecord, CampaignResult
-from .worker import classify_failure, run_campaign_job
+from .worker import classify_failure, run_campaign_job, worker_error_record
 
 __all__ = [
     "TuningCampaign",
@@ -46,6 +52,8 @@ __all__ = [
     "KNOWN_METHODS",
     "CampaignJobRecord",
     "CampaignResult",
+    "campaign_fingerprint",
     "classify_failure",
     "run_campaign_job",
+    "worker_error_record",
 ]

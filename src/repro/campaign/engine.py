@@ -1,28 +1,112 @@
-"""The campaign engine: fan a job grid out over a worker pool.
+"""The campaign engine: fan a job grid out over an execution backend.
 
-:class:`TuningCampaign` owns the execution policy and nothing else — what to
-run comes from the grid, how one job runs lives in
-:func:`~repro.campaign.worker.run_campaign_job`.  With ``n_workers=1`` jobs
-run sequentially in-process; with more, they are dispatched over a
-:class:`~concurrent.futures.ProcessPoolExecutor` (the extraction pipeline is
-CPU-bound pure Python, so threads would serialise on the GIL).  Seeds are
-bound to jobs at grid expansion, and records are reassembled in job-id
-order, so the two modes return bit-identical results.
+:class:`TuningCampaign` owns *what* runs — the expanded job list, scenario
+resolution, the success criterion — and delegates *how* it runs to the
+:mod:`repro.execution` layer: an
+:class:`~repro.execution.base.ExecutionBackend` schedules jobs and streams
+``(job_id, record)`` pairs back in completion order, while a
+:class:`~repro.execution.controller.RunController` wraps the runner with
+per-job fault isolation (a raising job becomes a ``"worker_error"`` record
+instead of aborting the campaign), applies the retry policy, journals each
+record to an optional JSONL checkpoint, and fires progress callbacks.
+
+Seeds are bound to jobs at grid expansion and records are reassembled in
+job-id order, so every backend at every worker count returns bit-identical
+results; :meth:`TuningCampaign.resume` extends the same guarantee across
+process death — journaled job ids are skipped and the merged result equals
+an uninterrupted run.
 """
 
 from __future__ import annotations
 
+import hashlib
+import re
 import time
-from concurrent.futures import ProcessPoolExecutor
 from functools import partial
-from typing import Iterable, Sequence
+from pathlib import Path
+from typing import Callable, Iterable, Sequence
 
 from ..analysis.metrics import SuccessCriterion
 from ..exceptions import ConfigurationError
+from ..execution import (
+    CheckpointJournal,
+    ExecutionBackend,
+    ProgressCallback,
+    RetryPolicy,
+    RunController,
+    SerialBackend,
+    backend_from_spec,
+)
 from ..scenarios.catalog import get_scenario
 from .grid import CampaignGrid, CampaignJob
 from .results import CampaignJobRecord, CampaignResult
-from .worker import run_campaign_job
+from .worker import run_campaign_job, worker_error_record
+
+#: The shape of CPython's default ``object.__repr__`` — "<... at 0x7f...>".
+_ADDRESS_REPR = re.compile(r" at 0x[0-9a-fA-F]+>")
+
+
+def campaign_fingerprint(
+    jobs: Sequence[CampaignJob],
+    criterion: SuccessCriterion,
+    scenarios: dict[str, object] | None = None,
+) -> str:
+    """A stable identity for "this job list scored this way".
+
+    Stamped into checkpoint journals so a resume against a journal written
+    by a *different* campaign (same file path, different grid, seed, or
+    criterion — whose records would be silently wrong) fails loudly.  Built
+    from each job's label (device spec, gates, resolution, environment,
+    method, repeat), its seed identity, the criterion's repr, and the repr
+    of every resolved scenario *definition* — a scenario re-registered
+    with different physics under the same name changes the fingerprint,
+    because the name alone would let stale records slip through.
+    """
+    criterion_part = repr(criterion)
+    if _ADDRESS_REPR.search(criterion_part):
+        raise ConfigurationError(
+            "the success criterion's repr embeds a memory address, so its "
+            "checkpoint fingerprint would not survive a process restart; "
+            "give the criterion class a content-based __repr__ (or make it "
+            "a dataclass) to use checkpointing"
+        )
+    parts = [criterion_part]
+    for name in sorted(scenarios or {}):
+        part = f"{name}={scenarios[name]!r}"
+        if _ADDRESS_REPR.search(part):
+            # A default object repr embeds a memory address, which differs
+            # every process — the journal would reject every cross-process
+            # resume as "a different run".  Fail at checkpoint time with
+            # the actual fix instead.
+            raise ConfigurationError(
+                f"scenario {name!r} contains an object whose repr embeds a "
+                "memory address, so its checkpoint fingerprint would not "
+                "survive a process restart; give that class a content-based "
+                "__repr__ (or make it a dataclass) to use checkpointing"
+            )
+        parts.append(part)
+    for job in jobs:
+        seed = job.seed
+        seed_key = (
+            None if seed is None else (seed.entropy, tuple(seed.spawn_key))
+        )
+        # dot_a/dot_b are spelled out because job.label omits them: two
+        # hand-crafted job lists can share gates and seeds while targeting
+        # different dot pairs.
+        parts.append(
+            f"{job.label}|{job.device.label}|d{job.dot_a}-{job.dot_b}|{seed_key}"
+        )
+    payload = "\n".join(parts)
+    if _ADDRESS_REPR.search(payload):
+        # Criterion and scenarios were checked above with targeted errors;
+        # anything left comes from a job's device-spec kwargs.
+        raise ConfigurationError(
+            "a campaign job's device spec contains an object whose repr "
+            "embeds a memory address, so its checkpoint fingerprint would "
+            "not survive a process restart; give that class a content-based "
+            "__repr__ (or make it a dataclass) to use checkpointing"
+        )
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:16]
 
 
 class TuningCampaign:
@@ -35,15 +119,38 @@ class TuningCampaign:
         already-expanded sequence of :class:`~repro.campaign.grid.CampaignJob`.
     n_workers:
         ``1`` runs jobs sequentially in-process (bit-identical to, and the
-        reference for, every parallel run); larger values use a process pool
-        of that size.
+        reference for, every parallel run); larger values use a process
+        pool of that size.  Ignored when ``backend`` is an instance.
     criterion:
         Ground-truth success criterion applied to every job; the paper
         defaults when omitted.
     chunk_size:
-        Jobs handed to a worker per dispatch.  Defaults to spreading the
-        grid roughly four chunks per worker, which amortises pickling
-        without starving the pool at the tail.
+        Jobs handed to a process-pool worker per dispatch; the backend's
+        capped default balances pickling overhead against tail
+        load-balancing when omitted.
+    backend:
+        Execution policy: a registered backend name (``"serial"``,
+        ``"process"``, ``"asyncio"``), an
+        :class:`~repro.execution.base.ExecutionBackend` instance, or
+        ``None`` to choose serial/process from ``n_workers``.
+    retry:
+        A :class:`~repro.execution.controller.RetryPolicy`, or an int
+        shorthand for ``RetryPolicy(max_attempts=...)``; attempts per job
+        before a raising runner becomes a ``"worker_error"`` record.  Only
+        a *raising* runner retries: the default
+        :func:`~repro.campaign.worker.run_campaign_job` converts pipeline
+        exceptions into ``"crash"`` records itself (deterministic failures
+        that a re-run would only repeat), so the budget matters for custom
+        runners and infrastructure-level faults.
+    progress:
+        Optional ``(n_done, n_total, record)`` callback fired in the parent
+        process after every completed job, in completion order.
+    job_runner:
+        The per-job work function; :func:`~repro.campaign.worker.run_campaign_job`
+        by default.  A replacement must accept
+        ``(job, criterion=..., scenarios=...)``, return a
+        :class:`~repro.campaign.results.CampaignJobRecord`, and be
+        picklable for process-based backends.
     """
 
     def __init__(
@@ -52,6 +159,10 @@ class TuningCampaign:
         n_workers: int = 1,
         criterion: SuccessCriterion | None = None,
         chunk_size: int | None = None,
+        backend: str | ExecutionBackend | None = None,
+        retry: RetryPolicy | int | None = None,
+        progress: ProgressCallback | None = None,
+        job_runner: Callable[..., CampaignJobRecord] = run_campaign_job,
     ) -> None:
         if n_workers < 1:
             raise ConfigurationError("n_workers must be at least 1")
@@ -66,7 +177,34 @@ class TuningCampaign:
             raise ConfigurationError("campaign jobs must have unique job_ids")
         self._n_workers = int(n_workers)
         self._criterion = criterion or SuccessCriterion()
-        self._chunk_size = chunk_size
+        # Auto-selection keeps the historical small-grid fallback: a grid of
+        # at most one job never benefits from a pool, so it runs serially
+        # in-process rather than paying process spawn + pickling for nothing.
+        auto_workers = self._n_workers if len(self._jobs) > 1 else 1
+        self._backend = backend_from_spec(
+            backend, n_workers=auto_workers, chunk_size=chunk_size
+        )
+        if (
+            chunk_size is not None
+            and backend is not None
+            and not (
+                isinstance(backend, str) and backend == "process"
+            )
+        ):
+            # With an explicit non-process backend the knob would be a
+            # silent no-op (instances carry their own configuration; the
+            # serial/asyncio backends have no chunks) — fail loudly in the
+            # engine's usual style.  The auto spec keeps the historical
+            # behaviour of ignoring chunk_size when it resolves to serial.
+            raise ConfigurationError(
+                "chunk_size only applies to the process backend; configure "
+                "the backend instance directly or drop the argument"
+            )
+        if isinstance(retry, int):
+            retry = RetryPolicy(max_attempts=retry)
+        self._retry = retry or RetryPolicy()
+        self._progress = progress
+        self._job_runner = job_runner
 
     # ------------------------------------------------------------------
     @property
@@ -79,8 +217,47 @@ class TuningCampaign:
         """Configured worker count."""
         return self._n_workers
 
-    def run(self) -> CampaignResult:
-        """Execute every job and aggregate the records."""
+    @property
+    def backend(self) -> ExecutionBackend:
+        """The execution backend this campaign dispatches through."""
+        return self._backend
+
+    def _effective_workers(self) -> int:
+        """Workers the backend will actually use — what the result reports.
+
+        A supplied backend instance's own configuration (its
+        ``max_workers``, when it exposes one — a custom backend that does
+        not is reported as the configured ``n_workers``) wins over the
+        ``n_workers`` argument, pools clamp to the job count at submit
+        time, and the single-job serial fallback really runs on one
+        worker however many were requested.
+        """
+        if isinstance(self._backend, SerialBackend):
+            return 1
+        configured = int(getattr(self._backend, "max_workers", self._n_workers))
+        return max(1, min(configured, len(self._jobs)))
+
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        checkpoint: str | Path | None = None,
+        rerun_failures: bool | tuple[str, ...] = False,
+    ) -> CampaignResult:
+        """Execute every job and aggregate the records.
+
+        With ``checkpoint`` set, every completed record is appended to a
+        JSONL journal at that path as it streams in, and job ids already
+        present in the journal are skipped — so ``run`` on an existing
+        journal *is* a resume (see :meth:`resume` for the intent-revealing
+        spelling).  ``rerun_failures`` names journaled failure categories
+        to re-run instead of adopt: ``True`` means ``("worker_error",)``,
+        a tuple selects specific categories.
+        """
+        if rerun_failures and checkpoint is None:
+            raise ConfigurationError(
+                "rerun_failures only makes sense with a checkpoint journal "
+                "to re-run failures from; pass checkpoint= as well"
+            )
         started = time.perf_counter()
         # Resolve scenario names in this process and ship the objects to the
         # workers: user-registered scenarios live only in the parent's
@@ -90,23 +267,68 @@ class TuningCampaign:
             for name in {job.scenario for job in self._jobs if job.scenario}
         }
         run_one = partial(
-            run_campaign_job, criterion=self._criterion, scenarios=scenarios
+            self._job_runner, criterion=self._criterion, scenarios=scenarios
         )
-        if self._n_workers == 1 or len(self._jobs) <= 1:
-            records = [run_one(job) for job in self._jobs]
-        else:
-            max_workers = min(self._n_workers, len(self._jobs))
-            chunk = self._chunk_size or max(
-                1, len(self._jobs) // (4 * max_workers)
+        journal = (
+            CheckpointJournal(
+                checkpoint,
+                serialize=CampaignJobRecord.as_dict,
+                deserialize=CampaignJobRecord.from_dict,
+                fingerprint=campaign_fingerprint(
+                    self._jobs, self._criterion, scenarios
+                ),
             )
-            with ProcessPoolExecutor(max_workers=max_workers) as pool:
-                records = list(pool.map(run_one, self._jobs, chunksize=chunk))
+            if checkpoint is not None
+            else None
+        )
+        if rerun_failures:
+            categories = (
+                ("worker_error",)
+                if rerun_failures is True
+                else tuple(rerun_failures)
+            )
+            adopt = lambda record: record.failure_category not in categories  # noqa: E731
+        else:
+            adopt = None
+        controller = RunController(
+            self._backend,
+            retry=self._retry,
+            progress=self._progress,
+            journal=journal,
+            adopt=adopt,
+        )
+        completed = controller.run(self._jobs, run_one, on_error=worker_error_record)
         ordered: tuple[CampaignJobRecord, ...] = tuple(
-            sorted(records, key=lambda record: record.job_id)
+            completed[job_id] for job_id in sorted(completed)
         )
         return CampaignResult(
             records=ordered,
-            n_workers=self._n_workers,
+            n_workers=self._effective_workers(),
             wall_time_s=time.perf_counter() - started,
-            metadata={"n_jobs": len(self._jobs)},
+            metadata={"n_jobs": len(self._jobs), "backend": self._backend.name},
         )
+
+    def resume(
+        self,
+        checkpoint: str | Path,
+        rerun_failures: bool | tuple[str, ...] = False,
+    ) -> CampaignResult:
+        """Resume an interrupted campaign from its checkpoint journal.
+
+        Records already journaled are adopted verbatim (they round-trip
+        through JSON bit-identically) and their job ids are skipped; only
+        the remainder runs.  The merged result equals an uninterrupted run
+        of the same campaign, modulo wall-clock timing — compare through
+        :meth:`~repro.campaign.results.CampaignResult.normalized`.  A
+        missing journal file simply starts the campaign fresh, journaling
+        as it goes.
+
+        One caveat to the equality claim: journaled failures are adopted
+        too, including ``"worker_error"`` records born from *transient*
+        faults (a custom runner's network blip) that an uninterrupted run
+        might not have hit.  Pass ``rerun_failures=True`` to re-run
+        journaled ``worker_error`` jobs instead of adopting them, or a
+        tuple of failure categories to choose precisely; re-run outcomes
+        supersede the old journal lines.
+        """
+        return self.run(checkpoint=checkpoint, rerun_failures=rerun_failures)

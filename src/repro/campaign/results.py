@@ -11,17 +11,42 @@ the same plain-text table machinery as the paper's reproduced tables
 
 from __future__ import annotations
 
+import json
+import math
 from collections import Counter
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, fields, replace
+from pathlib import Path
 
 import numpy as np
 
 from ..analysis.reporting import format_campaign_summary, format_campaign_table
+from ..execution.checkpoint import CheckpointJournal
 
 
-@dataclass(frozen=True)
+def _encode_value(value):
+    """JSON-strict encoding: non-finite floats become tagged dicts."""
+    if isinstance(value, float) and not math.isfinite(value):
+        return {"__nonfinite__": repr(value)}
+    return value
+
+
+def _decode_value(value):
+    """Inverse of :func:`_encode_value`."""
+    if isinstance(value, dict) and set(value) == {"__nonfinite__"}:
+        return float(value["__nonfinite__"])
+    return value
+
+
+@dataclass(frozen=True, eq=False)
 class CampaignJobRecord:
-    """Condensed, picklable outcome of one campaign job."""
+    """Condensed, picklable outcome of one campaign job.
+
+    Equality is field-by-field with NaN comparing equal to NaN: a record
+    with an undefined ground truth (``max_alpha_error`` is NaN when the
+    session has no geometry) must still satisfy the bit-for-bit
+    round-trip and resume-equality contracts, which IEEE ``nan != nan``
+    would break.
+    """
 
     job_id: int
     label: str
@@ -47,24 +72,58 @@ class CampaignJobRecord:
     failure_reason: str
     scenario: str | None = None
 
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, CampaignJobRecord):
+            return NotImplemented
+        for f in fields(self):
+            mine, theirs = getattr(self, f.name), getattr(other, f.name)
+            if (
+                isinstance(mine, float)
+                and isinstance(theirs, float)
+                and math.isnan(mine)
+                and math.isnan(theirs)
+            ):
+                continue
+            if mine != theirs:
+                return False
+        return True
+
+    def __hash__(self) -> int:
+        # Custom __eq__ suppresses the dataclass-generated hash; restore
+        # hashability, normalising NaN so equal records hash equally.
+        def norm(value):
+            if isinstance(value, float) and math.isnan(value):
+                return "nan"
+            return value
+
+        return hash(tuple(norm(getattr(self, f.name)) for f in fields(self)))
+
     def as_dict(self) -> dict:
-        """Plain-dict view used by the report tables."""
-        return {
-            "job_id": self.job_id,
-            "device": self.device,
-            "gates": f"{self.gate_x}-{self.gate_y}",
-            "method": self.method,
-            "resolution": self.resolution,
-            "noise_scale": self.noise_scale,
-            "scenario": self.scenario,
-            "repeat": self.repeat,
-            "success": self.success,
-            "max_alpha_error": self.max_alpha_error,
-            "n_probes": self.n_probes,
-            "probe_fraction": self.probe_fraction,
-            "sim_elapsed_s": self.sim_elapsed_s,
-            "failure_category": self.failure_category,
-        }
+        """Full-fidelity plain-dict view (every field, JSON-native values).
+
+        This is the round-trip serialisation used by the checkpoint journal
+        and :meth:`CampaignResult.save` — :meth:`from_dict` rebuilds an
+        equal record, bit-for-bit (JSON serialises floats by shortest repr,
+        which round-trips exactly).  Non-finite floats (a failure record's
+        infinite ``max_alpha_error``) are encoded as tagged dicts so the
+        output stays *strict* JSON — ``json.dump``'s default ``Infinity``
+        token would be rejected by non-Python tooling.  The report tables
+        do **not** consume this encoding; they take the plain-value dicts
+        of :meth:`CampaignResult.job_rows`.
+        """
+        return {f.name: _encode_value(getattr(self, f.name)) for f in fields(self)}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "CampaignJobRecord":
+        """Rebuild a record from :meth:`as_dict` output (extra keys ignored)."""
+        known = {f.name for f in fields(cls)}
+        return cls(
+            **{
+                key: _decode_value(value)
+                for key, value in data.items()
+                if key in known
+            }
+        )
 
 
 @dataclass(frozen=True)
@@ -148,11 +207,27 @@ class CampaignResult:
         fractions = [r.probe_fraction for r in self.records if r.success]
         return float(np.mean(fractions)) if fractions else float("nan")
 
+    @property
+    def n_expected(self) -> int:
+        """Jobs the campaign was *supposed* to run (``n_jobs`` when unknown).
+
+        A result reconstructed from a partial checkpoint journal, or an
+        interrupted run, can hold fewer records than the grid expanded
+        into; the expected total travels in ``metadata["n_jobs"]``.
+        """
+        return int(self.metadata.get("n_jobs", self.n_jobs))
+
+    @property
+    def is_partial(self) -> bool:
+        """Whether this result covers fewer jobs than the campaign expected."""
+        return self.n_jobs < self.n_expected
+
     # ------------------------------------------------------------------
     def summary(self) -> dict:
         """Aggregate numbers as a plain dict."""
         return {
             "n_jobs": self.n_jobs,
+            "n_expected": self.n_expected,
             "n_succeeded": self.n_succeeded,
             "success_rate": self.success_rate,
             "total_probes": self.total_probes,
@@ -164,10 +239,115 @@ class CampaignResult:
         }
 
     def job_rows(self) -> list[dict]:
-        """Per-job dict rows in job-id order, for the report tables."""
-        return [r.as_dict() for r in self.records]
+        """Per-job dict rows in job-id order, for the report tables.
+
+        Unlike :meth:`CampaignJobRecord.as_dict` these carry the plain
+        Python values (infinities stay floats, not JSON-safe tags) — they
+        feed formatters, not serialisers.
+        """
+        return [
+            {f.name: getattr(record, f.name) for f in fields(CampaignJobRecord)}
+            for record in self.records
+        ]
 
     def format_report(self, max_rows: int | None = None) -> str:
-        """Full plain-text report: per-job table plus the aggregate block."""
+        """Full plain-text report: per-job table plus the aggregate block.
+
+        Renders partial results (an interrupted run's journal, a truncated
+        resume) exactly like complete ones, with the summary flagging how
+        many of the expected jobs have records.
+        """
         table = format_campaign_table(self.job_rows(), max_rows=max_rows)
         return table + "\n\n" + format_campaign_summary(self.summary())
+
+    # ------------------------------------------------------------------
+    def normalized(self, wall_time_s: float = 0.0) -> "CampaignResult":
+        """The execution-agnostic content view, for determinism comparisons.
+
+        Pins every wall-clock measurement (``wall_time_s`` and each
+        record's ``wall_elapsed_s``) and strips execution policy —
+        ``n_workers`` and the ``backend``/``source`` metadata keys — which
+        legitimately differ between runs of the same campaign.  Everything
+        left is deterministic, so ``a.normalized() == b.normalized()``
+        asserts bit-identical results across backends, worker counts, and
+        interrupt/resume cycles.
+        """
+        records = tuple(replace(r, wall_elapsed_s=wall_time_s) for r in self.records)
+        metadata = {
+            key: value
+            for key, value in self.metadata.items()
+            if key not in ("backend", "source")
+        }
+        return replace(
+            self,
+            records=records,
+            wall_time_s=wall_time_s,
+            n_workers=0,
+            metadata=metadata,
+        )
+
+    def as_dict(self) -> dict:
+        """JSON-native dict: records plus run metadata."""
+        return {
+            "records": [record.as_dict() for record in self.records],
+            "n_workers": self.n_workers,
+            "wall_time_s": self.wall_time_s,
+            "metadata": dict(self.metadata),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "CampaignResult":
+        """Rebuild a result from :meth:`as_dict` output."""
+        return cls(
+            records=tuple(
+                CampaignJobRecord.from_dict(entry) for entry in data["records"]
+            ),
+            n_workers=int(data["n_workers"]),
+            wall_time_s=float(data["wall_time_s"]),
+            metadata=dict(data.get("metadata") or {}),
+        )
+
+    def save(self, path: str | Path) -> Path:
+        """Write the whole result as one JSON document; returns the path."""
+        target = Path(path)
+        target.parent.mkdir(parents=True, exist_ok=True)
+        with open(target, "w", encoding="utf-8") as handle:
+            # allow_nan=False guards the strict-JSON contract: a non-finite
+            # float that slipped past the record encoding fails loudly here
+            # instead of emitting an Infinity token no other tool can parse.
+            json.dump(self.as_dict(), handle, indent=2, allow_nan=False)
+            handle.write("\n")
+        return target
+
+    @classmethod
+    def load(cls, path: str | Path) -> "CampaignResult":
+        """Read a result previously written by :meth:`save`."""
+        with open(path, "r", encoding="utf-8") as handle:
+            return cls.from_dict(json.load(handle))
+
+    @classmethod
+    def from_journal(
+        cls, path: str | Path, n_expected: int | None = None
+    ) -> "CampaignResult":
+        """A (possibly partial) result from a checkpoint journal's records.
+
+        This is the drill-down view onto a live, interrupted, or dead run:
+        whatever the journal holds renders through the same tables and
+        summaries as a finished campaign.  ``n_expected`` marks the total
+        the campaign was meant to run so reports can flag partiality;
+        ``n_workers`` is 0 because a journal does not record who ran it.
+        """
+        journal = CheckpointJournal(path, deserialize=CampaignJobRecord.from_dict)
+        completed = journal.load()
+        records = tuple(
+            completed[job_id] for job_id in sorted(completed)
+        )
+        return cls(
+            records=records,
+            n_workers=0,
+            wall_time_s=0.0,
+            metadata={
+                "n_jobs": int(n_expected) if n_expected is not None else len(records),
+                "source": "journal",
+            },
+        )

@@ -150,19 +150,52 @@ def run_campaign_job(
             failure_reason=result.failure_reason if not matched else "",
         )
     except Exception as exc:  # a crashed job must not sink the campaign
-        return CampaignJobRecord(
-            **_base_record_fields(job),
-            success=False,
-            extractor_success=False,
-            alpha_12=None,
-            alpha_21=None,
-            true_alpha_12=None,
-            true_alpha_21=None,
-            max_alpha_error=float("inf"),
-            n_probes=0,
-            probe_fraction=0.0,
-            sim_elapsed_s=0.0,
+        return _failure_record(
+            job,
+            category="crash",
+            exc=exc,
             wall_elapsed_s=time.perf_counter() - started,
-            failure_category="crash",
-            failure_reason=f"{type(exc).__name__}: {exc}",
         )
+
+
+def _failure_record(
+    job: CampaignJob,
+    category: str,
+    exc: BaseException,
+    wall_elapsed_s: float = 0.0,
+) -> CampaignJobRecord:
+    """A condensed record for a job that produced an exception, not a result."""
+    return CampaignJobRecord(
+        **_base_record_fields(job),
+        success=False,
+        extractor_success=False,
+        alpha_12=None,
+        alpha_21=None,
+        true_alpha_12=None,
+        true_alpha_21=None,
+        max_alpha_error=float("inf"),
+        n_probes=0,
+        probe_fraction=0.0,
+        sim_elapsed_s=0.0,
+        wall_elapsed_s=wall_elapsed_s,
+        failure_category=category,
+        failure_reason=f"{type(exc).__name__}: {exc}",
+    )
+
+
+def worker_error_record(job: CampaignJob, exc: BaseException) -> CampaignJobRecord:
+    """The ``"worker_error"`` failure record for a job whose *runner* raised.
+
+    :func:`run_campaign_job` already converts exceptions from inside the
+    extraction pipeline into ``"crash"`` records; this covers the layer
+    *around* it — any exception a (custom) job runner raises in the
+    worker.  The :class:`~repro.execution.controller.RunController`
+    installs it as the ``on_error`` hook, so one broken job yields a
+    failure record and the campaign keeps every other result instead of
+    aborting wholesale.  Faults that escape the worker entirely (a record
+    that cannot pickle back, a worker killed by the OS breaking the pool)
+    still propagate and abort the run — there the checkpoint journal plus
+    :meth:`~repro.campaign.engine.TuningCampaign.resume` is the recovery
+    path.
+    """
+    return _failure_record(job, category="worker_error", exc=exc)

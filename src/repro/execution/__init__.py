@@ -1,0 +1,63 @@
+"""Pluggable execution backends for batch workloads.
+
+This package is the execution-policy layer promised by the campaign
+engine's original contract: *new execution backends slot in behind*
+:class:`~repro.campaign.engine.TuningCampaign` *without touching the job or
+result schema*.  It knows nothing about tuning — jobs are anything with a
+``job_id``, records are whatever ``run_one`` returns — so the same layer
+can later serve sharded extraction, dataset generation, or remote-hardware
+drivers.
+
+* :class:`~repro.execution.base.ExecutionBackend` — the streaming protocol:
+  ``submit(jobs, run_one)`` yields ``(job_id, record)`` in completion order.
+* :class:`~repro.execution.backends.SerialBackend`,
+  :class:`~repro.execution.backends.ProcessPoolBackend`,
+  :class:`~repro.execution.backends.AsyncioBackend` — the stock
+  implementations, bit-identical per job at any worker count.
+* :class:`~repro.execution.controller.RunController` — retry policy,
+  per-job fault isolation, progress callbacks, and incremental JSONL
+  checkpointing via
+  :class:`~repro.execution.checkpoint.CheckpointJournal`, shared by every
+  backend.
+
+Typical direct use (the campaign engine wires all of this up for you)::
+
+    from repro.execution import ProcessPoolBackend, RunController
+
+    controller = RunController(ProcessPoolBackend(max_workers=4))
+    records = controller.run(jobs, run_one, on_error=make_error_record)
+"""
+
+from .backends import (
+    DEFAULT_CHUNK_CAP,
+    AsyncioBackend,
+    ProcessPoolBackend,
+    SerialBackend,
+)
+from .base import (
+    ExecutionBackend,
+    ProgressCallback,
+    SupportsJobId,
+    backend_from_spec,
+    backend_names,
+    register_backend,
+)
+from .checkpoint import CheckpointJournal
+from .controller import RetryPolicy, RunController, guarded_runner
+
+__all__ = [
+    "AsyncioBackend",
+    "CheckpointJournal",
+    "DEFAULT_CHUNK_CAP",
+    "ExecutionBackend",
+    "ProcessPoolBackend",
+    "ProgressCallback",
+    "RetryPolicy",
+    "RunController",
+    "SerialBackend",
+    "SupportsJobId",
+    "backend_from_spec",
+    "backend_names",
+    "guarded_runner",
+    "register_backend",
+]

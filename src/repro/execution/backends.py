@@ -1,0 +1,223 @@
+"""The three stock execution backends: serial, process pool, asyncio.
+
+All three satisfy the same streaming contract
+(:meth:`~repro.execution.base.ExecutionBackend.submit` yields
+``(job_id, record)`` pairs as jobs finish) and, because seeds are bound to
+jobs before anything runs, all three produce bit-identical records for the
+same job list at any worker count — the orchestrator sorts by job id after
+draining, so completion order never leaks into results.
+
+* :class:`SerialBackend` runs jobs in submission order in-process: the
+  reference implementation every other backend is tested against, and the
+  right choice under a debugger.
+* :class:`ProcessPoolBackend` fans chunks of jobs out over a
+  :class:`~concurrent.futures.ProcessPoolExecutor` (the extraction pipeline
+  is CPU-bound pure Python, so processes beat threads) and yields each
+  chunk's records the moment its future completes, rather than blocking on
+  a pool-wide ``map``.
+* :class:`AsyncioBackend` drives jobs through an event loop over a small
+  thread pool — the shape a future remote-hardware backend will take, where
+  ``run_one`` is I/O-bound (network calls to instruments) rather than
+  CPU-bound.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor, as_completed
+from typing import Any, AsyncIterator, Callable, Iterable, Iterator
+
+from ..exceptions import ConfigurationError
+from .base import ExecutionBackend, SupportsJobId, register_backend
+
+__all__ = [
+    "AsyncioBackend",
+    "DEFAULT_CHUNK_CAP",
+    "ProcessPoolBackend",
+    "SerialBackend",
+]
+
+#: Ceiling on the default process-pool chunk size.  The old campaign default
+#: (``len(jobs) // (4 * workers)``) grows with the grid, so a 1000-job grid
+#: on 2 workers shipped 125-job chunks — one chunk of expensive scenario
+#: jobs could starve the pool tail while every other worker sat idle, and
+#: nothing streamed back until a whole chunk finished.  Capping the chunk
+#: keeps dispatch granularity fine enough that heterogeneous grids stay
+#: load-balanced and records stream promptly, while still amortising
+#: pickling for tiny jobs.
+DEFAULT_CHUNK_CAP = 4
+
+
+class SerialBackend(ExecutionBackend):
+    """Run jobs one after another in the calling process."""
+
+    name = "serial"
+
+    def submit(
+        self,
+        jobs: Iterable[SupportsJobId],
+        run_one: Callable[[Any], Any],
+    ) -> Iterator[tuple[int, Any]]:
+        for job in jobs:
+            yield job.job_id, run_one(job)
+
+
+def _run_chunk(
+    run_one: Callable[[Any], Any], chunk: tuple[SupportsJobId, ...]
+) -> list[tuple[int, Any]]:
+    """Worker-side body: run one chunk of jobs, pairing records with ids."""
+    return [(job.job_id, run_one(job)) for job in chunk]
+
+
+class ProcessPoolBackend(ExecutionBackend):
+    """Fan jobs out over a process pool, streaming records per finished chunk.
+
+    Parameters
+    ----------
+    max_workers:
+        Pool size; clamped to the job count at submit time.
+    chunk_size:
+        Jobs shipped to a worker per dispatch.  Defaults to roughly four
+        chunks per worker capped at :data:`DEFAULT_CHUNK_CAP`, so large
+        grids keep fine-grained dispatch (tail load-balancing) and small
+        grids still amortise pickling.
+    """
+
+    name = "process"
+
+    def __init__(self, max_workers: int, chunk_size: int | None = None) -> None:
+        if max_workers < 1:
+            raise ConfigurationError("max_workers must be at least 1")
+        if chunk_size is not None and chunk_size < 1:
+            raise ConfigurationError("chunk_size must be at least 1")
+        self._max_workers = int(max_workers)
+        self._chunk_size = chunk_size
+
+    @property
+    def max_workers(self) -> int:
+        """Configured pool size."""
+        return self._max_workers
+
+    def effective_chunk_size(self, n_jobs: int) -> int:
+        """The chunk size a grid of ``n_jobs`` would be dispatched with."""
+        if self._chunk_size is not None:
+            return self._chunk_size
+        workers = min(self._max_workers, max(n_jobs, 1))
+        return max(1, min(DEFAULT_CHUNK_CAP, n_jobs // (4 * workers)))
+
+    def submit(
+        self,
+        jobs: Iterable[SupportsJobId],
+        run_one: Callable[[Any], Any],
+    ) -> Iterator[tuple[int, Any]]:
+        jobs = tuple(jobs)
+        if not jobs:
+            return
+        chunk = self.effective_chunk_size(len(jobs))
+        with ProcessPoolExecutor(max_workers=min(self._max_workers, len(jobs))) as pool:
+            futures = [
+                pool.submit(_run_chunk, run_one, jobs[start : start + chunk])
+                for start in range(0, len(jobs), chunk)
+            ]
+            try:
+                for future in as_completed(futures):
+                    yield from future.result()
+            finally:
+                # When the consumer abandons the stream (an interrupting
+                # progress hook, a raising chunk) cancel every not-yet-
+                # started chunk so teardown waits only for the chunks
+                # already running, not the whole remaining grid.
+                for future in futures:
+                    future.cancel()
+
+
+class AsyncioBackend(ExecutionBackend):
+    """Drive jobs through an asyncio event loop over a small thread pool.
+
+    Jobs run in threads (``loop.run_in_executor``), so CPU-bound pure-Python
+    work serialises on the GIL — the value of this backend is the execution
+    *shape*: completion-order streaming through an event loop, which is what
+    an I/O-bound backend (remote instruments, network services) looks like.
+    Correctness and determinism are identical to the other backends.
+    """
+
+    name = "asyncio"
+
+    def __init__(self, max_workers: int = 4) -> None:
+        if max_workers < 1:
+            raise ConfigurationError("max_workers must be at least 1")
+        self._max_workers = int(max_workers)
+
+    @property
+    def max_workers(self) -> int:
+        """Thread-pool size serving the event loop."""
+        return self._max_workers
+
+    async def _stream(
+        self,
+        jobs: tuple[SupportsJobId, ...],
+        run_one: Callable[[Any], Any],
+    ) -> AsyncIterator[tuple[int, Any]]:
+        loop = asyncio.get_running_loop()
+        with ThreadPoolExecutor(max_workers=min(self._max_workers, len(jobs))) as pool:
+
+            async def one(job: SupportsJobId) -> tuple[int, Any]:
+                return job.job_id, await loop.run_in_executor(pool, run_one, job)
+
+            tasks = [asyncio.ensure_future(one(job)) for job in jobs]
+            try:
+                for future in asyncio.as_completed(tasks):
+                    yield await future
+            finally:
+                # On early exit (a raising runner, an abandoned consumer)
+                # cancel the stragglers and retrieve every outcome so no
+                # task dies with an unobserved exception.
+                for task in tasks:
+                    task.cancel()
+                await asyncio.gather(*tasks, return_exceptions=True)
+
+    def submit(
+        self,
+        jobs: Iterable[SupportsJobId],
+        run_one: Callable[[Any], Any],
+    ) -> Iterator[tuple[int, Any]]:
+        jobs = tuple(jobs)
+        if not jobs:
+            return
+        try:
+            asyncio.get_running_loop()
+        except RuntimeError:
+            pass
+        else:
+            # A nested run_until_complete would raise a bare "another loop
+            # is running" mid-campaign (Jupyter/ipykernel executes user code
+            # inside its own loop); fail up front with the workaround.
+            raise ConfigurationError(
+                "AsyncioBackend cannot run inside an already-running event "
+                "loop (e.g. a Jupyter cell); use the serial or process "
+                "backend there, or run the campaign from a plain thread"
+            )
+        # Bridge the async generator into the synchronous streaming contract:
+        # drive the loop one record at a time so the consumer sees records as
+        # they complete, and close the generator (cancelling stragglers) if
+        # the consumer abandons iteration early.
+        loop = asyncio.new_event_loop()
+        stream = self._stream(jobs, run_one)
+        try:
+            while True:
+                try:
+                    yield loop.run_until_complete(stream.__anext__())
+                except StopAsyncIteration:
+                    break
+        finally:
+            try:
+                loop.run_until_complete(stream.aclose())
+            finally:
+                loop.close()
+
+
+register_backend("serial", lambda n_workers, chunk_size: SerialBackend())
+register_backend(
+    "process", lambda n_workers, chunk_size: ProcessPoolBackend(n_workers, chunk_size)
+)
+register_backend("asyncio", lambda n_workers, chunk_size: AsyncioBackend(n_workers))

@@ -1,0 +1,121 @@
+"""The execution-backend seam: *how* jobs run, separated from *what* runs.
+
+A :class:`~repro.campaign.engine.TuningCampaign` (or any other batch
+orchestrator) owns the job list and the semantics of one job; an
+:class:`ExecutionBackend` owns nothing but execution policy — worker count,
+dispatch granularity, scheduling.  The contract is deliberately tiny:
+
+``submit(jobs, run_one)`` returns an **iterator of** ``(job_id, record)``
+**pairs in completion order**.  Streaming is the load-bearing part: records
+become available one at a time as jobs finish, which is what lets the
+:class:`~repro.execution.controller.RunController` journal each record to a
+checkpoint, fire progress callbacks, and keep a partial result when the
+process dies mid-run.  Backends make no ordering promise — callers that
+need job-id order sort after draining the iterator.
+
+Backends are generic over the job and record types: a job only needs a
+``job_id`` attribute, and ``run_one`` must be a plain callable (picklable
+for process-based backends).  Nothing in this package imports the campaign
+layer, so new orchestrators can reuse the backends wholesale.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Any, Callable, ClassVar, Iterable, Iterator, Protocol, runtime_checkable
+
+from ..exceptions import ConfigurationError
+
+__all__ = [
+    "ExecutionBackend",
+    "ProgressCallback",
+    "SupportsJobId",
+    "backend_from_spec",
+    "backend_names",
+    "register_backend",
+]
+
+#: Progress callbacks receive ``(n_done, n_total, record)`` after every
+#: completed job, in completion order, from the parent process.
+ProgressCallback = Callable[[int, int, Any], None]
+
+
+@runtime_checkable
+class SupportsJobId(Protocol):
+    """Anything a backend can schedule: a spec with a stable integer id."""
+
+    job_id: int
+
+
+class ExecutionBackend(abc.ABC):
+    """Execution policy for a batch of independent jobs.
+
+    Subclasses implement :meth:`submit`; everything else (retries, fault
+    isolation, journaling, progress) lives in
+    :class:`~repro.execution.controller.RunController` so each backend stays
+    a few dozen lines of pure scheduling.
+    """
+
+    #: Stable name used by :func:`backend_from_spec` and result metadata.
+    name: ClassVar[str] = "abstract"
+
+    @abc.abstractmethod
+    def submit(
+        self,
+        jobs: Iterable[SupportsJobId],
+        run_one: Callable[[Any], Any],
+    ) -> Iterator[tuple[int, Any]]:
+        """Run every job, yielding ``(job_id, record)`` in completion order.
+
+        Implementations must tolerate an empty job list (yield nothing) and
+        must not reorder, drop, or duplicate job ids.  Exceptions raised by
+        ``run_one`` propagate to the consumer; callers that want per-job
+        fault isolation wrap ``run_one`` first (see
+        :func:`~repro.execution.controller.guarded_runner`).
+        """
+
+
+#: Registered backend factories: name -> ``factory(n_workers, chunk_size)``.
+_BACKEND_FACTORIES: dict[str, Callable[[int, int | None], ExecutionBackend]] = {}
+
+
+def register_backend(
+    name: str, factory: Callable[[int, int | None], ExecutionBackend]
+) -> None:
+    """Register a backend factory under ``name`` for :func:`backend_from_spec`.
+
+    The factory is called as ``factory(n_workers, chunk_size)``; backends
+    that ignore one of the knobs simply drop it.
+    """
+    _BACKEND_FACTORIES[str(name)] = factory
+
+
+def backend_names() -> tuple[str, ...]:
+    """Names accepted by :func:`backend_from_spec`, sorted."""
+    return tuple(sorted(_BACKEND_FACTORIES))
+
+
+def backend_from_spec(
+    spec: str | ExecutionBackend | None,
+    n_workers: int = 1,
+    chunk_size: int | None = None,
+) -> ExecutionBackend:
+    """Resolve a backend from a name, an instance, or ``None`` (auto).
+
+    ``None`` keeps the historical campaign behaviour: one worker runs
+    serially in-process, more workers fan out over a process pool.  A
+    string selects a registered backend by name; an
+    :class:`ExecutionBackend` instance passes through untouched (its own
+    worker configuration wins over ``n_workers``).
+    """
+    if isinstance(spec, ExecutionBackend):
+        return spec
+    if spec is None:
+        spec = "serial" if n_workers == 1 else "process"
+    factory = _BACKEND_FACTORIES.get(spec)
+    if factory is None:
+        raise ConfigurationError(
+            f"unknown execution backend {spec!r}; known backends: "
+            f"{', '.join(backend_names())}"
+        )
+    return factory(n_workers, chunk_size)

@@ -321,6 +321,12 @@ class CompositeNoise(NoiseModel):
         """The constituent noise models."""
         return self._components
 
+    def __repr__(self) -> str:
+        # Content-based (the default object repr embeds a memory address,
+        # which would poison anything fingerprinting scenario definitions
+        # by repr across processes — e.g. campaign checkpoint resume).
+        return f"CompositeNoise(components={self._components!r})"
+
     def sample_grid(self, shape: tuple[int, int], rng: np.random.Generator) -> np.ndarray:
         field = np.zeros(shape, dtype=float)
         for component in self._components:

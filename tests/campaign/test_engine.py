@@ -13,6 +13,22 @@ from repro.campaign import (
     run_campaign_job,
 )
 from repro.exceptions import ConfigurationError
+from repro.execution import AsyncioBackend, SerialBackend
+
+POISONED_JOB_ID = 1
+
+
+def poisoned_job_runner(job, criterion=None, scenarios=None):
+    """Module-level (picklable) runner that raises for one job id.
+
+    Raising *outside* :func:`run_campaign_job` models infrastructure-level
+    faults — the exception escapes the worker function itself, which with
+    the old blocking ``pool.map`` aborted the campaign and discarded every
+    completed record.
+    """
+    if job.job_id == POISONED_JOB_ID:
+        raise RuntimeError("poisoned payload")
+    return run_campaign_job(job, criterion=criterion, scenarios=scenarios)
 
 
 @pytest.fixture(scope="module")
@@ -47,15 +63,55 @@ class TestTuningCampaign:
         assert noise_free and all(r.success for r in noise_free)
         assert sequential_result.success_rate > 0.5
 
-    def test_parallel_matches_sequential_bit_for_bit(self, small_grid, sequential_result):
-        parallel = TuningCampaign(small_grid, n_workers=2).run()
-        for seq, par in zip(sequential_result.records, parallel.records):
-            assert seq.job_id == par.job_id
-            assert seq.success == par.success
-            assert seq.alpha_12 == par.alpha_12
-            assert seq.alpha_21 == par.alpha_21
-            assert seq.n_probes == par.n_probes
-            assert seq.sim_elapsed_s == par.sim_elapsed_s
+    @pytest.mark.parametrize(
+        "backend, n_workers",
+        [
+            ("serial", 1),
+            ("process", 2),
+            ("process", 3),
+            ("asyncio", 2),
+            ("asyncio", 4),
+        ],
+    )
+    def test_backend_matrix_bit_identical(
+        self, small_grid, sequential_result, backend, n_workers
+    ):
+        # The tentpole contract: every backend at every worker count
+        # produces bit-identical records (everything but wall-clock time).
+        result = TuningCampaign(small_grid, n_workers=n_workers, backend=backend).run()
+        assert (
+            result.normalized().records == sequential_result.normalized().records
+        )
+
+    def test_backend_instance_accepted(self, small_grid, sequential_result):
+        result = TuningCampaign(
+            small_grid, backend=AsyncioBackend(max_workers=3)
+        ).run()
+        assert result.normalized().records == sequential_result.normalized().records
+        assert result.metadata["backend"] == "asyncio"
+        # The result reports the workers the backend actually used, not the
+        # constructor's n_workers default.
+        assert result.n_workers == 3
+
+    def test_unknown_backend_rejected(self, small_grid):
+        with pytest.raises(ConfigurationError):
+            TuningCampaign(small_grid, backend="teleport")
+
+    def test_chunk_size_with_chunkless_backend_rejected(self, small_grid):
+        # Silent no-ops hide tuning mistakes; only the process backend
+        # chunks (the auto spec keeps the historical ignore-when-serial).
+        with pytest.raises(ConfigurationError, match="chunk_size"):
+            TuningCampaign(small_grid, backend="asyncio", chunk_size=4)
+        with pytest.raises(ConfigurationError, match="chunk_size"):
+            TuningCampaign(
+                small_grid, backend=AsyncioBackend(max_workers=2), chunk_size=4
+            )
+        TuningCampaign(small_grid, backend="process", n_workers=2, chunk_size=4)
+        TuningCampaign(small_grid, chunk_size=4)  # auto spec: historical
+
+    def test_rerun_failures_without_checkpoint_rejected(self, small_grid):
+        with pytest.raises(ConfigurationError, match="rerun_failures"):
+            TuningCampaign(small_grid.expand()[:1]).run(rerun_failures=True)
 
     def test_accepts_pre_expanded_jobs(self, small_grid, sequential_result):
         jobs = small_grid.expand()
@@ -77,6 +133,277 @@ class TestTuningCampaign:
         assert result.n_jobs == 0
         assert result.success_rate != result.success_rate  # nan
         assert result.failure_taxonomy() == {}
+
+
+class TestFaultIsolation:
+    """A raising job yields a ``worker_error`` record, not a dead campaign."""
+
+    @pytest.mark.parametrize("n_workers", [1, 2])
+    def test_poisoned_job_survives_as_worker_error_record(
+        self, small_grid, sequential_result, n_workers
+    ):
+        # Regression: with the old blocking pool.map, the poisoned job's
+        # exception aborted the whole campaign and discarded every
+        # completed record.
+        result = TuningCampaign(
+            small_grid, n_workers=n_workers, job_runner=poisoned_job_runner
+        ).run()
+        assert result.n_jobs == small_grid.n_jobs
+        poisoned = result.records[POISONED_JOB_ID]
+        assert not poisoned.success
+        assert poisoned.failure_category == "worker_error"
+        assert "RuntimeError: poisoned payload" in poisoned.failure_reason
+        assert "worker_error" in result.failure_taxonomy()
+        # Every other record is untouched by the poison.
+        for record, reference in zip(result.records, sequential_result.records):
+            if record.job_id != POISONED_JOB_ID:
+                assert record == dataclasses_replace_wall(record, reference)
+
+    def test_retry_budget_reruns_before_conceding(self, small_grid):
+        attempts = []
+
+        def counting_runner(job, criterion=None, scenarios=None):
+            attempts.append(job.job_id)
+            raise RuntimeError("always down")
+
+        result = TuningCampaign(
+            small_grid.expand()[:2],
+            retry=3,
+            job_runner=counting_runner,
+            backend=SerialBackend(),
+        ).run()
+        assert attempts == [0, 0, 0, 1, 1, 1]
+        assert all(r.failure_category == "worker_error" for r in result.records)
+
+
+def dataclasses_replace_wall(record, reference):
+    """``reference`` with ``record``'s wall time, for whole-record equality."""
+    import dataclasses
+
+    return dataclasses.replace(reference, wall_elapsed_s=record.wall_elapsed_s)
+
+
+class TestProgressCallbacks:
+    def test_progress_streams_once_per_job(self, small_grid):
+        calls = []
+        TuningCampaign(
+            small_grid,
+            progress=lambda done, total, record: calls.append((done, total, record.job_id)),
+        ).run()
+        assert [done for done, _, _ in calls] == list(range(1, small_grid.n_jobs + 1))
+        assert all(total == small_grid.n_jobs for _, total, _ in calls)
+
+
+class _InterruptAfter:
+    """Progress hook that kills the campaign after ``n`` completed jobs."""
+
+    def __init__(self, n: int) -> None:
+        self.n = n
+
+    def __call__(self, done, total, record) -> None:
+        if done >= self.n:
+            raise KeyboardInterrupt(f"simulated kill after {done} jobs")
+
+
+class TestCheckpointResume:
+    def test_interrupted_campaign_resumes_bit_identically(
+        self, small_grid, sequential_result, tmp_path
+    ):
+        journal_path = tmp_path / "campaign.jsonl"
+        interrupted = TuningCampaign(small_grid, progress=_InterruptAfter(3))
+        with pytest.raises(KeyboardInterrupt):
+            interrupted.run(checkpoint=journal_path)
+        # The dead run journaled the fingerprint header plus a strict
+        # prefix of the records...
+        lines = journal_path.read_text().splitlines()
+        assert len(lines) == 1 + 3
+        # ... and a kill can also truncate the line being written; the
+        # loader must survive that too.
+        with open(journal_path, "a", encoding="utf-8") as handle:
+            handle.write('{"job_id": 3, "record": {"job_id"')
+        resumed = TuningCampaign(small_grid).resume(journal_path)
+        # Bit-identical to the uninterrupted serial run: whole records,
+        # the summary, and the rendered report (modulo wall-clock time).
+        assert resumed.normalized() == sequential_result.normalized()
+        assert resumed.normalized().summary() == sequential_result.normalized().summary()
+        assert (
+            resumed.normalized().format_report()
+            == sequential_result.normalized().format_report()
+        )
+
+    def test_resume_skips_journaled_jobs(self, small_grid, tmp_path):
+        journal_path = tmp_path / "campaign.jsonl"
+        with pytest.raises(KeyboardInterrupt):
+            TuningCampaign(small_grid, progress=_InterruptAfter(2)).run(
+                checkpoint=journal_path
+            )
+        ran = []
+
+        def spying_runner(job, criterion=None, scenarios=None):
+            ran.append(job.job_id)
+            return run_campaign_job(job, criterion=criterion, scenarios=scenarios)
+
+        TuningCampaign(small_grid, job_runner=spying_runner).resume(journal_path)
+        assert sorted(ran) == list(range(2, small_grid.n_jobs))
+
+    def test_resume_on_missing_journal_runs_fresh(self, small_grid, tmp_path):
+        journal_path = tmp_path / "fresh.jsonl"
+        result = TuningCampaign(small_grid).resume(journal_path)
+        assert result.n_jobs == small_grid.n_jobs
+        # One fingerprint header plus one line per record.
+        assert (
+            len(journal_path.read_text().splitlines()) == 1 + small_grid.n_jobs
+        )
+
+    def test_resume_against_foreign_journal_rejected(self, small_grid, tmp_path):
+        journal_path = tmp_path / "campaign.jsonl"
+        TuningCampaign(small_grid.expand()[:2]).run(checkpoint=journal_path)
+        other_grid = CampaignGrid(
+            devices=(DeviceSpec.of("double_dot", cross_coupling=(0.30, 0.28)),),
+            resolutions=(63,),
+            noise_scales=(0.0,),
+            seed=123,
+        )
+        # Same path, different campaign: the job ids overlap, so adopting
+        # the journal would silently merge the wrong records.
+        with pytest.raises(ConfigurationError, match="different run"):
+            TuningCampaign(other_grid).resume(journal_path)
+
+    def test_fingerprint_stable_across_processes(self):
+        # The fingerprint must be content-based: any memory-address repr
+        # leaking in (e.g. a non-dataclass noise model) would make every
+        # cross-process resume of a scenario campaign fail as "a different
+        # run" — the exact crash-recovery case checkpoints exist for.
+        import subprocess
+        import sys
+
+        snippet = (
+            "from repro.campaign import CampaignGrid, DeviceSpec, "
+            "campaign_fingerprint\n"
+            "from repro.analysis import SuccessCriterion\n"
+            "from repro.scenarios import get_scenario\n"
+            "jobs = CampaignGrid(devices=(DeviceSpec.of('double_dot', "
+            "cross_coupling=(0.25, 0.22)),), resolutions=(63,), "
+            "scenarios=(None, 'standard_lab'), seed=17).expand()\n"
+            "scenarios = {'standard_lab': get_scenario('standard_lab')}\n"
+            "print(campaign_fingerprint(jobs, SuccessCriterion(), scenarios))\n"
+        )
+        run = lambda: subprocess.run(
+            [sys.executable, "-c", snippet],
+            capture_output=True,
+            text=True,
+            check=True,
+            env={"PYTHONPATH": "src"},
+            cwd=str(__import__("pathlib").Path(__file__).parents[2]),
+        ).stdout.strip()
+        first, second = run(), run()
+        assert first == second
+        assert "0x" not in first
+
+    def test_fingerprint_distinguishes_dot_pairs(self, small_grid):
+        import dataclasses
+
+        from repro.analysis import SuccessCriterion
+        from repro.campaign import campaign_fingerprint
+
+        jobs = small_grid.expand()[:2]
+        # Same gates, seeds, and labels — different target dot pair.
+        shifted = tuple(
+            dataclasses.replace(job, dot_b=job.dot_b + 1) for job in jobs
+        )
+        criterion = SuccessCriterion()
+        assert campaign_fingerprint(jobs, criterion) != campaign_fingerprint(
+            shifted, criterion
+        )
+
+    def test_fingerprint_rejects_address_bearing_scenario_reprs(self, small_grid):
+        from repro.analysis import SuccessCriterion
+        from repro.campaign import campaign_fingerprint
+
+        class OpaqueModel:  # default object repr embeds a memory address
+            pass
+
+        with pytest.raises(ConfigurationError, match="memory address"):
+            campaign_fingerprint(
+                small_grid.expand()[:1],
+                SuccessCriterion(),
+                scenarios={"homemade": OpaqueModel()},
+            )
+        with pytest.raises(ConfigurationError, match="criterion"):
+            campaign_fingerprint(small_grid.expand()[:1], OpaqueModel())
+
+    def test_single_job_grid_auto_selects_serial(self, small_grid):
+        # A pool buys nothing for one job; the auto spec keeps the
+        # historical in-process fallback (and its no-pickling guarantee).
+        campaign = TuningCampaign(small_grid.expand()[:1], n_workers=8)
+        assert isinstance(campaign.backend, SerialBackend)
+        explicit = TuningCampaign(small_grid.expand()[:1], backend="asyncio")
+        assert explicit.backend.name == "asyncio"  # explicit spec still wins
+
+    def test_resume_after_scenario_redefinition_rejected(self, tmp_path):
+        from repro.scenarios import get_scenario, register_scenario
+        import dataclasses as dc
+
+        base = get_scenario("quiet_lab")
+        scenario = dc.replace(base, name="retune_test_lab")
+        register_scenario(scenario, overwrite=True)
+        try:
+            jobs = CampaignGrid(
+                devices=(DeviceSpec.of("double_dot", cross_coupling=(0.25, 0.22)),),
+                resolutions=(63,),
+                scenarios=("retune_test_lab",),
+                seed=17,
+            ).expand()
+            journal_path = tmp_path / "campaign.jsonl"
+            TuningCampaign(jobs).run(checkpoint=journal_path)
+            # Re-register the same name with different physics: journaled
+            # records were computed under the old definition, so resuming
+            # must refuse rather than merge stale records.
+            register_scenario(
+                dc.replace(scenario, story="redefined physics"), overwrite=True
+            )
+            with pytest.raises(ConfigurationError, match="different run"):
+                TuningCampaign(jobs).resume(journal_path)
+        finally:
+            from repro.scenarios.catalog import _REGISTRY
+
+            _REGISTRY.pop("retune_test_lab", None)
+
+    def test_resume_can_rerun_journaled_worker_errors(self, small_grid, tmp_path):
+        journal_path = tmp_path / "campaign.jsonl"
+        jobs = small_grid.expand()[:3]
+        poisoned = TuningCampaign(jobs, job_runner=poisoned_job_runner).run(
+            checkpoint=journal_path
+        )
+        assert poisoned.records[POISONED_JOB_ID].failure_category == "worker_error"
+        # Plain resume adopts the journaled failure verbatim...
+        adopted = TuningCampaign(jobs).resume(journal_path)
+        assert adopted.records[POISONED_JOB_ID].failure_category == "worker_error"
+        # ... rerun_failures re-runs it with the (now healthy) runner, and
+        # the fresh record supersedes the old journal line.
+        healed = TuningCampaign(jobs).resume(journal_path, rerun_failures=True)
+        assert healed.records[POISONED_JOB_ID].success
+        again = TuningCampaign(jobs).resume(journal_path)
+        assert again.records[POISONED_JOB_ID].success
+
+    def test_reported_workers_clamp_to_job_count(self, small_grid):
+        result = TuningCampaign(small_grid.expand()[:2], n_workers=8).run()
+        assert result.n_workers == 2
+
+    def test_completed_journal_short_circuits(self, small_grid, tmp_path):
+        journal_path = tmp_path / "campaign.jsonl"
+        first = TuningCampaign(small_grid).run(checkpoint=journal_path)
+        ran = []
+
+        def spying_runner(job, criterion=None, scenarios=None):
+            ran.append(job.job_id)
+            return run_campaign_job(job, criterion=criterion, scenarios=scenarios)
+
+        rerun = TuningCampaign(small_grid, job_runner=spying_runner).resume(
+            journal_path
+        )
+        assert ran == []
+        assert rerun.normalized() == first.normalized()
 
 
 class TestCampaignResult:

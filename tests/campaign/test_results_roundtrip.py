@@ -1,0 +1,163 @@
+"""Tests for campaign result serialisation: JSON round-trips and journals."""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import math
+
+import pytest
+
+from repro.campaign import (
+    CampaignGrid,
+    CampaignJobRecord,
+    CampaignResult,
+    DeviceSpec,
+    TuningCampaign,
+)
+
+
+@pytest.fixture(scope="module")
+def result() -> CampaignResult:
+    grid = CampaignGrid(
+        devices=(DeviceSpec.of("double_dot", cross_coupling=(0.25, 0.22)),),
+        resolutions=(63,),
+        noise_scales=(0.0, 1.0),
+        n_repeats=1,
+        seed=5,
+    )
+    return TuningCampaign(grid).run()
+
+
+class TestRecordRoundTrip:
+    def test_as_dict_covers_every_field(self, result):
+        record = result.records[0]
+        payload = record.as_dict()
+        assert set(payload) == {
+            f.name for f in dataclasses.fields(CampaignJobRecord)
+        }
+
+    def test_round_trip_is_exact(self, result):
+        for record in result.records:
+            rebuilt = CampaignJobRecord.from_dict(
+                json.loads(json.dumps(record.as_dict()))
+            )
+            assert rebuilt == record
+
+    def test_round_trip_preserves_non_finite_floats(self, result):
+        record = dataclasses.replace(
+            result.records[0], max_alpha_error=float("inf"), alpha_12=None
+        )
+        rebuilt = CampaignJobRecord.from_dict(
+            json.loads(json.dumps(record.as_dict()))
+        )
+        assert math.isinf(rebuilt.max_alpha_error)
+        assert rebuilt.alpha_12 is None
+
+    def test_round_trip_equality_with_nan_fields(self, result):
+        # A record with undefined ground truth carries NaN; IEEE nan != nan
+        # must not break the round-trip and resume-equality contracts.
+        record = dataclasses.replace(result.records[0], max_alpha_error=float("nan"))
+        rebuilt = CampaignJobRecord.from_dict(
+            json.loads(json.dumps(record.as_dict()))
+        )
+        assert rebuilt == record
+        nan_result = dataclasses.replace(result, records=(record,))
+        assert CampaignResult.from_dict(nan_result.as_dict()) == nan_result
+        assert record != dataclasses.replace(record, n_probes=record.n_probes + 1)
+
+    def test_records_stay_hashable_with_nan_consistent_hash(self, result):
+        record = dataclasses.replace(result.records[0], max_alpha_error=float("nan"))
+        twin = dataclasses.replace(record)
+        assert hash(record) == hash(twin)
+        assert len({record, twin}) == 1  # set dedup still works
+        assert len(set(result.records)) == len(result.records)
+
+    def test_from_dict_ignores_unknown_keys(self, result):
+        payload = result.records[0].as_dict() | {"future_field": 42}
+        assert CampaignJobRecord.from_dict(payload) == result.records[0]
+
+
+class TestResultRoundTrip:
+    def test_save_load_is_exact(self, result, tmp_path):
+        path = result.save(tmp_path / "result.json")
+        assert CampaignResult.load(path) == result
+
+    def test_as_dict_is_json_native(self, result):
+        json.dumps(result.as_dict())  # must not need custom encoders
+
+    def test_normalized_pins_wall_clock_and_execution_policy(self, result):
+        normal = result.normalized()
+        assert normal.wall_time_s == 0.0
+        assert all(r.wall_elapsed_s == 0.0 for r in normal.records)
+        assert normal.n_workers == 0
+        assert "backend" not in normal.metadata
+        assert [r.job_id for r in normal.records] == [
+            r.job_id for r in result.records
+        ]
+        assert normal.summary()["total_probes"] == result.summary()["total_probes"]
+
+    def test_normalized_equates_runs_across_backends(self, result):
+        # The documented contract: whole-result equality through
+        # normalized(), even when backend and worker count differ.
+        grid = CampaignGrid(
+            devices=(DeviceSpec.of("double_dot", cross_coupling=(0.25, 0.22)),),
+            resolutions=(63,),
+            noise_scales=(0.0, 1.0),
+            n_repeats=1,
+            seed=5,
+        )
+        process = TuningCampaign(grid, n_workers=2).run()
+        asyncio_run = TuningCampaign(grid, backend="asyncio", n_workers=3).run()
+        serial = TuningCampaign(grid).run()
+        assert serial.normalized() == process.normalized() == asyncio_run.normalized()
+
+    def test_save_emits_strict_json_even_with_failures(self, result, tmp_path):
+        # Failure records carry infinite max_alpha_error; the persisted
+        # format must still be strict JSON (no bare Infinity/NaN tokens
+        # that jq / JSON.parse reject).
+        crashed = dataclasses.replace(
+            result.records[0], max_alpha_error=float("inf")
+        )
+        failed_result = dataclasses.replace(
+            result, records=(crashed,) + result.records[1:]
+        )
+        path = failed_result.save(tmp_path / "failed.json")
+
+        def reject_constant(name):
+            raise AssertionError(f"non-standard JSON token {name!r} in output")
+
+        json.loads(path.read_text(), parse_constant=reject_constant)
+        loaded = CampaignResult.load(path)
+        assert math.isinf(loaded.records[0].max_alpha_error)
+        assert loaded == failed_result
+
+
+class TestJournalView:
+    def test_partial_journal_renders_partial_report(self, result, tmp_path):
+        # Journal only a prefix of the records, as a killed run would.
+        from repro.execution import CheckpointJournal
+
+        journal = CheckpointJournal(
+            tmp_path / "run.jsonl", serialize=CampaignJobRecord.as_dict
+        )
+        for record in result.records[:1]:
+            journal.append(record.job_id, record)
+        partial = CampaignResult.from_journal(
+            tmp_path / "run.jsonl", n_expected=result.n_jobs
+        )
+        assert partial.is_partial
+        assert partial.n_jobs == 1
+        assert partial.n_expected == result.n_jobs
+        assert partial.records[0] == result.records[0]
+        report = partial.format_report()
+        assert f"completed:             1/{result.n_jobs} (partial)" in report
+
+    def test_complete_result_is_not_partial(self, result):
+        assert not result.is_partial
+        assert "(partial)" not in result.format_report()
+
+    def test_empty_journal_view(self, tmp_path):
+        partial = CampaignResult.from_journal(tmp_path / "none.jsonl")
+        assert partial.n_jobs == 0
+        assert not partial.is_partial

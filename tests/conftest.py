@@ -10,6 +10,19 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
+# Imported for its side effect: the hypothesis pytest plugin lazily imports
+# hypothesis inside pytest_terminal_summary, deep in the pluggy hook stack,
+# where pytest's assertion rewriter re-parses it and can trip CPython
+# 3.11.7's "AST constructor recursion depth mismatch" parser bug.  Importing
+# it here, at shallow stack depth during collection, makes the late import a
+# no-op regardless of which subset of the suite runs.  Guarded so only the
+# property tests, not the whole suite, depend on hypothesis being installed
+# (without it the plugin is absent and the workaround is moot anyway).
+try:
+    import hypothesis.internal.observability  # noqa: F401
+except ImportError:  # pragma: no cover
+    pass
+
 from repro.datasets.synthetic import NoiseRecipe, SyntheticCSDConfig
 from repro.instrument import ExperimentSession
 from repro.physics import CSDSimulator, DotArrayDevice, standard_lab_noise

@@ -1,0 +1,216 @@
+"""Tests for the JSONL checkpoint journal, including kill-mid-write tails."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.execution import CheckpointJournal
+
+
+class TestAppendLoad:
+    def test_missing_file_loads_empty(self, tmp_path):
+        assert CheckpointJournal(tmp_path / "nope.jsonl").load() == {}
+
+    def test_round_trip(self, tmp_path):
+        journal = CheckpointJournal(tmp_path / "run.jsonl")
+        journal.append(3, {"value": 1.25})
+        journal.append(1, {"value": float("inf")})
+        loaded = journal.load()
+        assert loaded == {3: {"value": 1.25}, 1: {"value": float("inf")}}
+
+    def test_one_line_per_record(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        journal = CheckpointJournal(path)
+        for i in range(4):
+            journal.append(i, {"i": i})
+        lines = path.read_text().splitlines()
+        assert len(lines) == 4
+        assert all(json.loads(line)["job_id"] == i for i, line in enumerate(lines))
+
+    def test_parent_directories_created(self, tmp_path):
+        journal = CheckpointJournal(tmp_path / "deep" / "er" / "run.jsonl")
+        journal.append(0, {"ok": True})
+        assert journal.load() == {0: {"ok": True}}
+
+    def test_duplicate_job_id_last_wins(self, tmp_path):
+        journal = CheckpointJournal(tmp_path / "run.jsonl")
+        journal.append(0, {"attempt": 1})
+        journal.append(0, {"attempt": 2})
+        assert journal.load() == {0: {"attempt": 2}}
+
+    def test_custom_serializers(self, tmp_path):
+        journal = CheckpointJournal(
+            tmp_path / "run.jsonl",
+            serialize=lambda record: {"doubled": record * 2},
+            deserialize=lambda data: data["doubled"] // 2,
+        )
+        journal.append(5, 21)
+        assert journal.load() == {5: 21}
+
+    def test_float_fidelity(self, tmp_path):
+        # JSON serialises floats by shortest repr, which round-trips exactly;
+        # this is what makes resumed campaigns bit-identical.
+        ugly = 0.1 + 0.2
+        journal = CheckpointJournal(tmp_path / "run.jsonl")
+        journal.append(0, {"x": ugly})
+        assert journal.load()[0]["x"] == ugly
+
+
+class TestKilledRunTails:
+    """A killed run leaves a strict prefix plus at most one mangled line."""
+
+    @pytest.mark.parametrize(
+        "tail",
+        [
+            '{"job_id": 2, "rec',  # cut mid-key
+            '{"job_id": 2, "record": {"x": 1',  # cut mid-value
+            '{"record": {"x": 1}}',  # missing job_id
+            "not json at all",
+            '{"job_id": "also-not-an-int", "record": {}}',
+        ],
+    )
+    def test_truncated_tail_keeps_prefix(self, tmp_path, tail):
+        path = tmp_path / "run.jsonl"
+        journal = CheckpointJournal(path)
+        journal.append(0, {"x": 1})
+        journal.append(1, {"x": 2})
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write(tail)
+        assert journal.load() == {0: {"x": 1}, 1: {"x": 2}}
+
+    def test_midfile_corruption_refuses_to_heal(self, tmp_path):
+        # Only the FINAL line may be a kill artefact.  Junk *followed by*
+        # records means bit rot or an incompatible writer — healing would
+        # silently delete the valid records after it, so load() refuses.
+        from repro.exceptions import ConfigurationError
+
+        path = tmp_path / "run.jsonl"
+        journal = CheckpointJournal(path)
+        journal.append(0, {"x": 1})
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write("corrupted by cosmic ray\n")
+            handle.write(json.dumps({"job_id": 2, "record": {"x": 3}}) + "\n")
+        with pytest.raises(ConfigurationError, match="corrupt mid-file"):
+            CheckpointJournal(path).load()
+
+    def test_append_refuses_midfile_corruption_like_load_does(self, tmp_path):
+        # The write path shares load()'s policy: junk followed by valid
+        # records is corruption to refuse, not a tail to truncate away.
+        from repro.exceptions import ConfigurationError
+
+        path = tmp_path / "run.jsonl"
+        journal = CheckpointJournal(path)
+        journal.append(0, {"x": 1})
+        journal.load()
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write("corrupted by cosmic ray\n")
+            handle.write(json.dumps({"job_id": 2, "record": {"x": 3}}) + "\n")
+        with pytest.raises(ConfigurationError, match="corrupt mid-file"):
+            journal.append(3, {"x": 4})
+
+    def test_append_adopts_another_writers_records_instead_of_truncating(
+        self, tmp_path
+    ):
+        # Two instances on one file: A's cached prefix going stale must not
+        # let A truncate away B's durable, valid record.
+        path = tmp_path / "run.jsonl"
+        a = CheckpointJournal(path)
+        a.append(0, {"x": 1})
+        a.load()
+        b = CheckpointJournal(path)
+        b.append(1, {"x": 2})
+        a.append(2, {"x": 3})
+        assert CheckpointJournal(path).load() == {
+            0: {"x": 1},
+            1: {"x": 2},
+            2: {"x": 3},
+        }
+
+    def test_parsable_tail_without_newline_is_truncated(self, tmp_path):
+        # A kill can cut a line exactly before its trailing newline,
+        # leaving JSON that *parses* — accepting it would let the next
+        # append glue onto it and corrupt the file for every later load.
+        path = tmp_path / "run.jsonl"
+        journal = CheckpointJournal(path)
+        journal.append(0, {"x": 1})
+        journal.append(1, {"x": 2})
+        path.write_bytes(path.read_bytes()[:-1])  # drop the final newline
+        assert journal.load() == {0: {"x": 1}}
+        journal.append(2, {"x": 3})
+        assert CheckpointJournal(path).load() == {0: {"x": 1}, 2: {"x": 3}}
+
+    def test_blank_lines_are_skipped(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        journal = CheckpointJournal(path)
+        journal.append(0, {"x": 1})
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write("\n\n")
+        journal.append(1, {"x": 2})
+        assert set(journal.load()) == {0, 1}
+
+    def test_append_after_load_heals_the_truncated_tail(self, tmp_path):
+        # The resumed run's append cuts the file back to the valid prefix
+        # before writing, so records appended after a mangled tail are
+        # never shadowed by it on later loads (multi-crash resume safety).
+        path = tmp_path / "run.jsonl"
+        journal = CheckpointJournal(path)
+        journal.append(0, {"x": 1})
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write('{"job_id": 1, "rec')
+        assert journal.load() == {0: {"x": 1}}
+        journal.append(1, {"x": 2})
+        journal.append(2, {"x": 3})
+        # A fresh reader (new instance, no prior load) sees everything.
+        assert CheckpointJournal(path).load() == {
+            0: {"x": 1},
+            1: {"x": 2},
+            2: {"x": 3},
+        }
+        lines = path.read_text().splitlines()
+        assert len(lines) == 3  # the mangled fragment is gone
+        assert all(json.loads(line) for line in lines)
+
+    def test_append_without_prior_load_still_heals(self, tmp_path):
+        # A fresh instance appending to an existing file scans it first,
+        # so the healing guarantee holds even for append-without-load use
+        # (the engine always loads first; direct API users may not).
+        path = tmp_path / "run.jsonl"
+        journal = CheckpointJournal(path)
+        journal.append(0, {"x": 1})
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write('{"job_id": 1, "rec\n')
+        blind = CheckpointJournal(path)
+        blind.append(2, {"x": 3})
+        assert CheckpointJournal(path).load() == {0: {"x": 1}, 2: {"x": 3}}
+
+
+class TestFingerprint:
+    def test_header_written_once_and_checked(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        journal = CheckpointJournal(path, fingerprint="abc123")
+        journal.append(0, {"x": 1})
+        journal.append(1, {"x": 2})
+        lines = path.read_text().splitlines()
+        assert json.loads(lines[0]) == {"fingerprint": "abc123"}
+        assert len(lines) == 3
+        assert journal.load() == {0: {"x": 1}, 1: {"x": 2}}
+
+    def test_mismatched_fingerprint_rejected(self, tmp_path):
+        from repro.exceptions import ConfigurationError
+
+        path = tmp_path / "run.jsonl"
+        CheckpointJournal(path, fingerprint="campaign-a").append(0, {"x": 1})
+        with pytest.raises(ConfigurationError, match="different run"):
+            CheckpointJournal(path, fingerprint="campaign-b").load()
+
+    def test_reader_without_fingerprint_skips_header(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        CheckpointJournal(path, fingerprint="abc").append(0, {"x": 1})
+        assert CheckpointJournal(path).load() == {0: {"x": 1}}
+
+    def test_headerless_journal_accepted_by_fingerprinted_reader(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        CheckpointJournal(path).append(0, {"x": 1})
+        assert CheckpointJournal(path, fingerprint="abc").load() == {0: {"x": 1}}

@@ -1,0 +1,174 @@
+"""Tests for the run controller: isolation, retries, journal, progress."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.execution import (
+    CheckpointJournal,
+    ProcessPoolBackend,
+    RetryPolicy,
+    RunController,
+    SerialBackend,
+    guarded_runner,
+)
+
+
+@dataclass(frozen=True)
+class FakeJob:
+    job_id: int
+
+
+JOBS = tuple(FakeJob(job_id=i) for i in range(6))
+
+POISONED_ID = 3
+
+
+def poisoned_runner(job: FakeJob) -> str:
+    """Module-level so the process backend can pickle it into workers."""
+    if job.job_id == POISONED_ID:
+        raise RuntimeError("poisoned payload")
+    return f"ok-{job.job_id}"
+
+
+def error_record(job: FakeJob, exc: BaseException) -> str:
+    """Module-level on_error hook, picklable alongside the runner."""
+    return f"error-{job.job_id}:{type(exc).__name__}"
+
+
+class FlakyRunner:
+    """Raises the first ``fail_times`` calls per job, then succeeds."""
+
+    def __init__(self, fail_times: int) -> None:
+        self.fail_times = fail_times
+        self.calls: dict[int, int] = {}
+
+    def __call__(self, job: FakeJob) -> str:
+        attempt = self.calls.get(job.job_id, 0)
+        self.calls[job.job_id] = attempt + 1
+        if attempt < self.fail_times:
+            raise TimeoutError(f"transient fault on {job.job_id}")
+        return f"recovered-{job.job_id}"
+
+
+class TestFaultIsolation:
+    def test_poisoned_job_becomes_error_record_serial(self):
+        records = RunController(SerialBackend()).run(
+            JOBS, poisoned_runner, on_error=error_record
+        )
+        assert records[POISONED_ID] == "error-3:RuntimeError"
+        assert all(records[i] == f"ok-{i}" for i in range(6) if i != POISONED_ID)
+
+    def test_poisoned_job_becomes_error_record_across_processes(self):
+        # The wrapper runs inside the worker, so the exception never
+        # crosses the process boundary and the other records all survive.
+        records = RunController(ProcessPoolBackend(max_workers=2)).run(
+            JOBS, poisoned_runner, on_error=error_record
+        )
+        assert records[POISONED_ID] == "error-3:RuntimeError"
+        assert len(records) == len(JOBS)
+
+    def test_without_on_error_the_exception_propagates(self):
+        with pytest.raises(RuntimeError, match="poisoned"):
+            RunController(SerialBackend()).run(JOBS, poisoned_runner)
+
+    def test_guarded_runner_is_reusable_standalone(self):
+        safe = guarded_runner(poisoned_runner, error_record)
+        assert safe(FakeJob(POISONED_ID)) == "error-3:RuntimeError"
+        assert safe(FakeJob(0)) == "ok-0"
+
+
+class TestRetryPolicy:
+    def test_invalid_attempts_rejected(self):
+        with pytest.raises(ConfigurationError):
+            RetryPolicy(max_attempts=0)
+
+    def test_transient_fault_recovers_within_budget(self):
+        runner = FlakyRunner(fail_times=2)
+        records = RunController(
+            SerialBackend(), retry=RetryPolicy(max_attempts=3)
+        ).run(JOBS, runner, on_error=error_record)
+        assert all(records[i] == f"recovered-{i}" for i in range(6))
+        assert all(count == 3 for count in runner.calls.values())
+
+    def test_retries_apply_without_on_error(self):
+        runner = FlakyRunner(fail_times=2)
+        records = RunController(
+            SerialBackend(), retry=RetryPolicy(max_attempts=3)
+        ).run(JOBS[:2], runner)
+        assert records == {0: "recovered-0", 1: "recovered-1"}
+
+    def test_exhausted_retries_propagate_without_on_error(self):
+        runner = FlakyRunner(fail_times=5)
+        with pytest.raises(TimeoutError):
+            RunController(SerialBackend(), retry=RetryPolicy(max_attempts=2)).run(
+                JOBS[:1], runner
+            )
+        assert runner.calls == {0: 2}
+
+    def test_exhausted_retries_yield_error_record(self):
+        runner = FlakyRunner(fail_times=5)
+        records = RunController(
+            SerialBackend(), retry=RetryPolicy(max_attempts=2)
+        ).run(JOBS[:2], runner, on_error=error_record)
+        assert records == {0: "error-0:TimeoutError", 1: "error-1:TimeoutError"}
+        assert runner.calls == {0: 2, 1: 2}
+
+
+class TestProgress:
+    def test_progress_fires_per_record_in_completion_order(self):
+        calls = []
+        RunController(
+            SerialBackend(),
+            progress=lambda done, total, record: calls.append((done, total, record)),
+        ).run(JOBS, poisoned_runner, on_error=error_record)
+        assert [done for done, _, _ in calls] == list(range(1, 7))
+        assert all(total == 6 for _, total, _ in calls)
+        assert calls[0][2] == "ok-0"
+
+    def test_journaled_jobs_count_as_done_without_firing(self, tmp_path):
+        journal = CheckpointJournal(tmp_path / "run.jsonl")
+        journal.append(0, "ok-0")
+        journal.append(1, "ok-1")
+        calls = []
+        RunController(
+            SerialBackend(),
+            journal=journal,
+            progress=lambda done, total, record: calls.append((done, total)),
+        ).run(JOBS, poisoned_runner, on_error=error_record)
+        assert [done for done, _ in calls] == [3, 4, 5, 6]
+
+
+class TestJournaling:
+    def test_journaled_ids_are_skipped(self, tmp_path):
+        journal = CheckpointJournal(tmp_path / "run.jsonl")
+        journal.append(POISONED_ID, "adopted-from-journal")
+        ran = []
+
+        def spying_runner(job):
+            ran.append(job.job_id)
+            return f"ok-{job.job_id}"
+
+        records = RunController(SerialBackend(), journal=journal).run(
+            JOBS, spying_runner, on_error=error_record
+        )
+        assert POISONED_ID not in ran
+        assert records[POISONED_ID] == "adopted-from-journal"
+
+    def test_unknown_journal_ids_are_ignored(self, tmp_path):
+        journal = CheckpointJournal(tmp_path / "run.jsonl")
+        journal.append(999, "stale-entry")
+        records = RunController(SerialBackend(), journal=journal).run(
+            JOBS[:2], poisoned_runner, on_error=error_record
+        )
+        assert set(records) == {0, 1}
+
+    def test_every_new_record_is_appended(self, tmp_path):
+        journal = CheckpointJournal(tmp_path / "run.jsonl")
+        RunController(SerialBackend(), journal=journal).run(
+            JOBS, poisoned_runner, on_error=error_record
+        )
+        assert len(journal.load()) == len(JOBS)
