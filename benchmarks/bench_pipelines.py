@@ -1,0 +1,100 @@
+"""Smoke/benchmark runner: every registered tuning pipeline, end to end.
+
+The registry's contract is that anything listed by
+``python -m repro.pipeline --list`` runs end to end on a device; this
+script enforces it (CI runs ``--smoke``) and prints a per-pipeline cost
+table from the stage telemetry, so a method comparison is one command::
+
+    PYTHONPATH=src python benchmarks/bench_pipelines.py --smoke
+    PYTHONPATH=src python benchmarks/bench_pipelines.py --resolution 100 --seed 3
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.analysis.reporting import format_table
+from repro.pipeline import all_pipelines, format_stage_costs
+from repro.scenarios import get_scenario
+
+
+def run_all(resolution: int, seed: int, scenario: str, verbose: bool) -> list[dict]:
+    """Run every registered pipeline on a fresh seeded session; return rows."""
+    rows = []
+    for pipeline in all_pipelines():
+        session = get_scenario(scenario).open_session(
+            resolution=resolution, seed=seed
+        )
+        result = pipeline.run(session)
+        probes = sum(t.n_probes for t in result.stage_telemetry)
+        if probes != result.probe_stats.n_probes:
+            raise AssertionError(
+                f"{pipeline.name}: stage probes {probes} != "
+                f"probe stats {result.probe_stats.n_probes}"
+            )
+        if not result.stage_telemetry:
+            raise AssertionError(f"{pipeline.name}: no stage telemetry recorded")
+        rows.append(
+            {
+                "pipeline": pipeline.name,
+                "method": result.method,
+                "success": result.success,
+                "n_probes": result.probe_stats.n_probes,
+                "probe_fraction": result.probe_stats.probe_fraction,
+                "sim_s": result.probe_stats.elapsed_s,
+                "n_stages": len(result.stage_telemetry),
+            }
+        )
+        if verbose:
+            print(f"\n== {pipeline.name} ==")
+            print(format_stage_costs(result.stage_telemetry))
+    return rows
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="small fast run for CI: every registered pipeline must complete",
+    )
+    parser.add_argument("--resolution", type=int, default=100)
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--scenario", default="quiet_lab")
+    parser.add_argument(
+        "--per-stage", action="store_true", help="print each pipeline's stage table"
+    )
+    args = parser.parse_args(argv)
+    resolution = 48 if args.smoke else args.resolution
+    rows = run_all(resolution, args.seed, args.scenario, verbose=args.per_stage)
+    print(
+        format_table(
+            ["Pipeline", "Method", "Success", "Probes", "Fraction", "Sim time", "Stages"],
+            [
+                [
+                    r["pipeline"],
+                    r["method"],
+                    "yes" if r["success"] else "no",
+                    str(r["n_probes"]),
+                    f"{100.0 * r['probe_fraction']:.1f}%",
+                    f"{r['sim_s']:.1f}s",
+                    str(r["n_stages"]),
+                ]
+                for r in rows
+            ],
+            title=f"Registered pipelines on {args.scenario} @ {resolution}px (seed {args.seed})",
+        )
+    )
+    # The smoke contract: every registered pipeline ran end to end (errors
+    # raise above); the reference method must also extract successfully.
+    fast = next(r for r in rows if r["pipeline"] == "fast-extraction")
+    if not fast["success"]:
+        print("FAIL: fast-extraction did not succeed on the smoke scenario")
+        return 1
+    print(f"\nOK: {len(rows)} registered pipelines ran end to end")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -49,9 +49,18 @@ from .execution import (
 from .instrument import (
     ChargeSensorMeter,
     ExperimentSession,
+    MeterSnapshot,
     SessionFactory,
     TimingModel,
     VirtualClock,
+)
+from .pipeline import (
+    StageTelemetry,
+    TuneContext,
+    TuningPipeline,
+    get_pipeline,
+    pipeline_names,
+    register_pipeline,
 )
 from .seeding import spawn_seeds
 from .physics import (
@@ -96,6 +105,13 @@ __all__ = [
     "SerialBackend",
     "ChargeSensorMeter",
     "ExperimentSession",
+    "MeterSnapshot",
+    "StageTelemetry",
+    "TuneContext",
+    "TuningPipeline",
+    "get_pipeline",
+    "pipeline_names",
+    "register_pipeline",
     "SessionFactory",
     "TimingModel",
     "VirtualClock",

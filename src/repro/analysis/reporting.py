@@ -228,6 +228,88 @@ def format_campaign_table(rows: list[dict], max_rows: int | None = None) -> str:
     return table
 
 
+STAGE_BREAKDOWN_HEADERS = [
+    "Method",
+    "Stage",
+    "Runs",
+    "Probes",
+    "Probe share",
+    "Sim time",
+    "Wall",
+]
+
+
+def aggregate_stage_costs(rows: list[dict]) -> dict[tuple[str, str], dict]:
+    """Per-(method, stage) cost totals from per-job campaign dicts.
+
+    Each job dict may carry ``stage_telemetry`` (a sequence of
+    :class:`~repro.core.result.StageTelemetry`); jobs without telemetry
+    contribute nothing.  The single aggregation behind both the rendered
+    breakdown table and :meth:`repro.campaign.results.CampaignResult.stage_breakdown`.
+    """
+    totals: dict[tuple[str, str], dict] = {}
+    for row in rows:
+        method = str(row.get("method"))
+        for telemetry in row.get("stage_telemetry") or ():
+            entry = totals.setdefault(
+                (method, telemetry.stage),
+                {"n_runs": 0, "n_probes": 0, "sim_elapsed_s": 0.0, "wall_s": 0.0},
+            )
+            entry["n_runs"] += 1
+            entry["n_probes"] += telemetry.n_probes
+            entry["sim_elapsed_s"] += telemetry.sim_elapsed_s
+            entry["wall_s"] += telemetry.wall_s
+    return totals
+
+
+def stage_breakdown_rows(rows: list[dict]) -> list[list[str]]:
+    """Per-(method, stage) aggregate rows from per-job campaign dicts.
+
+    "Probe share" is the stage's fraction of its *method's* total probes —
+    the per-method answer to "where did the probes go".
+    """
+    totals = aggregate_stage_costs(rows)
+    method_probes: dict[str, int] = {}
+    for (method, _stage), entry in totals.items():
+        method_probes[method] = method_probes.get(method, 0) + entry["n_probes"]
+    out = []
+    for (method, stage), entry in totals.items():
+        denominator = method_probes.get(method, 0)
+        share = (
+            f"{100.0 * entry['n_probes'] / denominator:.1f}%"
+            if denominator
+            else "-"
+        )
+        out.append(
+            [
+                method,
+                stage,
+                str(entry["n_runs"]),
+                str(entry["n_probes"]),
+                share,
+                f"{entry['sim_elapsed_s']:.1f}s",
+                f"{1e3 * entry['wall_s']:.1f}ms",
+            ]
+        )
+    return out
+
+
+def format_stage_breakdown(rows: list[dict]) -> str:
+    """Per-stage cost table over a campaign's jobs (empty string if no telemetry).
+
+    Rows keep first-appearance order — method by method, stage by stage in
+    execution order — so the table reads like the pipelines ran.
+    """
+    breakdown = stage_breakdown_rows(rows)
+    if not breakdown:
+        return ""
+    return format_table(
+        STAGE_BREAKDOWN_HEADERS,
+        breakdown,
+        title="Per-stage probe accounting: where did the probes go",
+    )
+
+
 def format_campaign_summary(summary: dict) -> str:
     """Aggregate block of a campaign (see ``CampaignResult.summary``).
 

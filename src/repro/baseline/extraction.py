@@ -10,9 +10,12 @@ The baseline the paper compares against (refs [12, 18]) works in three steps:
    them into the steep (x-axis dot) and shallow (y-axis dot) line by their
    normal angle, and convert their slopes into the virtualization matrix.
 
-The implementation mirrors the fast extractor's interface: it consumes an
-:class:`~repro.instrument.session.ExperimentSession` (so probes and simulated
-runtime are accounted identically) and returns an
+Since the pipeline refactor the sequence lives in
+:mod:`repro.pipeline.baseline_stages` as the registered
+``dense-grid-baseline`` composition; this class remains the stable public
+front.  It mirrors the fast extractor's interface: it consumes an
+:class:`~repro.instrument.session.ExperimentSession` (so probes and
+simulated runtime are accounted identically, now per stage) and returns an
 :class:`~repro.core.result.ExtractionResult` with ``method="hough-baseline"``.
 """
 
@@ -20,18 +23,18 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-import numpy as np
-
-from ..core.result import ExtractionResult, ProbeStatistics
-from ..core.virtualization import VirtualizationMatrix
-from ..exceptions import BaselineError, ExtractionError
+from ..core.result import ExtractionResult
+from ..exceptions import BaselineError
 from ..instrument.measurement import ChargeSensorMeter
 from ..instrument.session import ExperimentSession
-from .canny import CannyConfig, CannyEdgeDetector
-from .hough import HoughConfig, HoughLine, HoughTransform
+from .canny import CannyConfig
+from .hough import HoughConfig
 
 #: Name used in result records and report tables.
 BASELINE_METHOD_NAME = "hough-baseline"
+
+#: Registry name of the stage composition behind this extractor.
+BASELINE_PIPELINE_NAME = "dense-grid-baseline"
 
 
 @dataclass(frozen=True)
@@ -58,8 +61,6 @@ class HoughBaselineExtractor:
 
     def __init__(self, config: BaselineConfig | None = None) -> None:
         self._config = config or BaselineConfig()
-        self._canny = CannyEdgeDetector(self._config.canny)
-        self._hough = HoughTransform(self._config.hough)
 
     @property
     def config(self) -> BaselineConfig:
@@ -71,132 +72,8 @@ class HoughBaselineExtractor:
         self, target: ExperimentSession | ChargeSensorMeter
     ) -> ExtractionResult:
         """Acquire the full CSD and extract the virtualization matrix."""
-        meter = target.meter if isinstance(target, ExperimentSession) else target
-        gate_x, gate_y = self._gate_names(meter)
-        try:
-            image = meter.acquire_full_grid()
-            edges = self._canny.detect(image)
-            matrix, slopes, lines = self._lines_to_matrix(meter, edges, gate_x, gate_y)
-        except (BaselineError, ExtractionError) as exc:
-            return ExtractionResult(
-                success=False,
-                method=BASELINE_METHOD_NAME,
-                matrix=None,
-                slopes=None,
-                probe_stats=self._probe_stats(meter),
-                failure_reason=str(exc),
-                metadata={"n_edge_pixels": None},
-            )
-        failure = self._validate(matrix, slopes)
-        return ExtractionResult(
-            success=failure is None,
-            method=BASELINE_METHOD_NAME,
-            matrix=matrix,
-            slopes=slopes,
-            probe_stats=self._probe_stats(meter),
-            failure_reason=failure or "",
-            metadata={
-                "n_edge_pixels": int(np.count_nonzero(edges)),
-                "n_hough_lines": len(lines),
-            },
-        )
+        # Imported lazily: repro.pipeline composes this package's stages,
+        # so a module-level import would be circular.
+        from ..pipeline.registry import get_pipeline
 
-    # ------------------------------------------------------------------
-    def _lines_to_matrix(
-        self,
-        meter: ChargeSensorMeter,
-        edges: np.ndarray,
-        gate_x: str,
-        gate_y: str,
-    ) -> tuple[VirtualizationMatrix, tuple[float, float], list[HoughLine]]:
-        cfg = self._config
-        n_edges = int(np.count_nonzero(edges))
-        if n_edges < cfg.min_edge_pixels:
-            raise BaselineError(
-                f"Canny found only {n_edges} edge pixels "
-                f"(need at least {cfg.min_edge_pixels}) — cannot establish the lines"
-            )
-        lines = self._hough.find_lines(edges)
-        if not lines:
-            raise BaselineError("Hough transform found no significant lines")
-        x_step = float(meter.x_voltages[1] - meter.x_voltages[0])
-        y_step = float(meter.y_voltages[1] - meter.y_voltages[0])
-        steep_candidates: list[HoughLine] = []
-        shallow_candidates: list[HoughLine] = []
-        for line in lines:
-            theta = line.theta_deg
-            # Negative-slope lines have normal angles strictly inside (0, 90).
-            if not 0.0 < theta < 90.0:
-                continue
-            if theta <= cfg.steep_theta_max_deg:
-                steep_candidates.append(line)
-            else:
-                shallow_candidates.append(line)
-        if not steep_candidates:
-            raise BaselineError(
-                "no steep (nearly vertical, negative-slope) transition line detected"
-            )
-        if not shallow_candidates:
-            raise BaselineError(
-                "no shallow (nearly horizontal, negative-slope) transition line detected"
-            )
-        steep = max(steep_candidates, key=lambda line: line.votes)
-        shallow = max(shallow_candidates, key=lambda line: line.votes)
-        slope_steep = steep.slope_voltage(x_step, y_step)
-        slope_shallow = shallow.slope_voltage(x_step, y_step)
-        matrix = VirtualizationMatrix.from_slopes(
-            slope_steep=slope_steep,
-            slope_shallow=slope_shallow,
-            gate_x=gate_x,
-            gate_y=gate_y,
-        )
-        return matrix, (slope_steep, slope_shallow), lines
-
-    def _validate(
-        self, matrix: VirtualizationMatrix, slopes: tuple[float, float]
-    ) -> str | None:
-        cfg = self._config
-        slope_steep, slope_shallow = slopes
-        if not np.isfinite(slope_shallow):
-            return "shallow slope is not finite"
-        if slope_steep >= 0 or slope_shallow >= 0:
-            return (
-                "detected slopes must both be negative; got "
-                f"steep={slope_steep:.3f}, shallow={slope_shallow:.3f}"
-            )
-        if np.isfinite(slope_steep) and abs(slope_steep) < cfg.min_steep_slope_magnitude:
-            return (
-                f"steep slope magnitude {abs(slope_steep):.3f} below the physical "
-                f"minimum {cfg.min_steep_slope_magnitude}"
-            )
-        if abs(slope_shallow) > cfg.max_shallow_slope_magnitude:
-            return (
-                f"shallow slope magnitude {abs(slope_shallow):.3f} above the physical "
-                f"maximum {cfg.max_shallow_slope_magnitude}"
-            )
-        if not (0.0 <= matrix.alpha_12 <= cfg.max_alpha):
-            return f"alpha_12 = {matrix.alpha_12:.3f} outside [0, {cfg.max_alpha}]"
-        if not (0.0 <= matrix.alpha_21 <= cfg.max_alpha):
-            return f"alpha_21 = {matrix.alpha_21:.3f} outside [0, {cfg.max_alpha}]"
-        return None
-
-    @staticmethod
-    def _gate_names(meter: ChargeSensorMeter) -> tuple[str, str]:
-        backend = meter.backend
-        csd = getattr(backend, "csd", None)
-        if csd is not None:
-            return csd.gate_x, csd.gate_y
-        gate_x = getattr(backend, "gate_x_name", None)
-        gate_y = getattr(backend, "gate_y_name", None)
-        if gate_x is not None and gate_y is not None:
-            return str(gate_x), str(gate_y)
-        return "P1", "P2"
-
-    @staticmethod
-    def _probe_stats(meter: ChargeSensorMeter) -> ProbeStatistics:
-        return ProbeStatistics(
-            n_probes=meter.n_probes,
-            n_requests=meter.n_requests,
-            n_pixels=meter.backend.n_pixels,
-            elapsed_s=meter.elapsed_s,
-        )
+        return get_pipeline(BASELINE_PIPELINE_NAME).run(target, config=self._config)

@@ -20,6 +20,7 @@ an uninterrupted run.
 from __future__ import annotations
 
 import hashlib
+import inspect
 import re
 import time
 from functools import partial
@@ -37,6 +38,7 @@ from ..execution import (
     SerialBackend,
     backend_from_spec,
 )
+from ..pipeline.registry import get_pipeline
 from ..scenarios.catalog import get_scenario
 from .grid import CampaignGrid, CampaignJob
 from .results import CampaignJobRecord, CampaignResult
@@ -150,7 +152,11 @@ class TuningCampaign:
         by default.  A replacement must accept
         ``(job, criterion=..., scenarios=...)``, return a
         :class:`~repro.campaign.results.CampaignJobRecord`, and be
-        picklable for process-based backends.
+        picklable for process-based backends.  A runner that also declares
+        a ``pipelines=`` keyword receives the parent-resolved
+        :class:`~repro.pipeline.composer.TuningPipeline` objects for the
+        grid's methods (needed for user-registered pipelines under
+        spawn-start pools).
     """
 
     def __init__(
@@ -222,6 +228,23 @@ class TuningCampaign:
         """The execution backend this campaign dispatches through."""
         return self._backend
 
+    def _runner_accepts(self, name: str) -> bool:
+        """Whether the configured job runner takes a keyword argument.
+
+        Keeps the historical ``(job, criterion=..., scenarios=...)`` runner
+        contract working: newer engine-supplied kwargs (``pipelines``) are
+        only passed to runners that declare them (or ``**kwargs``).
+        """
+        try:
+            parameters = inspect.signature(self._job_runner).parameters
+        except (TypeError, ValueError):  # builtins/C callables: be conservative
+            return False
+        if name in parameters:
+            return True
+        return any(
+            p.kind is inspect.Parameter.VAR_KEYWORD for p in parameters.values()
+        )
+
     def _effective_workers(self) -> int:
         """Workers the backend will actually use — what the result reports.
 
@@ -259,16 +282,21 @@ class TuningCampaign:
                 "to re-run failures from; pass checkpoint= as well"
             )
         started = time.perf_counter()
-        # Resolve scenario names in this process and ship the objects to the
-        # workers: user-registered scenarios live only in the parent's
-        # registry, which a spawn-start worker would not have.
+        # Resolve scenario names and pipeline methods in this process and
+        # ship the objects to the workers: user-registered scenarios and
+        # pipelines live only in the parent's registry, which a spawn-start
+        # worker would not have.
         scenarios = {
             name: get_scenario(name)
             for name in {job.scenario for job in self._jobs if job.scenario}
         }
-        run_one = partial(
-            self._job_runner, criterion=self._criterion, scenarios=scenarios
-        )
+        runner_kwargs = {"criterion": self._criterion, "scenarios": scenarios}
+        if self._runner_accepts("pipelines"):
+            runner_kwargs["pipelines"] = {
+                method: get_pipeline(method)
+                for method in {job.method for job in self._jobs}
+            }
+        run_one = partial(self._job_runner, **runner_kwargs)
         journal = (
             CheckpointJournal(
                 checkpoint,

@@ -37,11 +37,12 @@ import numpy as np
 
 from ..exceptions import ConfigurationError
 from ..physics.noise import NoiseModel, standard_lab_noise
+from ..pipeline.registry import resolve_method
 from ..scenarios.catalog import get_scenario
 from ..scenarios.devices import DEVICE_FACTORIES, DeviceSpec
 from ..seeding import spawn_seeds
 
-#: Extraction methods a campaign job can name.
+#: Historical shorthand methods (any registered pipeline name also works).
 KNOWN_METHODS: tuple[str, ...] = ("fast", "baseline")
 
 __all__ = [
@@ -142,12 +143,12 @@ class CampaignGrid:
         for name in self.scenarios:
             if name is not None:
                 get_scenario(name)  # raises ConfigurationError when unknown
-        unknown = set(self.methods) - set(KNOWN_METHODS)
-        if not self.methods or unknown:
-            raise ConfigurationError(
-                f"methods must be a non-empty subset of {KNOWN_METHODS}; "
-                f"got unknown {sorted(unknown)}"
-            )
+        if not self.methods:
+            raise ConfigurationError("a campaign grid needs at least one method")
+        for method in self.methods:
+            # Any registered tuning pipeline is a valid method axis entry;
+            # resolve_method raises ConfigurationError naming the known set.
+            resolve_method(method)
         if self.n_repeats < 1:
             raise ConfigurationError("n_repeats must be at least 1")
 

@@ -19,7 +19,13 @@ from pathlib import Path
 
 import numpy as np
 
-from ..analysis.reporting import format_campaign_summary, format_campaign_table
+from ..analysis.reporting import (
+    aggregate_stage_costs,
+    format_campaign_summary,
+    format_campaign_table,
+    format_stage_breakdown,
+)
+from ..core.result import StageTelemetry
 from ..execution.checkpoint import CheckpointJournal
 
 
@@ -71,6 +77,7 @@ class CampaignJobRecord:
     failure_category: str
     failure_reason: str
     scenario: str | None = None
+    stage_telemetry: tuple[StageTelemetry, ...] = ()
 
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, CampaignJobRecord):
@@ -111,19 +118,24 @@ class CampaignJobRecord:
         do **not** consume this encoding; they take the plain-value dicts
         of :meth:`CampaignResult.job_rows`.
         """
-        return {f.name: _encode_value(getattr(self, f.name)) for f in fields(self)}
+        payload = {f.name: _encode_value(getattr(self, f.name)) for f in fields(self)}
+        payload["stage_telemetry"] = [t.as_dict() for t in self.stage_telemetry]
+        return payload
 
     @classmethod
     def from_dict(cls, data: dict) -> "CampaignJobRecord":
         """Rebuild a record from :meth:`as_dict` output (extra keys ignored)."""
         known = {f.name for f in fields(cls)}
-        return cls(
-            **{
-                key: _decode_value(value)
-                for key, value in data.items()
-                if key in known
-            }
+        decoded = {
+            key: _decode_value(value)
+            for key, value in data.items()
+            if key in known
+        }
+        decoded["stage_telemetry"] = tuple(
+            StageTelemetry.from_dict(entry)
+            for entry in data.get("stage_telemetry") or ()
         )
+        return cls(**decoded)
 
 
 @dataclass(frozen=True)
@@ -250,29 +262,54 @@ class CampaignResult:
             for record in self.records
         ]
 
+    def stage_breakdown(self) -> dict[tuple[str, str], dict]:
+        """Per-(method, stage) cost aggregates over the whole campaign.
+
+        Maps ``(method, stage)`` to ``{"n_runs", "n_probes",
+        "sim_elapsed_s", "wall_s"}`` totals — the "where did the probes go"
+        view the per-stage telemetry exists for.  Records without telemetry
+        (failure records, pre-pipeline journals) simply contribute nothing.
+        """
+        return aggregate_stage_costs(self.job_rows())
+
     def format_report(self, max_rows: int | None = None) -> str:
-        """Full plain-text report: per-job table plus the aggregate block.
+        """Full plain-text report: per-job table, aggregates, stage costs.
 
         Renders partial results (an interrupted run's journal, a truncated
         resume) exactly like complete ones, with the summary flagging how
-        many of the expected jobs have records.
+        many of the expected jobs have records.  The per-stage breakdown
+        appears whenever any record carries stage telemetry.
         """
-        table = format_campaign_table(self.job_rows(), max_rows=max_rows)
-        return table + "\n\n" + format_campaign_summary(self.summary())
+        rows = self.job_rows()
+        table = format_campaign_table(rows, max_rows=max_rows)
+        report = table + "\n\n" + format_campaign_summary(self.summary())
+        breakdown = format_stage_breakdown(rows)
+        if breakdown:
+            report += "\n\n" + breakdown
+        return report
 
     # ------------------------------------------------------------------
     def normalized(self, wall_time_s: float = 0.0) -> "CampaignResult":
         """The execution-agnostic content view, for determinism comparisons.
 
-        Pins every wall-clock measurement (``wall_time_s`` and each
-        record's ``wall_elapsed_s``) and strips execution policy —
-        ``n_workers`` and the ``backend``/``source`` metadata keys — which
-        legitimately differ between runs of the same campaign.  Everything
-        left is deterministic, so ``a.normalized() == b.normalized()``
-        asserts bit-identical results across backends, worker counts, and
-        interrupt/resume cycles.
+        Pins every wall-clock measurement (``wall_time_s``, each record's
+        ``wall_elapsed_s``, and each stage-telemetry row's ``wall_s``) and
+        strips execution policy — ``n_workers`` and the ``backend``/``source``
+        metadata keys — which legitimately differ between runs of the same
+        campaign.  Everything left is deterministic, so
+        ``a.normalized() == b.normalized()`` asserts bit-identical results
+        across backends, worker counts, and interrupt/resume cycles.
         """
-        records = tuple(replace(r, wall_elapsed_s=wall_time_s) for r in self.records)
+        records = tuple(
+            replace(
+                r,
+                wall_elapsed_s=wall_time_s,
+                stage_telemetry=tuple(
+                    t.normalized(wall_time_s) for t in r.stage_telemetry
+                ),
+            )
+            for r in self.records
+        )
         metadata = {
             key: value
             for key, value in self.metadata.items()

@@ -15,10 +15,9 @@ from __future__ import annotations
 import time
 
 from ..analysis.metrics import SuccessCriterion, accuracy_metrics
-from ..baseline.extraction import HoughBaselineExtractor
-from ..core.extraction import FastVirtualGateExtractor
 from ..core.result import ExtractionResult
 from ..instrument.session import SessionFactory
+from ..pipeline.registry import get_pipeline
 from ..scenarios.catalog import LabScenario, get_scenario
 from .grid import CampaignJob, noise_for_scale
 from .results import CampaignJobRecord
@@ -54,12 +53,24 @@ def classify_failure(reason: str, extractor_success: bool, matched_truth: bool) 
     return "other"
 
 
-def _extractor_for(method: str):
-    if method == "fast":
-        return FastVirtualGateExtractor()
-    if method == "baseline":
-        return HoughBaselineExtractor()
-    raise ValueError(f"unknown extraction method {method!r}")
+def _pipeline_for(method: str, pipelines: dict | None = None):
+    """The tuning pipeline behind a job's method string.
+
+    ``"fast"`` and ``"baseline"`` stay as shorthand for the two methods the
+    campaign engine shipped with; any other registered pipeline name
+    (``"no-anchors"``, a user-registered composition) works directly, which
+    is how campaign configs sweep ablation variants as a method axis.
+
+    ``pipelines`` maps method strings to parent-resolved
+    :class:`~repro.pipeline.composer.TuningPipeline` instances — the same
+    ship-the-objects treatment scenarios get, because a pipeline registered
+    by the user exists only in the parent's registry and a spawn-start
+    worker process would re-import the built-ins and miss it.  The
+    per-process registry is the fallback for direct in-process calls.
+    """
+    if pipelines is not None and method in pipelines:
+        return pipelines[method]
+    return get_pipeline(method)
 
 
 def _base_record_fields(job: CampaignJob) -> dict:
@@ -82,15 +93,18 @@ def run_campaign_job(
     job: CampaignJob,
     criterion: SuccessCriterion | None = None,
     scenarios: dict[str, LabScenario] | None = None,
+    pipelines: dict | None = None,
 ) -> CampaignJobRecord:
     """Run one campaign job and return its condensed, picklable record.
 
     ``scenarios`` maps scenario names to resolved :class:`LabScenario`
-    objects.  The engine fills it in the parent process and ships it with
-    the job, because a scenario registered by the user exists only in the
-    parent's registry — a spawn-start worker process would re-import the
-    built-ins and miss it.  The per-process registry is only a fallback for
-    direct in-process calls.
+    objects and ``pipelines`` maps method strings to resolved
+    :class:`~repro.pipeline.composer.TuningPipeline` instances.  The engine
+    fills both in the parent process and ships them with the job, because a
+    scenario or pipeline registered by the user exists only in the parent's
+    registry — a spawn-start worker process would re-import the built-ins
+    and miss it.  The per-process registries are only a fallback for direct
+    in-process calls.
     """
     criterion = criterion or SuccessCriterion()
     started = time.perf_counter()
@@ -123,7 +137,7 @@ def run_campaign_job(
             seed=job.seed,
             label=job.label,
         )
-        result: ExtractionResult = _extractor_for(job.method).extract(session)
+        result: ExtractionResult = _pipeline_for(job.method, pipelines).run(session)
         geometry = session.geometry
         matched = criterion.evaluate(result, geometry)
         max_alpha_error = float("nan")
@@ -148,6 +162,7 @@ def run_campaign_job(
             wall_elapsed_s=time.perf_counter() - started,
             failure_category=category,
             failure_reason=result.failure_reason if not matched else "",
+            stage_telemetry=result.stage_telemetry,
         )
     except Exception as exc:  # a crashed job must not sink the campaign
         return _failure_record(

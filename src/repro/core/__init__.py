@@ -26,7 +26,12 @@ from .config import (
     PAPER_MASK_Y,
     SweepConfig,
 )
-from .extraction import FastVirtualGateExtractor, METHOD_NAME
+from .extraction import (
+    FastVirtualGateExtractor,
+    METHOD_NAME,
+    gate_names_for,
+    resolve_meter,
+)
 from .fitting import TransitionLineFitter, piecewise_transition_model
 from .gradient import FeatureGradient, MaskResponse, gaussian_window, oriented_mask
 from .postprocess import (
@@ -41,6 +46,7 @@ from .result import (
     ExtractionResult,
     ProbeStatistics,
     SlopeFitResult,
+    StageTelemetry,
     SweepTrace,
     TransitionPointSet,
 )
@@ -73,6 +79,8 @@ __all__ = [
     "PAPER_MASK_Y",
     "FastVirtualGateExtractor",
     "METHOD_NAME",
+    "gate_names_for",
+    "resolve_meter",
     "TransitionLineFitter",
     "piecewise_transition_model",
     "FeatureGradient",
@@ -89,6 +97,7 @@ __all__ = [
     "ExtractionResult",
     "ProbeStatistics",
     "SlopeFitResult",
+    "StageTelemetry",
     "SweepTrace",
     "TransitionPointSet",
     "ArrayVirtualization",

@@ -1,7 +1,7 @@
 """The fast virtual gate extraction pipeline (the paper's contribution).
 
-:class:`FastVirtualGateExtractor` strings together the four stages of
-Section 4 against a measurement session:
+:class:`FastVirtualGateExtractor` runs the four stages of Section 4
+against a measurement session:
 
 1. anchor-point preprocessing (:mod:`repro.core.anchors`, §4.4),
 2. shrinking-triangle row- and column-major sweeps (:mod:`repro.core.sweeps`,
@@ -10,40 +10,33 @@ Section 4 against a measurement session:
 4. two-piece-wise linear fit and slope → virtualization-matrix conversion
    (:mod:`repro.core.fitting`, §4.3.3 and §2.3).
 
-Every stage probes the device only through the session's cached meter, so the
-result carries the exact experimental cost (probe count, simulated runtime)
-alongside the extracted matrix.  Failures at any stage are converted into an
-unsuccessful :class:`~repro.core.result.ExtractionResult` rather than an
-exception, because "extraction failed on this device" is an expected outcome
-the evaluation has to count (two of the paper's twelve benchmarks fail).
+Since the pipeline refactor, the sequence itself lives in
+:mod:`repro.pipeline` as the registered ``fast-extraction`` composition —
+this class is the stable public front for it (and the seeded probe order
+is bit-identical to the historical monolithic implementation).  Every
+stage probes the device only through the session's cached meter, so the
+result carries the exact experimental cost — now broken down per stage in
+:attr:`~repro.core.result.ExtractionResult.stage_telemetry`.  Failures at
+any stage are converted into an unsuccessful
+:class:`~repro.core.result.ExtractionResult` rather than an exception,
+because "extraction failed on this device" is an expected outcome the
+evaluation has to count (two of the paper's twelve benchmarks fail).
 """
 
 from __future__ import annotations
 
-import numpy as np
-
 from ..exceptions import ExtractionError
 from ..instrument.measurement import ChargeSensorMeter
 from ..instrument.session import ExperimentSession
-from .anchors import AnchorFinder
 from .config import ExtractionConfig
-from .fitting import TransitionLineFitter
-from .postprocess import build_point_set
-from .result import (
-    AnchorSearchResult,
-    ExtractionResult,
-    ProbeStatistics,
-    SlopeFitResult,
-    TransitionPointSet,
-)
-from .sweeps import TransitionLineSweeper
-from .virtualization import VirtualizationMatrix
+from .result import ExtractionResult
 
 #: Name used in result records and report tables.
 METHOD_NAME = "fast-extraction"
 
 
-def _resolve_meter(target: ExperimentSession | ChargeSensorMeter) -> ChargeSensorMeter:
+def resolve_meter(target: ExperimentSession | ChargeSensorMeter) -> ChargeSensorMeter:
+    """The measurement meter behind a session (or the meter itself)."""
     if isinstance(target, ExperimentSession):
         return target.meter
     if isinstance(target, ChargeSensorMeter):
@@ -53,8 +46,17 @@ def _resolve_meter(target: ExperimentSession | ChargeSensorMeter) -> ChargeSenso
     )
 
 
-def _gate_names(target: ExperimentSession | ChargeSensorMeter) -> tuple[str, str]:
-    meter = _resolve_meter(target)
+def gate_names_for(
+    target: ExperimentSession | ChargeSensorMeter,
+) -> tuple[str, str]:
+    """The ``(gate_x, gate_y)`` names of the measurement target's axes.
+
+    Raises :class:`ExtractionError` when the backend exposes neither a CSD
+    nor gate-name attributes: silently defaulting to ``("P1", "P2")`` (the
+    historical behaviour) mislabeled results from custom backends, which
+    is strictly worse than failing loudly.
+    """
+    meter = resolve_meter(target)
     backend = meter.backend
     csd = getattr(backend, "csd", None)
     if csd is not None:
@@ -63,7 +65,12 @@ def _gate_names(target: ExperimentSession | ChargeSensorMeter) -> tuple[str, str
     gate_y = getattr(backend, "gate_y_name", None)
     if gate_x is not None and gate_y is not None:
         return str(gate_x), str(gate_y)
-    return "P1", "P2"
+    raise ExtractionError(
+        f"measurement backend {type(backend).__name__} exposes neither a "
+        "`csd` nor `gate_x_name`/`gate_y_name` attributes, so the extracted "
+        "matrix cannot be labeled with its gate names; add those attributes "
+        "to the backend (or wrap it in a DatasetBackend/DeviceBackend)"
+    )
 
 
 class FastVirtualGateExtractor:
@@ -82,124 +89,8 @@ class FastVirtualGateExtractor:
         self, target: ExperimentSession | ChargeSensorMeter
     ) -> ExtractionResult:
         """Run the full pipeline against a session (or bare meter)."""
-        meter = _resolve_meter(target)
-        gate_x, gate_y = _gate_names(target)
-        anchors: AnchorSearchResult | None = None
-        points: TransitionPointSet | None = None
-        fit: SlopeFitResult | None = None
-        try:
-            anchors = AnchorFinder(meter, self._config.anchors).find()
-            sweeper = TransitionLineSweeper(meter, self._config.sweeps)
-            row_trace, column_trace = sweeper.run(
-                anchors.steep_anchor, anchors.shallow_anchor
-            )
-            points = build_point_set(
-                row_trace,
-                column_trace,
-                apply_filter=self._config.sweeps.apply_postprocess,
-            )
-            fit = self._fit(meter, anchors, points)
-            matrix, slopes = self._matrix_from_fit(fit, gate_x, gate_y)
-        except ExtractionError as exc:
-            return ExtractionResult(
-                success=False,
-                method=METHOD_NAME,
-                matrix=None,
-                slopes=None,
-                probe_stats=self._probe_stats(meter),
-                anchors=anchors,
-                points=points,
-                fit=fit,
-                failure_reason=str(exc),
-            )
-        failure = self._validate(fit, matrix)
-        # A validation failure deliberately keeps the rejected matrix: callers
-        # diagnosing a failed run need to see *what* was extracted alongside
-        # the failure_reason explaining why it was rejected.
-        return ExtractionResult(
-            success=failure is None,
-            method=METHOD_NAME,
-            matrix=matrix,
-            slopes=slopes,
-            probe_stats=self._probe_stats(meter),
-            anchors=anchors,
-            points=points,
-            fit=fit,
-            failure_reason=failure or "",
-        )
+        # Imported lazily: repro.pipeline composes this package's stages,
+        # so a module-level import would be circular.
+        from ..pipeline.registry import get_pipeline
 
-    # ------------------------------------------------------------------
-    def _fit(
-        self,
-        meter: ChargeSensorMeter,
-        anchors: AnchorSearchResult,
-        points: TransitionPointSet,
-    ) -> SlopeFitResult:
-        xs = meter.x_voltages
-        ys = meter.y_voltages
-        filtered = points.filtered_points
-        voltage_points = np.array(
-            [[xs[col], ys[row]] for row, col in filtered], dtype=float
-        )
-        steep_anchor_v = (
-            float(xs[anchors.steep_anchor.col]),
-            float(ys[anchors.steep_anchor.row]),
-        )
-        shallow_anchor_v = (
-            float(xs[anchors.shallow_anchor.col]),
-            float(ys[anchors.shallow_anchor.row]),
-        )
-        fitter = TransitionLineFitter(self._config.fit)
-        return fitter.fit(voltage_points, steep_anchor_v, shallow_anchor_v)
-
-    def _matrix_from_fit(
-        self, fit: SlopeFitResult, gate_x: str, gate_y: str
-    ) -> tuple[VirtualizationMatrix, tuple[float, float]]:
-        slopes = (fit.slope_steep, fit.slope_shallow)
-        matrix = VirtualizationMatrix.from_slopes(
-            slope_steep=fit.slope_steep,
-            slope_shallow=fit.slope_shallow,
-            gate_x=gate_x,
-            gate_y=gate_y,
-        )
-        return matrix, slopes
-
-    def _validate(
-        self, fit: SlopeFitResult | None, matrix: VirtualizationMatrix | None
-    ) -> str | None:
-        if fit is None or matrix is None:
-            return "pipeline did not produce a fit"
-        cfg = self._config.fit
-        if not fit.converged:
-            return "slope fit did not converge"
-        if not (np.isfinite(fit.slope_steep) and np.isfinite(fit.slope_shallow)):
-            return "fitted slopes are not finite"
-        if fit.slope_steep >= 0 or fit.slope_shallow >= 0:
-            return (
-                "fitted slopes must both be negative (device physics); got "
-                f"steep={fit.slope_steep:.3f}, shallow={fit.slope_shallow:.3f}"
-            )
-        if abs(fit.slope_steep) < cfg.min_steep_slope_magnitude:
-            return (
-                f"steep slope magnitude {abs(fit.slope_steep):.3f} below the physical "
-                f"minimum {cfg.min_steep_slope_magnitude}"
-            )
-        if abs(fit.slope_shallow) > cfg.max_shallow_slope_magnitude:
-            return (
-                f"shallow slope magnitude {abs(fit.slope_shallow):.3f} above the physical "
-                f"maximum {cfg.max_shallow_slope_magnitude}"
-            )
-        if not (0.0 <= matrix.alpha_12 <= cfg.max_alpha):
-            return f"alpha_12 = {matrix.alpha_12:.3f} outside [0, {cfg.max_alpha}]"
-        if not (0.0 <= matrix.alpha_21 <= cfg.max_alpha):
-            return f"alpha_21 = {matrix.alpha_21:.3f} outside [0, {cfg.max_alpha}]"
-        return None
-
-    @staticmethod
-    def _probe_stats(meter: ChargeSensorMeter) -> ProbeStatistics:
-        return ProbeStatistics(
-            n_probes=meter.n_probes,
-            n_requests=meter.n_requests,
-            n_pixels=meter.backend.n_pixels,
-            elapsed_s=meter.elapsed_s,
-        )
+        return get_pipeline(METHOD_NAME).run(target, config=self._config)

@@ -9,12 +9,48 @@ paper's illustrative figures.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, fields, replace
 
 import numpy as np
 
 from .region import PixelPoint
 from .virtualization import VirtualizationMatrix
+
+
+@dataclass(frozen=True)
+class StageTelemetry:
+    """Cost and outcome of one pipeline stage, as measured by the meter.
+
+    Probe/request/cache/simulated-time numbers are snapshot *deltas* over
+    the stage (see :meth:`~repro.instrument.measurement.ChargeSensorMeter.snapshot`),
+    so summing a run's stage telemetry reproduces the run's
+    :class:`ProbeStatistics` totals exactly.  ``wall_s`` is real compute
+    time — useful for profiling, but nondeterministic; comparisons of
+    seeded runs go through :meth:`normalized`.
+    """
+
+    stage: str
+    outcome: str  # "ok" | "failed" | "skipped"
+    n_probes: int = 0
+    n_requests: int = 0
+    cache_hits: int = 0
+    sim_elapsed_s: float = 0.0
+    wall_s: float = 0.0
+    detail: str = ""
+
+    def as_dict(self) -> dict:
+        """JSON-native plain-dict view (every field)."""
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "StageTelemetry":
+        """Rebuild from :meth:`as_dict` output (extra keys ignored)."""
+        known = {f.name for f in fields(cls)}
+        return cls(**{key: value for key, value in data.items() if key in known})
+
+    def normalized(self, wall_s: float = 0.0) -> "StageTelemetry":
+        """This telemetry with the wall clock pinned, for determinism checks."""
+        return replace(self, wall_s=wall_s)
 
 
 @dataclass(frozen=True)
@@ -125,6 +161,7 @@ class ExtractionResult:
     fit: SlopeFitResult | None = None
     failure_reason: str = ""
     metadata: dict = field(default_factory=dict)
+    stage_telemetry: tuple[StageTelemetry, ...] = ()
 
     @property
     def alpha_12(self) -> float | None:
@@ -135,6 +172,13 @@ class ExtractionResult:
     def alpha_21(self) -> float | None:
         """Extracted ``alpha_21`` (None when extraction failed)."""
         return self.matrix.alpha_21 if self.matrix is not None else None
+
+    def stage(self, name: str) -> StageTelemetry | None:
+        """Telemetry of the named stage, or ``None`` when it never ran."""
+        for telemetry in self.stage_telemetry:
+            if telemetry.stage == name:
+                return telemetry
+        return None
 
     def summary(self) -> dict:
         """Flat summary used by the comparison harness and reports."""

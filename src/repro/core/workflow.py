@@ -6,12 +6,19 @@ plunger-gate pair:
 1. :class:`~repro.core.window_search.TransitionWindowFinder` locates the
    voltage window containing the lowest charge transitions with a coarse scan
    (a few hundred probes over the full safe gate range);
-2. :class:`~repro.core.extraction.FastVirtualGateExtractor` extracts the
-   virtualization matrix inside that window at the requested resolution.
+2. the registered extraction pipeline (``fast-extraction`` by default; any
+   :mod:`repro.pipeline` composition by name) extracts the virtualization
+   matrix inside that window at the requested resolution.
 
-The workflow reports the combined probe/time budget, so the cost of finding
-the window — which the paper's benchmarks assume has already been paid — is
-accounted for explicitly.
+Since the pipeline refactor the workflow *is* a stage composition: the
+coarse search runs as a :class:`~repro.pipeline.stages.WindowSearchStage`,
+the fine session opens through an
+:class:`~repro.pipeline.stages.OpenSessionStage`, and the extraction stages
+follow on the same :class:`~repro.pipeline.context.TuneContext` — so the
+combined probe/time budget arrives as one per-stage telemetry sequence
+(window search included), and the cost of finding the window — which the
+paper's benchmarks assume has already been paid — is accounted for
+explicitly.
 
 On a *time-dependent* device (:class:`~repro.physics.drift.DeviceDrift`
 and/or time-dependent noise, bundled conveniently by a
@@ -32,7 +39,6 @@ import numpy as np
 
 from ..exceptions import ExtractionError
 from ..instrument.measurement import ChargeSensorMeter, DeviceBackend
-from ..instrument.session import ExperimentSession
 from ..instrument.timing import TimingModel, VirtualClock
 from ..physics.dot_array import DotArrayDevice
 from ..physics.drift import DeviceDrift
@@ -40,9 +46,9 @@ from ..physics.noise import NoiseModel
 from ..scenarios.catalog import LabScenario, get_scenario
 from ..seeding import spawn_seeds
 from .config import ExtractionConfig
-from .extraction import FastVirtualGateExtractor
-from .result import ExtractionResult
-from .window_search import TransitionWindowFinder, WindowSearchConfig, WindowSearchResult
+from .extraction import METHOD_NAME
+from .result import ExtractionResult, StageTelemetry
+from .window_search import WindowSearchConfig, WindowSearchResult
 
 
 @dataclass(frozen=True)
@@ -52,6 +58,7 @@ class AutoTuneResult:
     window_search: WindowSearchResult
     extraction: ExtractionResult
     metadata: dict = field(default_factory=dict)
+    stage_telemetry: tuple[StageTelemetry, ...] = ()
 
     @property
     def success(self) -> bool:
@@ -104,6 +111,7 @@ class RetuneCycle:
 
     check: StalenessCheck
     extraction: ExtractionResult | None = None
+    stage_telemetry: tuple[StageTelemetry, ...] = ()
 
     @property
     def retuned(self) -> bool:
@@ -143,6 +151,14 @@ class DriftAwareTuneResult:
                 probes += cycle.extraction.probe_stats.n_probes
         return probes
 
+    @property
+    def stage_telemetry(self) -> tuple[StageTelemetry, ...]:
+        """Every stage the whole timeline ran, in execution order."""
+        telemetry = list(self.initial.stage_telemetry)
+        for cycle in self.cycles:
+            telemetry.extend(cycle.stage_telemetry)
+        return tuple(telemetry)
+
     def summary(self) -> dict:
         """Flat summary of the whole timeline."""
         return {
@@ -163,7 +179,11 @@ class AutoTuningWorkflow:
 
     ``noise``, ``drift``, and ``time_dependent_noise`` describe the simulated
     environment every stage runs under; :meth:`for_scenario` fills them from
-    a registered :class:`~repro.scenarios.catalog.LabScenario`.
+    a registered :class:`~repro.scenarios.catalog.LabScenario`.  ``pipeline``
+    names the registered extraction composition to run inside the window —
+    ``"fast-extraction"`` by default, any :func:`repro.pipeline.get_pipeline`
+    name (or a :class:`~repro.pipeline.composer.TuningPipeline` instance)
+    otherwise, which is how ablation variants ride the full workflow.
     """
 
     def __init__(
@@ -176,17 +196,23 @@ class AutoTuningWorkflow:
         seed: int | np.random.SeedSequence | None = None,
         drift: DeviceDrift | None = None,
         time_dependent_noise: bool = False,
+        pipeline: str | object | None = None,
     ) -> None:
         if resolution < 16:
             raise ExtractionError("resolution must be at least 16")
         self._resolution = int(resolution)
-        self._extraction_config = extraction_config or ExtractionConfig.paper_defaults()
+        # None lets the pipeline's own default configuration win, which is
+        # what makes non-ExtractionConfig compositions (the dense-grid
+        # baseline) runnable through the workflow; the registered fast
+        # pipelines default to ExtractionConfig.paper_defaults() anyway.
+        self._extraction_config = extraction_config
         self._window_config = window_config or WindowSearchConfig()
         self._noise = noise
         self._timing = timing or TimingModel.paper_default()
         self._seed = seed
         self._drift = drift
         self._time_dependent_noise = bool(time_dependent_noise)
+        self._pipeline_spec = pipeline or METHOD_NAME
 
     @classmethod
     def for_scenario(
@@ -196,6 +222,7 @@ class AutoTuningWorkflow:
         extraction_config: ExtractionConfig | None = None,
         window_config: WindowSearchConfig | None = None,
         seed: int | np.random.SeedSequence | None = None,
+        pipeline: str | object | None = None,
     ) -> "AutoTuningWorkflow":
         """A workflow configured for a (possibly named) lab scenario."""
         if isinstance(scenario, str):
@@ -209,6 +236,47 @@ class AutoTuningWorkflow:
             seed=seed,
             drift=scenario.drift,
             time_dependent_noise=scenario.time_dependent_noise,
+            pipeline=pipeline,
+        )
+
+    def _pipeline(self):
+        """The extraction pipeline instance for this run."""
+        from ..pipeline.composer import TuningPipeline
+        from ..pipeline.registry import get_pipeline
+
+        if isinstance(self._pipeline_spec, TuningPipeline):
+            return self._pipeline_spec
+        return get_pipeline(str(self._pipeline_spec))
+
+    def _window_search_stage(
+        self,
+        device: DotArrayDevice,
+        gate_x: int | str,
+        gate_y: int | str,
+        x_range: tuple[float, float] | None,
+        y_range: tuple[float, float] | None,
+        seed: np.random.SeedSequence,
+    ):
+        """The coarse-search stage under this workflow's environment.
+
+        One construction point for both :meth:`run` and
+        :meth:`run_with_retuning`, so the two modes cannot drift apart in
+        which noise/drift/timing the window is searched under.
+        """
+        from ..pipeline.stages import WindowSearchStage
+
+        return WindowSearchStage(
+            device,
+            gate_x=gate_x,
+            gate_y=gate_y,
+            x_range=x_range,
+            y_range=y_range,
+            noise=self._noise,
+            seed=seed,
+            timing=self._timing,
+            config=self._window_config,
+            drift=self._drift,
+            time_dependent_noise=self._time_dependent_noise,
         )
 
     # ------------------------------------------------------------------
@@ -222,32 +290,45 @@ class AutoTuningWorkflow:
         x_range: tuple[float, float] | None = None,
         y_range: tuple[float, float] | None = None,
     ) -> AutoTuneResult:
-        """Run both stages against a simulated device."""
+        """Run the full stage composition against a simulated device."""
+        from ..pipeline.composer import run_stage
+        from ..pipeline.context import TuneContext
+        from ..pipeline.stages import OpenSessionStage
+
         # Spawned children keep the two stages' noise streams independent of
         # each other and of neighbouring root seeds (seed + 1 would collide
         # with the window-search stream of a run rooted at seed + 1).
         window_seed, extraction_seed = spawn_seeds(self._seed, 2)
-        window_result = self._find_window(
-            device, gate_x, gate_y, x_range, y_range, window_seed
+        ctx = TuneContext(config=self._extraction_config)
+        setup_telemetry: list[StageTelemetry] = []
+        run_stage(
+            self._window_search_stage(
+                device, gate_x, gate_y, x_range, y_range, window_seed
+            ),
+            ctx,
+            setup_telemetry,
         )
-        session = ExperimentSession.from_device(
-            device,
-            resolution=self._resolution,
-            window=window_result.window,
-            gate_x=gate_x,
-            gate_y=gate_y,
-            dot_a=dot_a,
-            dot_b=dot_b,
-            noise=self._noise,
-            seed=extraction_seed,
-            timing=self._timing,
-            drift=self._drift,
-            time_dependent_noise=self._time_dependent_noise,
-            label=f"{device.name}:autotune",
+        run_stage(
+            OpenSessionStage(
+                device,
+                resolution=self._resolution,
+                gate_x=gate_x,
+                gate_y=gate_y,
+                dot_a=dot_a,
+                dot_b=dot_b,
+                noise=self._noise,
+                seed=extraction_seed,
+                timing=self._timing,
+                drift=self._drift,
+                time_dependent_noise=self._time_dependent_noise,
+                label=f"{device.name}:autotune",
+            ),
+            ctx,
+            setup_telemetry,
         )
-        extraction = FastVirtualGateExtractor(self._extraction_config).extract(session)
+        extraction, ctx = self._pipeline().execute(ctx)
         return AutoTuneResult(
-            window_search=window_result,
+            window_search=ctx.window,
             extraction=extraction,
             metadata={
                 "device": device.name,
@@ -255,6 +336,7 @@ class AutoTuningWorkflow:
                 "gate_y": str(gate_y),
                 "resolution": self._resolution,
             },
+            stage_telemetry=tuple(setup_telemetry) + extraction.stage_telemetry,
         )
 
     def run_with_retuning(
@@ -273,17 +355,22 @@ class AutoTuningWorkflow:
 
         One continuous simulated timeline: the coarse window search, the
         initial extraction, then ``n_cycles`` idle periods of
-        ``idle_time_s``.  After each idle period the workflow re-probes
+        ``idle_time_s``.  After each idle period a
+        :class:`~repro.pipeline.stages.StalenessCheckStage` re-probes
         ``n_check_pixels`` of the pixels the last extraction already
         measured (a few dwell times of cost) and compares against the stored
         values; a maximum deviation beyond ``staleness_threshold_na``
         declares the virtualization matrix stale and triggers a fresh
         extraction *at the device's current age* on the same window.
 
-        Returns the initial result plus every check and re-extraction, so
-        callers can see both how often the environment forced a retune and
-        what each retune cost.
+        Returns the initial result plus every check and re-extraction —
+        with per-stage telemetry on one timeline — so callers can see both
+        how often the environment forced a retune and what each retune cost.
         """
+        from ..pipeline.composer import run_stage
+        from ..pipeline.context import TuneContext
+        from ..pipeline.stages import StalenessCheckStage
+
         if idle_time_s < 0:
             raise ExtractionError("idle_time_s must be non-negative")
         if n_cycles < 1:
@@ -293,9 +380,16 @@ class AutoTuningWorkflow:
         if n_check_pixels < 1:
             raise ExtractionError("n_check_pixels must be at least 1")
         window_seed, extraction_seed = spawn_seeds(self._seed, 2)
-        window_result = self._find_window(
-            device, gate_x, gate_y, x_range, y_range, window_seed
+        setup_ctx = TuneContext(config=self._extraction_config)
+        setup_telemetry: list[StageTelemetry] = []
+        run_stage(
+            self._window_search_stage(
+                device, gate_x, gate_y, x_range, y_range, window_seed
+            ),
+            setup_ctx,
+            setup_telemetry,
         )
+        window_result = setup_ctx.window
         (x_min, x_max), (y_min, y_max) = window_result.window
         backend = DeviceBackend(
             device,
@@ -313,9 +407,9 @@ class AutoTuningWorkflow:
         # simulated time, so the fine stages start aged by that much.
         clock = VirtualClock(self._timing)
         clock.advance(window_result.elapsed_s)
-        extractor = FastVirtualGateExtractor(self._extraction_config)
+        pipeline = self._pipeline()
 
-        initial_extraction, meter = self._extract_stage(extractor, backend, clock)
+        initial_extraction, meter = self._extract_stage(pipeline, backend, clock)
         initial = AutoTuneResult(
             window_search=window_result,
             extraction=initial_extraction,
@@ -325,6 +419,8 @@ class AutoTuningWorkflow:
                 "gate_y": str(gate_y),
                 "resolution": self._resolution,
             },
+            stage_telemetry=tuple(setup_telemetry)
+            + initial_extraction.stage_telemetry,
         )
         check_rows, check_cols, reference = self._reference_pixels(
             meter, n_check_pixels
@@ -333,26 +429,37 @@ class AutoTuningWorkflow:
         cycles: list[RetuneCycle] = []
         for _ in range(n_cycles):
             clock.advance(idle_time_s)
-            # Cache off: the whole point is paying for fresh values at the
-            # device's current age.
-            check_meter = ChargeSensorMeter(backend, clock=clock, cache=False)
-            fresh = check_meter.get_currents(check_rows, check_cols)
-            deviation = float(np.max(np.abs(fresh - reference)))
-            check = StalenessCheck(
-                checked_at_s=clock.elapsed_s,
-                max_deviation_na=deviation,
-                threshold_na=staleness_threshold_na,
-                n_check_pixels=int(check_rows.size),
+            cycle_ctx = TuneContext(config=self._extraction_config)
+            cycle_telemetry: list[StageTelemetry] = []
+            run_stage(
+                StalenessCheckStage(
+                    backend,
+                    clock,
+                    check_rows,
+                    check_cols,
+                    reference,
+                    staleness_threshold_na,
+                ),
+                cycle_ctx,
+                cycle_telemetry,
             )
+            check: StalenessCheck = cycle_ctx.extras["staleness_check"]
             extraction: ExtractionResult | None = None
             if check.stale:
                 extraction, retune_meter = self._extract_stage(
-                    extractor, backend, clock
+                    pipeline, backend, clock
                 )
+                cycle_telemetry.extend(extraction.stage_telemetry)
                 check_rows, check_cols, reference = self._reference_pixels(
                     retune_meter, n_check_pixels
                 )
-            cycles.append(RetuneCycle(check=check, extraction=extraction))
+            cycles.append(
+                RetuneCycle(
+                    check=check,
+                    extraction=extraction,
+                    stage_telemetry=tuple(cycle_telemetry),
+                )
+            )
         return DriftAwareTuneResult(
             initial=initial,
             cycles=tuple(cycles),
@@ -365,33 +472,9 @@ class AutoTuningWorkflow:
         )
 
     # ------------------------------------------------------------------
-    def _find_window(
-        self,
-        device: DotArrayDevice,
-        gate_x: int | str,
-        gate_y: int | str,
-        x_range: tuple[float, float] | None,
-        y_range: tuple[float, float] | None,
-        seed: np.random.SeedSequence,
-    ) -> WindowSearchResult:
-        finder = TransitionWindowFinder(
-            device,
-            gate_x=gate_x,
-            gate_y=gate_y,
-            x_range=x_range,
-            y_range=y_range,
-            noise=self._noise,
-            seed=seed,
-            timing=self._timing,
-            config=self._window_config,
-            drift=self._drift,
-            time_dependent_noise=self._time_dependent_noise,
-        )
-        return finder.find()
-
-    @staticmethod
     def _extract_stage(
-        extractor: FastVirtualGateExtractor,
+        self,
+        pipeline,
         backend: DeviceBackend,
         clock: VirtualClock,
     ) -> tuple[ExtractionResult, ChargeSensorMeter]:
@@ -400,11 +483,15 @@ class AutoTuningWorkflow:
         The shared clock reads absolute timeline age, so the raw
         ``probe_stats.elapsed_s`` would include everything that happened
         before this stage (window search, earlier cycles); rewrite it to the
-        time this extraction itself consumed.
+        time this extraction itself consumed.  The per-stage telemetry is
+        snapshot-diffed and therefore already stage-local.
         """
+        from ..pipeline.context import TuneContext
+
         started_s = clock.elapsed_s
         meter = ChargeSensorMeter(backend, clock=clock)
-        result = extractor.extract(meter)
+        ctx = TuneContext(meter=meter, config=self._extraction_config)
+        result, _ = pipeline.execute(ctx)
         stats = replace(result.probe_stats, elapsed_s=clock.elapsed_s - started_s)
         return replace(result, probe_stats=stats), meter
 

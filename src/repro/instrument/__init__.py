@@ -10,6 +10,7 @@ from .measurement import (
     DatasetBackend,
     DeviceBackend,
     MeasurementBackend,
+    MeterSnapshot,
     ProbeLog,
     ProbeRecord,
 )
@@ -22,6 +23,7 @@ __all__ = [
     "DatasetBackend",
     "DeviceBackend",
     "MeasurementBackend",
+    "MeterSnapshot",
     "ProbeLog",
     "ProbeRecord",
     "ExperimentSession",

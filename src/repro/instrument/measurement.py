@@ -232,6 +232,11 @@ class ProbeLog:
         ordered = pairs[np.sort(first_seen)]
         return [(int(row), int(col)) for row, col in ordered]
 
+    @property
+    def n_cached(self) -> int:
+        """Number of requests answered from the meter cache."""
+        return int(np.count_nonzero(self._cached[: self._n]))
+
     def as_arrays(self) -> dict[str, np.ndarray]:
         """Columns of the log as independent numpy arrays (export/plotting)."""
         n = self._n
@@ -254,6 +259,32 @@ class ProbeLog:
         in_bounds = (rows >= 0) & (rows < shape[0]) & (cols >= 0) & (cols < shape[1])
         mask[rows[in_bounds], cols[in_bounds]] = True
         return mask
+
+
+@dataclass(frozen=True)
+class MeterSnapshot:
+    """Point-in-time cost counters of a :class:`ChargeSensorMeter`.
+
+    Taken with :meth:`ChargeSensorMeter.snapshot`; two snapshots subtract
+    into the cost *delta* of whatever ran between them (:meth:`delta`).
+    This is how the pipeline layer attributes probes, cache hits, and
+    simulated seconds to individual stages without the stages having to
+    do any bookkeeping themselves.
+    """
+
+    n_probes: int
+    n_requests: int
+    n_cache_hits: int
+    elapsed_s: float
+
+    def delta(self, later: "MeterSnapshot") -> "MeterSnapshot":
+        """The cost accumulated between this snapshot and a ``later`` one."""
+        return MeterSnapshot(
+            n_probes=later.n_probes - self.n_probes,
+            n_requests=later.n_requests - self.n_requests,
+            n_cache_hits=later.n_cache_hits - self.n_cache_hits,
+            elapsed_s=later.elapsed_s - self.elapsed_s,
+        )
 
 
 class MeasurementBackend:
@@ -728,6 +759,25 @@ class ChargeSensorMeter:
     def elapsed_s(self) -> float:
         """Simulated experiment time spent so far."""
         return self._clock.elapsed_s
+
+    @property
+    def n_cache_hits(self) -> int:
+        """Number of requests answered from the cache rather than measured."""
+        return self._log.n_cached
+
+    def snapshot(self) -> MeterSnapshot:
+        """Freeze the meter's cost counters (probes, requests, hits, time).
+
+        Diffing two snapshots (:meth:`MeterSnapshot.delta`) yields the exact
+        cost of the code that ran between them — the primitive the pipeline
+        layer uses to charge each stage for what it actually probed.
+        """
+        return MeterSnapshot(
+            n_probes=self._n_probes,
+            n_requests=self._log.n_requests,
+            n_cache_hits=self._log.n_cached,
+            elapsed_s=self._clock.elapsed_s,
+        )
 
     # ------------------------------------------------------------------
     def get_current(self, row: int, col: int) -> float:

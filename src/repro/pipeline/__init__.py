@@ -1,0 +1,107 @@
+"""Composable tuning pipelines with per-stage telemetry.
+
+The tuning path — the paper's four-stage extraction, the dense-grid
+baseline, the auto-tuning workflow around them — is expressed as named
+compositions of :class:`~repro.pipeline.context.Stage` objects over a
+shared :class:`~repro.pipeline.context.TuneContext`.  The composer charges
+every stage for exactly what it probed (meter snapshot/diff), and the
+resulting :class:`~repro.core.result.StageTelemetry` rows ride the result
+objects all the way into campaign records and report tables.
+
+Quick tour::
+
+    from repro.pipeline import get_pipeline, pipeline_names
+
+    pipeline = get_pipeline("fast-extraction")
+    result = pipeline.run(session)          # ExtractionResult, as before
+    for t in result.stage_telemetry:        # ...now with per-stage costs
+        print(t.stage, t.n_probes, t.sim_elapsed_s)
+
+``python -m repro.pipeline --list`` prints the registered catalogue.
+"""
+
+from ..core.result import StageTelemetry
+from .composer import TuningPipeline, run_stage
+from .context import Stage, StageOutcome, TuneContext
+from .registry import (
+    METHOD_ALIASES,
+    all_pipelines,
+    get_pipeline,
+    pipeline_catalogue,
+    pipeline_names,
+    register_pipeline,
+    resolve_method,
+)
+from .stages import (
+    AnchorStage,
+    FilterStage,
+    FitStage,
+    FixedCornerAnchorStage,
+    OpenSessionStage,
+    StalenessCheckStage,
+    SweepStage,
+    ValidateStage,
+    WindowSearchStage,
+)
+from .baseline_stages import (
+    BaselineValidateStage,
+    EdgeDetectStage,
+    FullScanStage,
+    LineFitStage,
+)
+
+__all__ = [
+    "METHOD_ALIASES",
+    "AnchorStage",
+    "BaselineValidateStage",
+    "EdgeDetectStage",
+    "FilterStage",
+    "FitStage",
+    "FixedCornerAnchorStage",
+    "FullScanStage",
+    "LineFitStage",
+    "OpenSessionStage",
+    "Stage",
+    "StageOutcome",
+    "StageTelemetry",
+    "StalenessCheckStage",
+    "SweepStage",
+    "TuneContext",
+    "TuningPipeline",
+    "ValidateStage",
+    "WindowSearchStage",
+    "all_pipelines",
+    "format_stage_costs",
+    "get_pipeline",
+    "pipeline_catalogue",
+    "pipeline_names",
+    "register_pipeline",
+    "resolve_method",
+    "run_stage",
+]
+
+
+def format_stage_costs(stage_telemetry) -> str:
+    """Per-stage cost table of one run's telemetry (plain text).
+
+    Accepts any iterable of :class:`~repro.core.result.StageTelemetry`
+    (``result.stage_telemetry``, ``auto_tune_result.stage_telemetry``).
+    """
+    from ..analysis.reporting import format_table
+
+    rows = [
+        [
+            t.stage,
+            t.outcome,
+            str(t.n_probes),
+            str(t.cache_hits),
+            f"{t.sim_elapsed_s:.2f}s",
+            f"{1e3 * t.wall_s:.1f}ms",
+        ]
+        for t in stage_telemetry
+    ]
+    return format_table(
+        ["Stage", "Outcome", "Probes", "Cache hits", "Sim time", "Wall"],
+        rows,
+        title="Per-stage cost",
+    )

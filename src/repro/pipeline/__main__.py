@@ -1,0 +1,50 @@
+"""CLI entry point: list the registered tuning pipelines.
+
+``python -m repro.pipeline --list`` (or with no arguments) prints every
+registered pipeline with its stage sequence, so campaign configs and
+benchmark scripts can reference methods by name without reading source.
+``--stages NAME`` prints just one pipeline's stages, one per line.
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from ..exceptions import ConfigurationError
+from .registry import METHOD_ALIASES, get_pipeline, pipeline_catalogue
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Run the CLI; returns the process exit code."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.pipeline",
+        description="Inspect the registered tuning pipelines.",
+    )
+    parser.add_argument(
+        "--list",
+        action="store_true",
+        help="list every registered pipeline and its stages (the default)",
+    )
+    parser.add_argument(
+        "--stages",
+        metavar="NAME",
+        help="print one pipeline's stages, one per line (aliases accepted)",
+    )
+    args = parser.parse_args(argv)
+    if args.stages:
+        try:
+            pipeline = get_pipeline(args.stages)
+        except ConfigurationError as exc:
+            parser.error(str(exc))
+        print(f"{pipeline.name} (method {pipeline.method_name})")
+        for name in pipeline.stage_names:
+            print(f"  {name}")
+        return 0
+    print(pipeline_catalogue())
+    aliases = ", ".join(f"{k} -> {v}" for k, v in METHOD_ALIASES.items())
+    print(f"\nCampaign method aliases: {aliases}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,161 @@
+"""The Canny+Hough dense-grid baseline as a stage composition.
+
+The conventional method the paper compares against (§3, §5.1) is also a
+pipeline — acquire every pixel, detect edges, fit the two dominant lines,
+validate — so it registers under the same machinery (``dense-grid-baseline``)
+and produces the same per-stage telemetry as the fast method.  That is what
+lets a campaign report answer "where did the probes go" *per method*: for
+the baseline, essentially all of them land in the ``full-scan`` stage.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..baseline.canny import CannyEdgeDetector
+from ..baseline.hough import HoughTransform
+from ..core.virtualization import VirtualizationMatrix
+from ..exceptions import BaselineError
+from .context import StageOutcome, TuneContext
+from .stages import _require_meter, slope_bounds_reject_reason
+
+__all__ = [
+    "BaselineValidateStage",
+    "EdgeDetectStage",
+    "FullScanStage",
+    "LineFitStage",
+]
+
+
+class FullScanStage:
+    """Acquire the complete charge-stability diagram (every pixel).
+
+    This is where essentially all of the baseline's simulated runtime goes:
+    each pixel costs a dwell time.
+    """
+
+    name = "full-scan"
+
+    def run(self, ctx: TuneContext) -> StageOutcome:
+        meter = _require_meter(ctx, self.name)
+        # Mirrors the monolithic baseline's failure contract: a run that
+        # dies before the line fit reports an unknown edge count.
+        ctx.metadata["n_edge_pixels"] = None
+        ctx.extras["image"] = meter.acquire_full_grid()
+        return StageOutcome()
+
+
+class EdgeDetectStage:
+    """Canny edge detection over the acquired image (compute-only)."""
+
+    name = "edge-detect"
+
+    def run(self, ctx: TuneContext) -> StageOutcome:
+        image = ctx.extras.get("image")
+        if image is None:
+            raise BaselineError(
+                "edge-detect stage needs an acquired image; compose a "
+                "full-scan stage first"
+            )
+        edges = CannyEdgeDetector(ctx.config.canny).detect(image)
+        n_edges = int(np.count_nonzero(edges))
+        if n_edges < ctx.config.min_edge_pixels:
+            raise BaselineError(
+                f"Canny found only {n_edges} edge pixels "
+                f"(need at least {ctx.config.min_edge_pixels}) — cannot establish the lines"
+            )
+        ctx.extras["edges"] = edges
+        return StageOutcome()
+
+
+class LineFitStage:
+    """Hough transform, steep/shallow classification, slope → matrix."""
+
+    name = "line-fit"
+
+    def run(self, ctx: TuneContext) -> StageOutcome:
+        meter = _require_meter(ctx, self.name)
+        edges = ctx.extras.get("edges")
+        if edges is None:
+            raise BaselineError(
+                "line-fit stage needs detected edges; compose an edge-detect "
+                "stage first"
+            )
+        cfg = ctx.config
+        lines = HoughTransform(cfg.hough).find_lines(edges)
+        if not lines:
+            raise BaselineError("Hough transform found no significant lines")
+        x_step = float(meter.x_voltages[1] - meter.x_voltages[0])
+        y_step = float(meter.y_voltages[1] - meter.y_voltages[0])
+        steep_candidates = []
+        shallow_candidates = []
+        for line in lines:
+            theta = line.theta_deg
+            # Negative-slope lines have normal angles strictly inside (0, 90).
+            if not 0.0 < theta < 90.0:
+                continue
+            if theta <= cfg.steep_theta_max_deg:
+                steep_candidates.append(line)
+            else:
+                shallow_candidates.append(line)
+        if not steep_candidates:
+            raise BaselineError(
+                "no steep (nearly vertical, negative-slope) transition line detected"
+            )
+        if not shallow_candidates:
+            raise BaselineError(
+                "no shallow (nearly horizontal, negative-slope) transition line detected"
+            )
+        if ctx.gate_x is None or ctx.gate_y is None:
+            raise BaselineError(
+                "line-fit stage needs the context's gate names; the composer "
+                "resolves them from the meter backend when unset"
+            )
+        steep = max(steep_candidates, key=lambda line: line.votes)
+        shallow = max(shallow_candidates, key=lambda line: line.votes)
+        slope_steep = steep.slope_voltage(x_step, y_step)
+        slope_shallow = shallow.slope_voltage(x_step, y_step)
+        ctx.slopes = (slope_steep, slope_shallow)
+        ctx.matrix = VirtualizationMatrix.from_slopes(
+            slope_steep=slope_steep,
+            slope_shallow=slope_shallow,
+            gate_x=ctx.gate_x,
+            gate_y=ctx.gate_y,
+        )
+        ctx.metadata["n_edge_pixels"] = int(np.count_nonzero(edges))
+        ctx.metadata["n_hough_lines"] = len(lines)
+        return StageOutcome()
+
+
+class BaselineValidateStage:
+    """Physical-plausibility validation of the Hough-detected slopes."""
+
+    name = "validate"
+
+    def run(self, ctx: TuneContext) -> StageOutcome:
+        reason = self._reject_reason(ctx)
+        if reason is not None:
+            return StageOutcome(status="failed", detail=reason)
+        return StageOutcome()
+
+    @staticmethod
+    def _reject_reason(ctx: TuneContext) -> str | None:
+        if ctx.matrix is None or ctx.slopes is None:
+            return "pipeline did not produce a line fit"
+        cfg = ctx.config
+        slope_steep, slope_shallow = ctx.slopes
+        if not np.isfinite(slope_shallow):
+            return "shallow slope is not finite"
+        if slope_steep >= 0 or slope_shallow >= 0:
+            return (
+                "detected slopes must both be negative; got "
+                f"steep={slope_steep:.3f}, shallow={slope_shallow:.3f}"
+            )
+        return slope_bounds_reject_reason(
+            slope_steep,
+            slope_shallow,
+            ctx.matrix,
+            min_steep_slope_magnitude=cfg.min_steep_slope_magnitude,
+            max_shallow_slope_magnitude=cfg.max_shallow_slope_magnitude,
+            max_alpha=cfg.max_alpha,
+        )

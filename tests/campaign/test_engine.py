@@ -177,10 +177,23 @@ class TestFaultIsolation:
 
 
 def dataclasses_replace_wall(record, reference):
-    """``reference`` with ``record``'s wall time, for whole-record equality."""
+    """``reference`` with ``record``'s wall times, for whole-record equality.
+
+    Wall clocks are the only nondeterministic record content: the job-level
+    ``wall_elapsed_s`` and each stage-telemetry row's ``wall_s``.
+    """
     import dataclasses
 
-    return dataclasses.replace(reference, wall_elapsed_s=record.wall_elapsed_s)
+    return dataclasses.replace(
+        reference,
+        wall_elapsed_s=record.wall_elapsed_s,
+        stage_telemetry=tuple(
+            dataclasses.replace(telemetry, wall_s=mine.wall_s)
+            for telemetry, mine in zip(
+                reference.stage_telemetry, record.stage_telemetry
+            )
+        ),
+    )
 
 
 class TestProgressCallbacks:

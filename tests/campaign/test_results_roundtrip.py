@@ -78,6 +78,93 @@ class TestRecordRoundTrip:
         assert CampaignJobRecord.from_dict(payload) == result.records[0]
 
 
+class TestStageTelemetryRoundTrip:
+    """PR 4's resume/round-trip matrix, extended to per-stage telemetry."""
+
+    def test_records_carry_stage_telemetry(self, result):
+        for record in result.records:
+            assert record.stage_telemetry, record.job_id
+            assert [t.stage for t in record.stage_telemetry] == [
+                "anchors",
+                "sweeps",
+                "filter",
+                "fit",
+                "validate",
+            ]
+            assert (
+                sum(t.n_probes for t in record.stage_telemetry) == record.n_probes
+            )
+
+    def test_as_dict_encodes_telemetry_json_native(self, result):
+        payload = result.records[0].as_dict()
+        assert isinstance(payload["stage_telemetry"], list)
+        json.dumps(payload["stage_telemetry"])  # no custom encoders needed
+        assert payload["stage_telemetry"][0]["stage"] == "anchors"
+
+    def test_telemetry_survives_record_round_trip_bit_identically(self, result):
+        for record in result.records:
+            rebuilt = CampaignJobRecord.from_dict(
+                json.loads(json.dumps(record.as_dict()))
+            )
+            # Whole-record equality covers it, but assert the telemetry
+            # tuples explicitly: every float (including wall_s) must
+            # round-trip through JSON exactly.
+            assert rebuilt.stage_telemetry == record.stage_telemetry
+
+    def test_pre_telemetry_journal_lines_still_load(self, result):
+        # A journal written before the pipeline refactor has no
+        # stage_telemetry key; records must rebuild with empty telemetry.
+        payload = result.records[0].as_dict()
+        del payload["stage_telemetry"]
+        rebuilt = CampaignJobRecord.from_dict(payload)
+        assert rebuilt.stage_telemetry == ()
+
+    def test_telemetry_survives_journal_checkpoint_resume(self, result, tmp_path):
+        grid = CampaignGrid(
+            devices=(DeviceSpec.of("double_dot", cross_coupling=(0.25, 0.22)),),
+            resolutions=(63,),
+            noise_scales=(0.0, 1.0),
+            n_repeats=1,
+            seed=5,
+        )
+        journal_path = tmp_path / "telemetry.jsonl"
+        first = TuningCampaign(grid).run(checkpoint=journal_path)
+        # Journaled records adopt verbatim on resume: telemetry included,
+        # bit-identical down to the wall clock the journal recorded.
+        resumed = TuningCampaign(grid).resume(journal_path)
+        for old, new in zip(first.records, resumed.records):
+            assert new.stage_telemetry == old.stage_telemetry
+        assert resumed.normalized() == first.normalized()
+        # The journal drill-down view keeps telemetry too.
+        partial = CampaignResult.from_journal(journal_path)
+        for old, new in zip(first.records, partial.records):
+            assert new.stage_telemetry == old.stage_telemetry
+
+    def test_normalized_pins_stage_wall_clock(self, result):
+        normal = result.normalized()
+        for record in normal.records:
+            assert all(t.wall_s == 0.0 for t in record.stage_telemetry)
+        # Everything except the wall clock is untouched.
+        for raw, pinned in zip(result.records, normal.records):
+            assert [t.stage for t in raw.stage_telemetry] == [
+                t.stage for t in pinned.stage_telemetry
+            ]
+            assert [t.n_probes for t in raw.stage_telemetry] == [
+                t.n_probes for t in pinned.stage_telemetry
+            ]
+
+    def test_stage_breakdown_appears_in_report(self, result):
+        report = result.format_report()
+        assert "Per-stage probe accounting" in report
+        assert "anchors" in report
+        breakdown = result.stage_breakdown()
+        assert breakdown[("fast", "anchors")]["n_runs"] == result.n_jobs
+        total = sum(
+            entry["n_probes"] for entry in breakdown.values()
+        )
+        assert total == result.total_probes
+
+
 class TestResultRoundTrip:
     def test_save_load_is_exact(self, result, tmp_path):
         path = result.save(tmp_path / "result.json")

@@ -62,6 +62,50 @@ class TestOnCleanData:
         with pytest.raises(ExtractionError):
             FastVirtualGateExtractor().extract("not a session")
 
+    def test_nameless_backend_rejected_instead_of_mislabeled(self, clean_csd):
+        # Regression: a backend exposing neither a CSD nor gate-name
+        # attributes used to fall back silently to ("P1", "P2"), mislabeling
+        # every result extracted through it.  It must fail loudly instead.
+        from repro.instrument.measurement import ChargeSensorMeter, MeasurementBackend
+
+        class NamelessBackend(MeasurementBackend):
+            @property
+            def x_voltages(self):
+                return clean_csd.x_voltages
+
+            @property
+            def y_voltages(self):
+                return clean_csd.y_voltages
+
+            def current(self, row, col, time_s=None):
+                return float(clean_csd.data[row, col])
+
+        meter = ChargeSensorMeter(NamelessBackend())
+        with pytest.raises(ExtractionError, match="gate names"):
+            FastVirtualGateExtractor().extract(meter)
+
+    def test_partially_named_backend_also_rejected(self, clean_csd):
+        # One gate name without the other is just as unlabelable.
+        from repro.core import gate_names_for
+        from repro.instrument.measurement import ChargeSensorMeter, MeasurementBackend
+
+        class HalfNamedBackend(MeasurementBackend):
+            gate_x_name = "P1"
+
+            @property
+            def x_voltages(self):
+                return clean_csd.x_voltages
+
+            @property
+            def y_voltages(self):
+                return clean_csd.y_voltages
+
+            def current(self, row, col, time_s=None):
+                return float(clean_csd.data[row, col])
+
+        with pytest.raises(ExtractionError, match="gate names"):
+            gate_names_for(ChargeSensorMeter(HalfNamedBackend()))
+
 
 class TestOnNoisyData:
     def test_succeeds_with_lab_noise(self, noisy_csd, noisy_session):
