@@ -54,15 +54,6 @@ from .instrument import (
     TimingModel,
     VirtualClock,
 )
-from .pipeline import (
-    StageTelemetry,
-    TuneContext,
-    TuningPipeline,
-    get_pipeline,
-    pipeline_names,
-    register_pipeline,
-)
-from .seeding import spawn_seeds
 from .physics import (
     CapacitanceModel,
     ChargeSensor,
@@ -72,12 +63,21 @@ from .physics import (
     DotArrayDevice,
     standard_lab_noise,
 )
+from .pipeline import (
+    StageTelemetry,
+    TuneContext,
+    TuningPipeline,
+    get_pipeline,
+    pipeline_names,
+    register_pipeline,
+)
 from .scenarios import (
     LabScenario,
     get_scenario,
     register_scenario,
     scenario_names,
 )
+from .seeding import spawn_seeds
 
 __version__ = "1.0.0"
 

@@ -12,9 +12,9 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from ..core.array_extraction import ArrayVirtualGateExtractor
 from ..core.config import AnchorConfig, ExtractionConfig, SweepConfig
 from ..core.extraction import FastVirtualGateExtractor
-from ..core.array_extraction import ArrayVirtualGateExtractor
 from ..datasets.qflow import load_benchmark, load_suite
 from ..datasets.synthetic import NoiseRecipe, SyntheticCSDConfig
 from ..instrument.session import ExperimentSession

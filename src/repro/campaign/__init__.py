@@ -40,7 +40,7 @@ Typical use::
 """
 
 from .engine import TuningCampaign, campaign_fingerprint
-from .grid import CampaignGrid, CampaignJob, DeviceSpec, KNOWN_METHODS
+from .grid import KNOWN_METHODS, CampaignGrid, CampaignJob, DeviceSpec
 from .results import CampaignJobRecord, CampaignResult
 from .worker import classify_failure, run_campaign_job, worker_error_record
 

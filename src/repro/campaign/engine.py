@@ -21,7 +21,6 @@ from __future__ import annotations
 
 import hashlib
 import inspect
-import re
 import time
 from functools import partial
 from pathlib import Path
@@ -39,13 +38,11 @@ from ..execution import (
     backend_from_spec,
 )
 from ..pipeline.registry import get_pipeline
+from ..reprs import ADDRESS_REPR as _ADDRESS_REPR
 from ..scenarios.catalog import get_scenario
 from .grid import CampaignGrid, CampaignJob
 from .results import CampaignJobRecord, CampaignResult
 from .worker import run_campaign_job, worker_error_record
-
-#: The shape of CPython's default ``object.__repr__`` — "<... at 0x7f...>".
-_ADDRESS_REPR = re.compile(r" at 0x[0-9a-fA-F]+>")
 
 
 def campaign_fingerprint(

@@ -27,20 +27,8 @@ from ..analysis.reporting import (
 )
 from ..core.result import StageTelemetry
 from ..execution.checkpoint import CheckpointJournal
-
-
-def _encode_value(value):
-    """JSON-strict encoding: non-finite floats become tagged dicts."""
-    if isinstance(value, float) and not math.isfinite(value):
-        return {"__nonfinite__": repr(value)}
-    return value
-
-
-def _decode_value(value):
-    """Inverse of :func:`_encode_value`."""
-    if isinstance(value, dict) and set(value) == {"__nonfinite__"}:
-        return float(value["__nonfinite__"])
-    return value
+from ..strictjson import decode_value as _decode_value
+from ..strictjson import encode_value as _encode_value
 
 
 @dataclass(frozen=True, eq=False)

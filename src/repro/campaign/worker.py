@@ -140,7 +140,7 @@ def run_campaign_job(
         result: ExtractionResult = _pipeline_for(job.method, pipelines).run(session)
         geometry = session.geometry
         matched = criterion.evaluate(result, geometry)
-        max_alpha_error = float("nan")
+        max_alpha_error = float("nan")  # repro: allow[nan-record-field] -- documented sentinel: no ground-truth geometry => error undefined; tagged-JSON + NaN-aware equality handle it
         true_alpha_12 = true_alpha_21 = None
         if geometry is not None:
             true_alpha_12 = geometry.alpha_12
@@ -188,7 +188,7 @@ def _failure_record(
         alpha_21=None,
         true_alpha_12=None,
         true_alpha_21=None,
-        max_alpha_error=float("inf"),
+        max_alpha_error=float("inf"),  # repro: allow[nan-record-field] -- documented sentinel: crashed job = unbounded error; tagged-JSON keeps the journal strict
         n_probes=0,
         probe_fraction=0.0,
         sim_elapsed_s=0.0,

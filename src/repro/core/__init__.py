@@ -19,16 +19,16 @@ from .array_extraction import (
     PairExtractionRecord,
 )
 from .config import (
+    PAPER_MASK_X,
+    PAPER_MASK_Y,
     AnchorConfig,
     ExtractionConfig,
     FitConfig,
-    PAPER_MASK_X,
-    PAPER_MASK_Y,
     SweepConfig,
 )
 from .extraction import (
-    FastVirtualGateExtractor,
     METHOD_NAME,
+    FastVirtualGateExtractor,
     gate_names_for,
     resolve_meter,
 )

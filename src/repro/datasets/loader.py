@@ -9,13 +9,14 @@ files with this module.
 
 from __future__ import annotations
 
-import json
 from pathlib import Path
 
 import numpy as np
 
 from ..exceptions import DatasetError
 from ..physics.csd import ChargeStabilityDiagram, TransitionLineGeometry
+from ..strictjson import dumps as strict_dumps
+from ..strictjson import loads as strict_loads
 
 
 def save_csd(csd: ChargeStabilityDiagram, path: str | Path) -> Path:
@@ -47,7 +48,9 @@ def save_csd(csd: ChargeStabilityDiagram, path: str | Path) -> Path:
         gate_y=np.array(csd.gate_y),
         geometry=geometry_array,
         occupations=occupations,
-        metadata=np.array(json.dumps(csd.metadata, default=str)),
+        # Tagged strict JSON: a NaN in user metadata must survive the
+        # round-trip instead of being written as the invalid literal `NaN`.
+        metadata=np.array(strict_dumps(csd.metadata, default=str)),
     )
     return path
 
@@ -70,7 +73,7 @@ def load_csd(path: str | Path) -> ChargeStabilityDiagram:
                 alpha_21=float(geometry_array[5]),
             )
         occupations = archive["occupations"]
-        metadata = json.loads(str(archive["metadata"]))
+        metadata = strict_loads(str(archive["metadata"]))
         return ChargeStabilityDiagram(
             data=archive["data"],
             x_voltages=archive["x_voltages"],

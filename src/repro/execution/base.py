@@ -25,6 +25,7 @@ import abc
 from typing import Any, Callable, ClassVar, Iterable, Iterator, Protocol, runtime_checkable
 
 from ..exceptions import ConfigurationError
+from ..reprs import ContentRepr
 
 __all__ = [
     "ExecutionBackend",
@@ -47,7 +48,7 @@ class SupportsJobId(Protocol):
     job_id: int
 
 
-class ExecutionBackend(abc.ABC):
+class ExecutionBackend(ContentRepr, abc.ABC):
     """Execution policy for a batch of independent jobs.
 
     Subclasses implement :meth:`submit`; everything else (retries, fault

@@ -36,6 +36,8 @@ from pathlib import Path
 from typing import Any, Callable
 
 from ..exceptions import ConfigurationError
+from ..strictjson import decode_tree
+from ..strictjson import dumps as _strict_dumps
 
 __all__ = ["CheckpointJournal"]
 
@@ -136,7 +138,7 @@ class CheckpointJournal:
                     valid_bytes += len(line)
                     continue
                 job_id = int(entry["job_id"])
-                record = self._deserialize(entry["record"])
+                record = self._deserialize(decode_tree(entry["record"]))
             except ConfigurationError:
                 raise
             except (json.JSONDecodeError, KeyError, TypeError, ValueError):
@@ -220,7 +222,7 @@ class CheckpointJournal:
                 try:
                     entry = json.loads(stripped)
                     int(entry["job_id"])
-                    self._deserialize(entry["record"])
+                    self._deserialize(decode_tree(entry["record"]))
                 except Exception:
                     parsable = False
             if not parsable:
@@ -231,7 +233,11 @@ class CheckpointJournal:
 
     @staticmethod
     def _encode(entry: dict) -> bytes:
-        return (json.dumps(entry) + "\n").encode("utf-8")
+        # Tagged strict JSON: a record's raw non-finite floats are written
+        # as {"__nonfinite__": ...} dicts (untagged again by load) instead
+        # of the invalid NaN/Infinity tokens, so the journal stays readable
+        # by any JSON parser while float("inf") records still round-trip.
+        return (_strict_dumps(entry) + "\n").encode("utf-8")
 
     def _note_written(self, n_bytes: int) -> None:
         if self._valid_bytes is not None:

@@ -62,7 +62,7 @@ class VirtualClock:
         self._timing = timing or TimingModel.paper_default()
         self._realtime = bool(realtime)
         self._elapsed_s = 0.0
-        self._started_wall = time.monotonic()
+        self._started_wall = time.monotonic()  # repro: allow[wall-clock] -- anchors the wall_time_s telemetry property; simulated time never reads it
 
     @property
     def timing(self) -> TimingModel:
@@ -82,7 +82,7 @@ class VirtualClock:
     @property
     def wall_time_s(self) -> float:
         """Real wall-clock time since the clock was created."""
-        return time.monotonic() - self._started_wall
+        return time.monotonic() - self._started_wall  # repro: allow[wall-clock] -- wall_time_s is profiling telemetry, not simulated time
 
     def advance(self, seconds: float) -> None:
         """Advance the simulated clock by an arbitrary amount."""
@@ -90,7 +90,7 @@ class VirtualClock:
             raise ConfigurationError("cannot advance the clock by a negative amount")
         self._elapsed_s += seconds
         if self._realtime and seconds > 0:
-            time.sleep(seconds)
+            time.sleep(seconds)  # repro: allow[wall-clock] -- realtime=True opts into genuine delays; elapsed_s stays deterministic
 
     def charge_probe(self) -> None:
         """Charge the cost of one probed voltage point."""
@@ -116,11 +116,11 @@ class VirtualClock:
         if self._realtime:
             total = float(times[-1]) - self._elapsed_s
             if total > 0:
-                time.sleep(total)
+                time.sleep(total)  # repro: allow[wall-clock] -- realtime=True opts into genuine delays; elapsed_s stays deterministic
         self._elapsed_s = float(times[-1])
         return times
 
     def reset(self) -> None:
         """Reset the accumulated simulated time to zero."""
         self._elapsed_s = 0.0
-        self._started_wall = time.monotonic()
+        self._started_wall = time.monotonic()  # repro: allow[wall-clock] -- re-anchors the telemetry timer only

@@ -1,0 +1,92 @@
+"""Baseline files: adopt existing debt without letting new debt in.
+
+A baseline is a JSON document of known, tolerated violations.  Matching is
+by ``(rule, path, snippet)`` — the stripped source line, not the line
+number — so entries survive unrelated edits that shift code up or down,
+but *die* the moment the offending line itself changes.  Unused entries
+are reported (and fail the run in ``--strict`` mode): a baseline is a
+burn-down list, not a landfill.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from ..exceptions import ConfigurationError
+from .violations import Violation
+
+#: Format marker so a future entry shape can migrate old files loudly.
+BASELINE_VERSION = 1
+
+
+@dataclass
+class Baseline:
+    """A set of tolerated violations, consumed one match at a time."""
+
+    entries: list[Violation] = field(default_factory=list)
+
+    @classmethod
+    def load(cls, path: str | Path) -> "Baseline":
+        """Read a baseline previously written by :meth:`save`."""
+        try:
+            data = json.loads(Path(path).read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError) as exc:
+            raise ConfigurationError(f"cannot read baseline file {path}: {exc}") from exc
+        if not isinstance(data, dict) or data.get("version") != BASELINE_VERSION:
+            raise ConfigurationError(
+                f"baseline file {path} is not a version-{BASELINE_VERSION} "
+                "repro.lint baseline"
+            )
+        return cls(
+            entries=[Violation.from_dict(entry) for entry in data.get("entries", ())]
+        )
+
+    @classmethod
+    def from_violations(cls, violations: list[Violation]) -> "Baseline":
+        """A baseline adopting every given violation."""
+        return cls(entries=sorted(violations))
+
+    def save(self, path: str | Path) -> Path:
+        """Write the baseline as strict JSON; returns the path."""
+        target = Path(path)
+        target.parent.mkdir(parents=True, exist_ok=True)
+        payload = {
+            "version": BASELINE_VERSION,
+            "entries": [entry.as_dict() for entry in sorted(self.entries)],
+        }
+        target.write_text(
+            json.dumps(payload, indent=2, allow_nan=False) + "\n", encoding="utf-8"
+        )
+        return target
+
+    # ------------------------------------------------------------------
+    def partition(
+        self, violations: list[Violation]
+    ) -> tuple[list[Violation], list[Violation], list[Violation]]:
+        """Split ``violations`` into ``(fresh, adopted, unused_entries)``.
+
+        Each baseline entry absolves at most one violation: two new copies
+        of an adopted line mean one of them is new debt and is reported.
+        """
+        remaining: dict[tuple[str, str, str], int] = {}
+        for entry in self.entries:
+            key = (entry.rule, entry.path, entry.snippet)
+            remaining[key] = remaining.get(key, 0) + 1
+        fresh: list[Violation] = []
+        adopted: list[Violation] = []
+        for violation in violations:
+            key = (violation.rule, violation.path, violation.snippet)
+            if remaining.get(key, 0) > 0:
+                remaining[key] -= 1
+                adopted.append(violation)
+            else:
+                fresh.append(violation)
+        unused: list[Violation] = []
+        for entry in self.entries:
+            key = (entry.rule, entry.path, entry.snippet)
+            if remaining.get(key, 0) > 0:
+                remaining[key] -= 1
+                unused.append(entry)
+        return fresh, adopted, unused

@@ -1,0 +1,384 @@
+"""Import-time contract audit over the library's registries and records.
+
+Where the AST rules read *source*, this half audits *live objects*: every
+scenario, pipeline, and execution backend reachable from its registry, and
+every strict-JSON record class in the library, is checked against the
+contracts the campaign/checkpoint machinery relies on:
+
+``contract-pickle``
+    The object round-trips ``pickle.dumps`` / ``loads`` and its class is
+    importable by ``module.qualname`` — both required for spawn-start
+    worker processes, which rebuild shipped objects from their pickles in
+    a fresh interpreter.
+``contract-repr``
+    ``repr(obj)`` contains no ``0x…`` memory address.  This generalises
+    the PR 4 checkpoint-fingerprint guard
+    (:func:`repro.campaign.engine.campaign_fingerprint`): an address-bearing
+    repr changes across processes, so fingerprints built from it can never
+    match on resume.
+``contract-roundtrip``
+    For every class defining both ``as_dict`` and ``from_dict``:
+    ``from_dict(json.loads(json.dumps(as_dict(), allow_nan=False)))``
+    reconstructs an equal object, and ``as_dict`` emits every dataclass
+    field — the drift check that keeps new fields from silently falling
+    out of checkpoints.
+``contract-registry``
+    Registry name hygiene: a backend's ``name`` matches its registry key,
+    and a pipeline alias may not shadow a registered pipeline name.
+
+Record classes are discovered by walking every ``repro`` module; each
+discovered class must have a sample factory registered via
+:func:`register_contract_sample`, so adding a record class without wiring
+it into the audit is itself a violation.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import importlib
+import json
+import pickle
+import pkgutil
+
+from ..reprs import ADDRESS_REPR
+from .violations import Violation
+
+__all__ = [
+    "audit_record_contracts",
+    "audit_registry_contracts",
+    "register_contract_sample",
+    "run_contract_audit",
+    "spawn_roundtrip",
+]
+
+#: Sample factories for record classes: "module.QualName" -> zero-arg factory.
+_SAMPLE_FACTORIES: dict[str, object] = {}
+
+
+def register_contract_sample(cls: type, factory) -> None:
+    """Register a zero-arg sample factory for a record class.
+
+    The audit round-trips the sample through strict JSON; the sample should
+    exercise the class's hard cases (a NaN field, nested telemetry) rather
+    than the all-defaults happy path.
+    """
+    _SAMPLE_FACTORIES[f"{cls.__module__}.{cls.__qualname__}"] = factory
+
+
+def _violation(rule: str, where: str, message: str) -> Violation:
+    return Violation(path=where, line=0, rule=rule, message=message)
+
+
+def _check_pickle(obj: object, where: str, out: list[Violation]) -> None:
+    """Spawn-semantics picklability: round-trip plus class importability."""
+    cls = type(obj)
+    try:
+        module = importlib.import_module(cls.__module__)
+        resolved = module
+        for part in cls.__qualname__.split("."):
+            resolved = getattr(resolved, part)
+        if resolved is not cls:
+            raise AttributeError(
+                f"{cls.__module__}.{cls.__qualname__} resolves to a different object"
+            )
+    except Exception as exc:
+        out.append(
+            _violation(
+                "contract-pickle",
+                where,
+                f"{cls.__qualname__} is not importable as "
+                f"{cls.__module__}.{cls.__qualname__} ({exc}); a spawn-start "
+                "worker cannot rebuild it from a pickle",
+            )
+        )
+        return
+    try:
+        restored = pickle.loads(pickle.dumps(obj))
+    except Exception as exc:
+        out.append(
+            _violation(
+                "contract-pickle",
+                where,
+                f"does not survive pickle round-trip ({type(exc).__name__}: "
+                f"{exc}); it cannot ship to spawn-start workers",
+            )
+        )
+        return
+    if repr(restored) != repr(obj) and not ADDRESS_REPR.search(repr(obj)):
+        out.append(
+            _violation(
+                "contract-pickle",
+                where,
+                "pickle round-trip changes the object's content repr — "
+                "state is being lost or regenerated in __reduce__/__getstate__",
+            )
+        )
+
+
+def _check_repr(obj: object, where: str, out: list[Violation]) -> None:
+    text = repr(obj)
+    if ADDRESS_REPR.search(text):
+        out.append(
+            _violation(
+                "contract-repr",
+                where,
+                f"repr embeds a memory address ({text[:80]}...); checkpoint "
+                "fingerprints built from it cannot survive a process restart "
+                "— give the class a content-based __repr__ (or make it a "
+                "dataclass)",
+            )
+        )
+
+
+# ---------------------------------------------------------------------------
+# Registry audits
+# ---------------------------------------------------------------------------
+
+
+def audit_registry_contracts() -> list[Violation]:
+    """Audit every object reachable from the three registries."""
+    # Imported here, not at module top: the audit inspects the campaign
+    # layers, but the lint package must stay importable on its own.
+    from ..execution.base import backend_from_spec, backend_names
+    from ..pipeline.registry import METHOD_ALIASES, get_pipeline, pipeline_names
+    from ..scenarios.catalog import all_scenarios
+
+    violations: list[Violation] = []
+    for scenario in all_scenarios():
+        where = f"scenario:{scenario.name}"
+        _check_pickle(scenario, where, violations)
+        _check_repr(scenario, where, violations)
+    for name in pipeline_names():
+        where = f"pipeline:{name}"
+        pipeline = get_pipeline(name)
+        _check_pickle(pipeline, where, violations)
+        _check_repr(pipeline, where, violations)
+        for stage in pipeline.stages:
+            _check_repr(stage, f"{where}:{stage.name}", violations)
+    for alias, target in METHOD_ALIASES.items():
+        if alias in pipeline_names():
+            violations.append(
+                _violation(
+                    "contract-registry",
+                    f"pipeline:{alias}",
+                    f"alias {alias!r} -> {target!r} shadows a registered "
+                    "pipeline of the same name; lookups become ambiguous",
+                )
+            )
+        if target not in pipeline_names():
+            violations.append(
+                _violation(
+                    "contract-registry",
+                    f"pipeline:{alias}",
+                    f"alias {alias!r} points at unregistered pipeline {target!r}",
+                )
+            )
+    for name in backend_names():
+        where = f"backend:{name}"
+        backend = backend_from_spec(name, n_workers=2, chunk_size=None)
+        if backend.name != name:
+            violations.append(
+                _violation(
+                    "contract-registry",
+                    where,
+                    f"backend registered as {name!r} reports name="
+                    f"{backend.name!r}; result metadata would misattribute "
+                    "the execution policy",
+                )
+            )
+        _check_pickle(backend, where, violations)
+        _check_repr(backend, where, violations)
+    return violations
+
+
+# ---------------------------------------------------------------------------
+# Record audits
+# ---------------------------------------------------------------------------
+
+
+def _iter_record_classes():
+    """Every class in ``repro`` defining both ``as_dict`` and ``from_dict``."""
+    import repro
+
+    seen: set[type] = set()
+    modules = [repro]
+    for info in pkgutil.walk_packages(repro.__path__, prefix="repro."):
+        if info.name.rsplit(".", 1)[-1] == "__main__":
+            # CLI entry points; importing one outside `python -m` would
+            # execute nothing (they are __main__-guarded) but costs a parse.
+            continue
+        modules.append(importlib.import_module(info.name))
+    for module in modules:
+        for value in vars(module).values():
+            if not isinstance(value, type) or value in seen:
+                continue
+            if not value.__module__.startswith("repro"):
+                continue
+            if "as_dict" in vars(value) and "from_dict" in vars(value):
+                seen.add(value)
+                yield value
+
+
+def _register_builtin_samples() -> None:
+    """Samples for the library's own record classes (idempotent)."""
+    from ..campaign.results import CampaignJobRecord, CampaignResult
+    from ..core.result import StageTelemetry
+
+    if f"{StageTelemetry.__module__}.{StageTelemetry.__qualname__}" in _SAMPLE_FACTORIES:
+        return
+
+    def telemetry() -> StageTelemetry:
+        return StageTelemetry(
+            stage="anchors",
+            outcome="ok",
+            n_probes=12,
+            n_requests=14,
+            cache_hits=2,
+            sim_elapsed_s=0.6,
+            wall_s=0.0,
+            detail="sample",
+        )
+
+    def record() -> CampaignJobRecord:
+        return CampaignJobRecord(
+            job_id=3,
+            label="sample-job",
+            device="double_dot",
+            method="fast-extraction",
+            resolution=40,
+            noise_scale=1.0,
+            repeat=0,
+            gate_x="P1",
+            gate_y="P2",
+            success=False,
+            extractor_success=True,
+            alpha_12=0.24,
+            alpha_21=None,
+            true_alpha_12=None,
+            true_alpha_21=None,
+            # The hard case on purpose: NaN exercises the tagged-dict JSON
+            # encoding and the NaN-aware equality the round-trip relies on.
+            max_alpha_error=float("nan"),  # repro: allow[nan-record-field] -- audit sample exercising the tagged-JSON contract
+            n_probes=120,
+            probe_fraction=0.075,
+            sim_elapsed_s=6.0,
+            wall_elapsed_s=0.0,
+            failure_category="no_ground_truth",
+            failure_reason="sample",
+            scenario="quiet_lab",
+            stage_telemetry=(telemetry(),),
+        )
+
+    def result() -> CampaignResult:
+        return CampaignResult(
+            records=(record(),),
+            n_workers=2,
+            wall_time_s=0.0,
+            metadata={"n_jobs": 1, "backend": "serial"},
+        )
+
+    def lint_violation() -> Violation:
+        return Violation(
+            path="src/repro/sample.py",
+            line=7,
+            rule="wall-clock",
+            message="sample",
+            snippet="t = time.time()",
+        )
+
+    register_contract_sample(StageTelemetry, telemetry)
+    register_contract_sample(CampaignJobRecord, record)
+    register_contract_sample(CampaignResult, result)
+    register_contract_sample(Violation, lint_violation)
+
+
+def audit_record_contracts() -> list[Violation]:
+    """Audit every strict-JSON record class for round-trip closure."""
+    _register_builtin_samples()
+    violations: list[Violation] = []
+    for cls in _iter_record_classes():
+        where = f"record:{cls.__module__}.{cls.__qualname__}"
+        factory = _SAMPLE_FACTORIES.get(f"{cls.__module__}.{cls.__qualname__}")
+        if factory is None:
+            violations.append(
+                _violation(
+                    "contract-roundtrip",
+                    where,
+                    "defines as_dict/from_dict but has no contract sample; "
+                    "register one with repro.lint.register_contract_sample "
+                    "so the round-trip stays audited as fields evolve",
+                )
+            )
+            continue
+        sample = factory()
+        _check_pickle(sample, where, violations)
+        _check_repr(sample, where, violations)
+        payload = sample.as_dict()
+        try:
+            encoded = json.dumps(payload, allow_nan=False)
+        except (TypeError, ValueError) as exc:
+            violations.append(
+                _violation(
+                    "contract-roundtrip",
+                    where,
+                    f"as_dict() output is not strict JSON ({exc}); encode "
+                    "non-finite floats as tagged dicts",
+                )
+            )
+            continue
+        restored = cls.from_dict(json.loads(encoded))
+        if restored != sample:
+            violations.append(
+                _violation(
+                    "contract-roundtrip",
+                    where,
+                    "from_dict(as_dict()) does not reconstruct an equal "
+                    "object — serialisation drift; checkpoints written today "
+                    "would resume wrong tomorrow",
+                )
+            )
+        if dataclasses.is_dataclass(cls):
+            missing = [
+                f.name for f in dataclasses.fields(cls) if f.name not in payload
+            ]
+            if missing:
+                violations.append(
+                    _violation(
+                        "contract-roundtrip",
+                        where,
+                        f"as_dict() omits field(s) {', '.join(missing)}; new "
+                        "fields silently fall out of checkpoints and saves",
+                    )
+                )
+    return violations
+
+
+def run_contract_audit() -> list[Violation]:
+    """Run both audit halves; returns every violation found."""
+    return audit_registry_contracts() + audit_record_contracts()
+
+
+# ---------------------------------------------------------------------------
+# Spawn round-trip helper (used by the picklability smoke tests)
+# ---------------------------------------------------------------------------
+
+
+def _spawn_probe(payload: bytes) -> str:
+    """Worker body: unpickle in a fresh interpreter, return the repr."""
+    return repr(pickle.loads(payload))
+
+
+def spawn_roundtrip(objects: list) -> list[str]:
+    """Ship every object to one spawn-start worker; return the child reprs.
+
+    This is the real thing the in-process pickle check approximates: a
+    fresh interpreter (no fork-inherited module state) rebuilds each object
+    purely from its pickle, exactly like a ``ProcessPoolBackend`` worker
+    under spawn start semantics.
+    """
+    import multiprocessing
+
+    payloads = [pickle.dumps(obj) for obj in objects]
+    context = multiprocessing.get_context("spawn")
+    with context.Pool(processes=1) as pool:
+        return pool.map(_spawn_probe, payloads)

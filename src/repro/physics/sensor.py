@@ -24,7 +24,7 @@ the structure the extraction algorithms must cope with.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 

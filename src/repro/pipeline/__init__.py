@@ -21,6 +21,12 @@ Quick tour::
 """
 
 from ..core.result import StageTelemetry
+from .baseline_stages import (
+    BaselineValidateStage,
+    EdgeDetectStage,
+    FullScanStage,
+    LineFitStage,
+)
 from .composer import TuningPipeline, run_stage
 from .context import Stage, StageOutcome, TuneContext
 from .registry import (
@@ -42,12 +48,6 @@ from .stages import (
     SweepStage,
     ValidateStage,
     WindowSearchStage,
-)
-from .baseline_stages import (
-    BaselineValidateStage,
-    EdgeDetectStage,
-    FullScanStage,
-    LineFitStage,
 )
 
 __all__ = [

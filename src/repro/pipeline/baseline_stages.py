@@ -16,6 +16,7 @@ from ..baseline.canny import CannyEdgeDetector
 from ..baseline.hough import HoughTransform
 from ..core.virtualization import VirtualizationMatrix
 from ..exceptions import BaselineError
+from ..reprs import ContentRepr
 from .context import StageOutcome, TuneContext
 from .stages import _require_meter, slope_bounds_reject_reason
 
@@ -27,7 +28,7 @@ __all__ = [
 ]
 
 
-class FullScanStage:
+class FullScanStage(ContentRepr):
     """Acquire the complete charge-stability diagram (every pixel).
 
     This is where essentially all of the baseline's simulated runtime goes:
@@ -45,7 +46,7 @@ class FullScanStage:
         return StageOutcome()
 
 
-class EdgeDetectStage:
+class EdgeDetectStage(ContentRepr):
     """Canny edge detection over the acquired image (compute-only)."""
 
     name = "edge-detect"
@@ -68,7 +69,7 @@ class EdgeDetectStage:
         return StageOutcome()
 
 
-class LineFitStage:
+class LineFitStage(ContentRepr):
     """Hough transform, steep/shallow classification, slope → matrix."""
 
     name = "line-fit"
@@ -127,7 +128,7 @@ class LineFitStage:
         return StageOutcome()
 
 
-class BaselineValidateStage:
+class BaselineValidateStage(ContentRepr):
     """Physical-plausibility validation of the Hough-detected slopes."""
 
     name = "validate"

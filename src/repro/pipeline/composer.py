@@ -47,7 +47,7 @@ def run_stage(
     """
     meter_before = ctx.meter
     before = meter_before.snapshot() if meter_before is not None else None
-    started_wall = time.perf_counter()
+    started_wall = time.perf_counter()  # repro: allow[wall-clock] -- StageTelemetry.wall_s profiling timer; normalized() pins it for determinism checks
     try:
         outcome = stage.run(ctx) or StageOutcome()
     except ExtractionError as exc:
@@ -58,14 +58,14 @@ def run_stage(
                 before,
                 meter_before,
                 ctx,
-                time.perf_counter() - started_wall,
+                time.perf_counter() - started_wall,  # repro: allow[wall-clock] -- telemetry-only wall duration
             )
         )
         raise
     telemetry.append(
         _telemetry_row(
             stage, outcome, before, meter_before, ctx,
-            time.perf_counter() - started_wall,
+            time.perf_counter() - started_wall,  # repro: allow[wall-clock] -- telemetry-only wall duration
         )
     )
     return outcome
@@ -144,6 +144,21 @@ class TuningPipeline:
         self._method_name = method_name or self._name
         self._default_config = default_config
         self._description = description
+
+    def __repr__(self) -> str:
+        # Content-based (address-free) on purpose: pipelines ship to spawn
+        # workers and feed checkpoint fingerprints, so the repr must be
+        # stable across processes.  The config factory renders by qualified
+        # name — a function object's default repr embeds its address.
+        config = (
+            getattr(self._default_config, "__qualname__", None)
+            if self._default_config is not None
+            else None
+        )
+        return (
+            f"TuningPipeline(name={self._name!r}, method={self._method_name!r}, "
+            f"stages={list(self._stages)!r}, default_config={config})"
+        )
 
     # ------------------------------------------------------------------
     @property

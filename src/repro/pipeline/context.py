@@ -31,8 +31,8 @@ from ..core.result import (
     SlopeFitResult,
     TransitionPointSet,
 )
-from ..core.window_search import WindowSearchResult
 from ..core.virtualization import VirtualizationMatrix
+from ..core.window_search import WindowSearchResult
 from ..instrument.measurement import ChargeSensorMeter
 from ..instrument.session import ExperimentSession
 from ..instrument.timing import VirtualClock

@@ -29,6 +29,7 @@ from ..exceptions import ExtractionError
 from ..instrument.measurement import ChargeSensorMeter
 from ..instrument.session import ExperimentSession
 from ..instrument.timing import TimingModel
+from ..reprs import ContentRepr
 from .context import StageOutcome, TuneContext
 
 __all__ = [
@@ -53,7 +54,7 @@ def _require_meter(ctx: TuneContext, stage: str) -> ChargeSensorMeter:
     return ctx.meter
 
 
-class AnchorStage:
+class AnchorStage(ContentRepr):
     """Anchor-point preprocessing (paper §4.4): diagonal probe + mask sweeps."""
 
     name = "anchors"
@@ -64,7 +65,7 @@ class AnchorStage:
         return StageOutcome()
 
 
-class FixedCornerAnchorStage:
+class FixedCornerAnchorStage(ContentRepr):
     """Ablation replacement for :class:`AnchorStage`: anchors without probing.
 
     Places the steep-line anchor at the right grid edge of the starting row
@@ -100,7 +101,7 @@ class FixedCornerAnchorStage:
         return StageOutcome(detail="fixed-corner anchors (no probes spent)")
 
 
-class SweepStage:
+class SweepStage(ContentRepr):
     """Shrinking-triangle row- and column-major sweeps (paper §4.3.2).
 
     ``run_row`` / ``run_column`` override the corresponding
@@ -138,7 +139,7 @@ class SweepStage:
         return StageOutcome()
 
 
-class FilterStage:
+class FilterStage(ContentRepr):
     """Erroneous-point filtering: combine traces into the fit's point set.
 
     Compute-only (no probes).  ``apply_filter`` overrides
@@ -166,7 +167,7 @@ class FilterStage:
         return StageOutcome()
 
 
-class FitStage:
+class FitStage(ContentRepr):
     """Two-piece-wise linear fit and slope → matrix conversion (§4.3.3, §2.3)."""
 
     name = "fit"
@@ -246,7 +247,7 @@ def slope_bounds_reject_reason(
     return None
 
 
-class ValidateStage:
+class ValidateStage(ContentRepr):
     """Physical-plausibility validation of the fitted slopes and matrix.
 
     Completes with ``status="failed"`` (rather than raising) when the run
@@ -293,7 +294,7 @@ class ValidateStage:
 # ---------------------------------------------------------------------------
 
 
-class WindowSearchStage:
+class WindowSearchStage(ContentRepr):
     """Coarse transition-window search over the full safe gate range.
 
     Probes through a private coarse meter (the window search owns its own
@@ -342,7 +343,7 @@ class WindowSearchStage:
         )
 
 
-class OpenSessionStage:
+class OpenSessionStage(ContentRepr):
     """Open the fine measurement session inside the found window.
 
     Cost-free (the session is opened, nothing is probed); installs the
@@ -411,7 +412,7 @@ class OpenSessionStage:
         return StageOutcome()
 
 
-class StalenessCheckStage:
+class StalenessCheckStage(ContentRepr):
     """Re-probe reference pixels at the device's current age (retuning mode).
 
     Probes through a fresh cache-off meter on the shared timeline clock —

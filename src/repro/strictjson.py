@@ -1,0 +1,81 @@
+"""Strict JSON with tagged non-finite floats.
+
+Every persisted artifact in this repo — campaign journals, result files,
+dataset metadata, lint reports — is written with ``allow_nan=False`` so a
+``NaN`` can never silently become the *invalid* JSON literal ``NaN`` (which
+``json.loads`` happens to accept but no other tool does).  Fields that
+legitimately carry non-finite sentinels (``max_alpha_error`` is NaN when a
+session has no ground-truth geometry) round-trip through a tagged dict
+instead::
+
+    float("nan")  <->  {"__nonfinite__": "nan"}
+
+:func:`encode_value`/:func:`decode_value` are the element-level pair used by
+record ``as_dict``/``from_dict`` methods that visit fields one by one;
+:func:`encode_tree`/:func:`decode_tree` walk nested dicts and lists for
+free-form payloads like dataset metadata; :func:`dumps`/:func:`loads` bundle
+the tree walk with the strict serialiser.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+
+__all__ = [
+    "NONFINITE_TAG",
+    "decode_tree",
+    "decode_value",
+    "dumps",
+    "encode_tree",
+    "encode_value",
+    "loads",
+]
+
+#: Key marking a tagged non-finite float in strict-JSON output.
+NONFINITE_TAG = "__nonfinite__"
+
+
+def encode_value(value):
+    """JSON-strict encoding of one scalar: non-finite floats become tagged dicts."""
+    if isinstance(value, float) and not math.isfinite(value):
+        return {NONFINITE_TAG: repr(value)}
+    return value
+
+
+def decode_value(value):
+    """Inverse of :func:`encode_value`."""
+    if isinstance(value, dict) and set(value) == {NONFINITE_TAG}:
+        return float(value[NONFINITE_TAG])
+    return value
+
+
+def encode_tree(value):
+    """Recursively tag non-finite floats inside nested dicts/lists/tuples."""
+    if isinstance(value, dict):
+        return {key: encode_tree(item) for key, item in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [encode_tree(item) for item in value]
+    return encode_value(value)
+
+
+def decode_tree(value):
+    """Inverse of :func:`encode_tree`."""
+    if isinstance(value, dict):
+        decoded = decode_value(value)
+        if decoded is not value:
+            return decoded
+        return {key: decode_tree(item) for key, item in value.items()}
+    if isinstance(value, list):
+        return [decode_tree(item) for item in value]
+    return value
+
+
+def dumps(obj, **kwargs) -> str:
+    """``json.dumps`` with non-finite floats tagged and ``allow_nan=False``."""
+    return json.dumps(encode_tree(obj), allow_nan=False, **kwargs)
+
+
+def loads(text: str):
+    """Inverse of :func:`dumps`: parse, then untag non-finite floats."""
+    return decode_tree(json.loads(text))

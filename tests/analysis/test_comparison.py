@@ -5,7 +5,7 @@ from __future__ import annotations
 import pytest
 
 from repro.analysis import ComparisonRunner
-from repro.datasets import SyntheticCSDConfig, NoiseRecipe
+from repro.datasets import NoiseRecipe, SyntheticCSDConfig
 
 
 @pytest.fixture(scope="module")

@@ -5,6 +5,7 @@ from __future__ import annotations
 import pytest
 
 from repro.analysis import (
+    TABLE1_HEADERS,
     ComparisonRunner,
     format_accuracy_table,
     format_summary,
@@ -12,7 +13,6 @@ from repro.analysis import (
     format_table1,
     summarize_suite,
     table1_rows,
-    TABLE1_HEADERS,
 )
 
 

@@ -2,13 +2,12 @@
 
 from __future__ import annotations
 
-import numpy as np
 import pytest
 
 from repro.baseline import BaselineConfig, HoughBaselineExtractor
 from repro.exceptions import BaselineError
 from repro.instrument import ExperimentSession
-from repro.physics import CSDSimulator, DotArrayDevice, WhiteNoise
+from repro.physics import CSDSimulator, WhiteNoise
 
 
 class TestOnCleanData:

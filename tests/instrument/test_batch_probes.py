@@ -21,7 +21,7 @@ from repro.instrument import (
     TimingModel,
     VirtualClock,
 )
-from repro.physics import DeviceDrift, DotArrayDevice, WhiteNoise, standard_lab_noise
+from repro.physics import DeviceDrift, WhiteNoise, standard_lab_noise
 
 
 def _device_backend(device, noise=True):

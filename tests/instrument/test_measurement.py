@@ -13,7 +13,7 @@ from repro.instrument import (
     TimingModel,
     VirtualClock,
 )
-from repro.physics import DotArrayDevice, WhiteNoise
+from repro.physics import WhiteNoise
 
 
 class TestDatasetBackend:

@@ -1,0 +1,11 @@
+"""No-trigger corpus: wall-clock reads outside the clocked packages.
+
+The ``wall-clock`` rule is scoped to physics/instrument/pipeline/core;
+reporting and campaign layers may time themselves freely.
+"""
+
+import time
+
+
+def sample():
+    return time.perf_counter()

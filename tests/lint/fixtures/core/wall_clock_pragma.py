@@ -1,0 +1,8 @@
+"""No-trigger corpus: a telemetry timer with a justified pragma."""
+
+import time
+
+
+def sample():
+    started = time.perf_counter()  # repro: allow[wall-clock] -- telemetry-only duration; results never read it
+    return time.perf_counter() - started  # repro: allow[wall-clock] -- telemetry-only duration; results never read it

@@ -1,0 +1,14 @@
+"""Trigger corpus: wall-clock reads inside a clocked package (``core/``)."""
+
+import datetime
+import time
+from time import monotonic, perf_counter
+
+
+def sample():
+    a = time.time()
+    b = time.perf_counter()
+    time.sleep(0.0)
+    c = datetime.datetime.now()
+    d = datetime.date.today()
+    return a, b, c, d, monotonic(), perf_counter()

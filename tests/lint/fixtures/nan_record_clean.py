@@ -1,0 +1,17 @@
+"""No-trigger corpus: non-finite floats in non-record positions.
+
+A bare ``float("nan")`` return (an aggregate statistic) and a lowercase
+callee (not a record constructor) are both fine without pragmas.
+"""
+
+
+def undefined_statistic():
+    return float("nan")
+
+
+def helper(error=0.0):
+    return error
+
+
+def sample():
+    return helper(error=float("nan"))

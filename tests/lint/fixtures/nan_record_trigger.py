@@ -1,0 +1,18 @@
+"""Trigger corpus: non-finite literals flowing into record constructors."""
+
+from dataclasses import dataclass
+
+
+@dataclass
+class SampleRecord:
+    error: float
+    label: str = ""
+
+
+def direct():
+    return SampleRecord(error=float("nan"))
+
+
+def via_name():
+    worst_error = float("inf")
+    return SampleRecord(error=worst_error)

@@ -1,0 +1,11 @@
+"""Corpus: a real violation suppressed by a justification-less pragma.
+
+Default mode: suppressed, clean.  Strict mode: the bare pragma itself is
+reported as ``pragma-hygiene``.
+"""
+
+import json
+
+
+def sample(payload):
+    return json.dumps(payload)  # repro: allow[strict-json]

@@ -1,0 +1,9 @@
+"""Corpus: a pragma naming a rule that does not exist.
+
+Reported as ``pragma-hygiene`` in every mode — a typo'd pragma silently
+disables nothing, so it must fail loudly.
+"""
+
+
+def sample():
+    return 1  # repro: allow[wall-clcok] -- typo'd rule name

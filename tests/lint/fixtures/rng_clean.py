@@ -1,0 +1,11 @@
+"""No-trigger corpus: seed-explicit randomness through the sanctioned APIs."""
+
+import numpy as np
+
+
+def sample(seed):
+    rng = np.random.default_rng(seed)
+    seq = np.random.SeedSequence(1234)
+    child = np.random.default_rng(seq.spawn(1)[0])
+    gen = np.random.Generator(np.random.PCG64(7))
+    return rng.normal(), child.random(), gen.integers(0, 4)

@@ -1,0 +1,14 @@
+"""Trigger corpus: every form of hidden-global-state randomness."""
+
+import random
+
+import numpy as np
+from random import gauss
+
+
+def sample():
+    a = np.random.normal(0.0, 1.0, size=8)
+    b = np.random.rand(3)
+    c = random.random()
+    d = random.randint(0, 7)
+    return a, b, c, d, gauss(0.0, 1.0)

@@ -1,0 +1,10 @@
+"""Trigger corpus: ``default_rng()`` drawing hidden OS entropy."""
+
+import numpy as np
+from numpy.random import default_rng
+
+
+def sample():
+    a = np.random.default_rng()
+    b = default_rng()
+    return a, b

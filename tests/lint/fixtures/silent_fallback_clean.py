@@ -1,0 +1,11 @@
+"""No-trigger corpus: loud lookups and legitimate empty-default idioms."""
+
+
+def sample(metadata, config):
+    entries = metadata.get("entries", ())
+    label = metadata.get("label", None)
+    try:
+        method = config["method"]
+    except KeyError:
+        raise ValueError("config must name its extraction method") from None
+    return entries, label, method

@@ -1,0 +1,15 @@
+"""Trigger corpus: quietly substituted defaults and swallowed failures."""
+
+
+def sample(metadata, config):
+    try:
+        gates = metadata.get("gate_names", ("P1", "P2"))
+    except:  # noqa: E722
+        gates = ("P1", "P2")
+    try:
+        method = config.get("method", "fast-extraction")
+    except Exception:
+        pass
+    backend = getattr(config, "backend_name", "serial")
+    corners = getattr(config, "corners", (0.0, 1.0))
+    return gates, method, backend, corners

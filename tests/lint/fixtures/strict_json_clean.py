@@ -1,0 +1,9 @@
+"""No-trigger corpus: strict JSON serialisation."""
+
+import json
+
+
+def sample(payload, handle):
+    text = json.dumps(payload, allow_nan=False)
+    json.dump(payload, handle, indent=2, allow_nan=False)
+    return json.loads(text)

@@ -1,0 +1,9 @@
+"""Trigger corpus: JSON serialisation that can emit NaN/Infinity tokens."""
+
+import json
+
+
+def sample(payload, handle):
+    text = json.dumps(payload)
+    json.dump(payload, handle, indent=2)
+    return text

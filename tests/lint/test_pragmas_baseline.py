@@ -1,0 +1,122 @@
+"""Pragma hygiene and baseline adopt/burn-down semantics."""
+
+from pathlib import Path
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.lint.baseline import BASELINE_VERSION, Baseline
+from repro.lint.engine import PRAGMA_RULE, run_lint
+from repro.lint.pragmas import PragmaIndex
+from repro.lint.violations import Violation
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+
+class TestPragmaParsing:
+    def test_bare_and_justified_pragmas(self):
+        index = PragmaIndex.from_source(
+            "x = 1  # repro: allow[wall-clock]\n"
+            "y = 2  # repro: allow[wall-clock,strict-json] -- telemetry timer\n"
+        )
+        assert index.allows("wall-clock", 1)
+        assert index.pragma_for("wall-clock", 1).is_bare
+        assert index.allows("strict-json", 2)
+        assert index.pragma_for("wall-clock", 2).justification == "telemetry timer"
+        assert not index.allows("strict-json", 1)
+        assert not index.allows("wall-clock", 3)
+
+    def test_pragma_text_inside_strings_is_inert(self):
+        index = PragmaIndex.from_source(
+            '"""docs show # repro: allow[wall-clock] syntax"""\n'
+            'msg = "# repro: allow[strict-json]"\n'
+        )
+        assert index.all_pragmas() == ()
+
+
+class TestPragmaHygiene:
+    def test_unknown_rule_name_is_reported_in_every_mode(self):
+        report = run_lint(
+            FIXTURES / "pragma_unknown.py", contracts=False, strict=False
+        )
+        assert [v.rule for v in report.violations] == [PRAGMA_RULE]
+        assert "wall-clcok" in report.violations[0].message
+
+    def test_bare_pragma_suppresses_in_default_mode(self):
+        report = run_lint(FIXTURES / "pragma_bare.py", contracts=False)
+        assert report.violations == ()
+        assert [v.rule for v in report.suppressed] == ["strict-json"]
+
+    def test_bare_pragma_fails_strict_mode(self):
+        report = run_lint(FIXTURES / "pragma_bare.py", contracts=False, strict=True)
+        assert [v.rule for v in report.violations] == [PRAGMA_RULE]
+        assert "justification" in report.violations[0].message
+
+
+class TestBaseline:
+    def make_violation(self, rule="strict-json", path="a.py", snippet="x = 1", line=3):
+        return Violation(path=path, line=line, rule=rule, message="m", snippet=snippet)
+
+    def test_round_trip_through_disk(self, tmp_path):
+        baseline = Baseline.from_violations([self.make_violation()])
+        path = baseline.save(tmp_path / "baseline.json")
+        assert Baseline.load(path).entries == baseline.entries
+
+    def test_load_rejects_foreign_files(self, tmp_path):
+        path = tmp_path / "nope.json"
+        path.write_text('{"version": 999}')
+        with pytest.raises(ConfigurationError):
+            Baseline.load(path)
+        assert BASELINE_VERSION == 1
+
+    def test_matching_ignores_line_drift(self):
+        baseline = Baseline.from_violations([self.make_violation(line=3)])
+        fresh, adopted, unused = baseline.partition([self.make_violation(line=90)])
+        assert fresh == []
+        assert len(adopted) == 1
+        assert unused == []
+
+    def test_each_entry_absolves_one_violation(self):
+        baseline = Baseline.from_violations([self.make_violation()])
+        fresh, adopted, unused = baseline.partition(
+            [self.make_violation(), self.make_violation()]
+        )
+        assert len(adopted) == 1
+        assert len(fresh) == 1
+
+    def test_unused_entries_surface(self):
+        baseline = Baseline.from_violations(
+            [self.make_violation(), self.make_violation(snippet="gone = 2")]
+        )
+        fresh, adopted, unused = baseline.partition([self.make_violation()])
+        assert fresh == []
+        assert len(adopted) == 1
+        assert [entry.snippet for entry in unused] == ["gone = 2"]
+
+
+class TestBaselineInEngine:
+    def test_baseline_adopts_the_whole_corpus(self):
+        first = run_lint(FIXTURES, contracts=False)
+        assert first.violations
+        baseline = Baseline.from_violations(list(first.violations))
+        second = run_lint(FIXTURES, contracts=False, baseline=baseline)
+        assert second.violations == ()
+        assert len(second.adopted) == len(first.violations)
+        assert second.exit_code == 0
+
+    def test_stale_entry_passes_default_but_fails_strict(self):
+        stale = Violation(
+            path="strict_json_clean.py",
+            line=1,
+            rule="strict-json",
+            message="m",
+            snippet="json.dumps(payload)  # long gone",
+        )
+        baseline = Baseline.from_violations([stale])
+        target = FIXTURES / "strict_json_clean.py"
+        default = run_lint(target, contracts=False, baseline=baseline)
+        assert default.violations == ()
+        assert len(default.unused_baseline) == 1
+        strict = run_lint(target, contracts=False, baseline=baseline, strict=True)
+        assert [v.rule for v in strict.violations] == [PRAGMA_RULE]
+        assert "stale baseline entry" in strict.violations[0].message

@@ -7,7 +7,6 @@ import pytest
 
 from repro.exceptions import CapacitanceModelError
 from repro.physics import CapacitanceModel
-from repro.physics import constants
 
 
 def make_symmetric_double_dot(cross: float = 0.25) -> CapacitanceModel:

@@ -2,11 +2,10 @@
 
 from __future__ import annotations
 
-import numpy as np
 import pytest
 
-from repro.core import FastVirtualGateExtractor, StageTelemetry
 from repro.baseline import HoughBaselineExtractor
+from repro.core import FastVirtualGateExtractor, StageTelemetry
 from repro.exceptions import ConfigurationError, ExtractionError
 from repro.instrument import ExperimentSession
 from repro.pipeline import (

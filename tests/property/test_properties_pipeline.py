@@ -13,7 +13,6 @@ Two invariants the pipeline refactor must hold under any seed:
 
 from __future__ import annotations
 
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
