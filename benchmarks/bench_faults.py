@@ -1,0 +1,168 @@
+"""Benchmark: fault-injection and retry-path overhead vs the clean probe path.
+
+The resilience stack's performance contract has two halves:
+
+* wrapping a backend in :class:`~repro.faults.FaultyBackend` with rate-0
+  models (the "insurance premium": retry plumbing armed, no faults firing)
+  must cost only a small constant factor over the clean path, because the
+  meter still commits fault-free batches in one vectorised step;
+* a genuinely chaotic run ("flaky-lab") pays per injected fault event — each
+  disruption commits the fault-free prefix and re-plans the remaining batch —
+  not per-probe Python overhead; a full-grid chaos run stays in the
+  milliseconds.
+
+This file is both a pytest benchmark (like its siblings) and a standalone
+script for CI smoke runs and the persisted perf trajectory::
+
+    PYTHONPATH=src python benchmarks/bench_faults.py --smoke
+    PYTHONPATH=src python benchmarks/bench_faults.py --json BENCH_7.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+
+import numpy as np
+import pytest
+
+from repro.faults import ProbeHangFault, TransientReadFault
+from repro.instrument import ExperimentSession, ProbeRetryPolicy
+from repro.scenarios import DeviceSpec
+
+RETRY = ProbeRetryPolicy(max_attempts=6, backoff_s=0.05, timeout_s=10.0)
+
+RATE_ZERO = (TransientReadFault(rate=0.0), ProbeHangFault(rate=0.0))
+
+
+def _session(faults=None, probe_retry=None, resolution=63, seed=7):
+    device = DeviceSpec.of("double_dot", cross_coupling=(0.25, 0.22)).build()
+    return ExperimentSession.from_device(
+        device,
+        resolution=resolution,
+        seed=seed,
+        faults=faults,
+        probe_retry=probe_retry,
+    )
+
+
+def _time_full_grid(faults, probe_retry, resolution, repeats=3):
+    """Best-of-N wall time of a full-grid acquisition, plus the session."""
+    best = float("inf")
+    session = None
+    for _ in range(repeats):
+        session = _session(faults=faults, probe_retry=probe_retry, resolution=resolution)
+        started = time.perf_counter()
+        session.meter.acquire_full_grid()
+        best = min(best, time.perf_counter() - started)
+    return best, session
+
+
+@pytest.mark.benchmark(group="faults")
+def test_rate_zero_wrapper_overhead(benchmark, write_report):
+    """Armed-but-silent fault wrapping stays bit-identical and cheap."""
+    clean = _session()
+    clean_image = clean.meter.acquire_full_grid()
+
+    def wrapped_acquire():
+        session = _session(faults=RATE_ZERO, probe_retry=RETRY)
+        return session.meter.acquire_full_grid()
+
+    image = benchmark.pedantic(wrapped_acquire, rounds=3, iterations=1)
+    np.testing.assert_array_equal(image, clean_image)
+    write_report(
+        "faults.txt",
+        "rate-0 fault wrapping: full grid bit-identical to the clean path",
+    )
+
+
+@pytest.mark.benchmark(group="faults")
+def test_chaos_retry_path(benchmark):
+    """A flaky-lab acquisition completes, paying only for its retries."""
+
+    def chaotic_acquire():
+        session = _session(faults="flaky-lab", probe_retry=RETRY)
+        session.meter.acquire_full_grid()
+        return session
+
+    session = benchmark.pedantic(chaotic_acquire, rounds=3, iterations=1)
+    assert session.meter.n_probe_retries > 0
+    assert session.meter.n_probes_exhausted == 0
+
+
+def run_suite(resolution: int, repeats: int) -> dict:
+    """Measure the three paths and return the perf-trajectory payload."""
+    clean_s, clean = _time_full_grid(None, None, resolution, repeats)
+    rate0_s, rate0 = _time_full_grid(RATE_ZERO, RETRY, resolution, repeats)
+    chaos_s, chaos = _time_full_grid("flaky-lab", RETRY, resolution, repeats)
+
+    identical = bool(
+        np.array_equal(
+            _session(resolution=resolution).meter.acquire_full_grid(),
+            _session(
+                faults=RATE_ZERO, probe_retry=RETRY, resolution=resolution
+            ).meter.acquire_full_grid(),
+        )
+    )
+    return {
+        "bench": "faults",
+        "resolution": resolution,
+        "n_probes": int(clean.meter.n_probes),
+        "clean_s": round(clean_s, 4),
+        "rate_zero_s": round(rate0_s, 4),
+        "chaos_s": round(chaos_s, 4),
+        "rate_zero_overhead_x": round(rate0_s / clean_s, 3),
+        "chaos_overhead_x": round(chaos_s / clean_s, 3),
+        "rate_zero_bit_identical": identical,
+        "chaos_probe_retries": int(chaos.meter.n_probe_retries),
+        "chaos_fault_events": int(chaos.meter.n_fault_events),
+        "chaos_fault_delay_s": round(float(chaos.meter.fault_delay_s), 3),
+        "rate_zero_retries": int(rate0.meter.n_probe_retries),
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="small grid (resolution 32, 1 repeat) for CI",
+    )
+    parser.add_argument(
+        "--json", metavar="PATH",
+        help="write the measurements as JSON (the persisted perf trajectory)",
+    )
+    args = parser.parse_args(argv)
+
+    resolution = 32 if args.smoke else 63
+    repeats = 1 if args.smoke else 3
+    stats = run_suite(resolution, repeats)
+
+    print(f"fault-injection overhead (full grid, resolution {resolution}):")
+    print(f"  clean path:        {stats['clean_s'] * 1e3:8.1f} ms")
+    print(f"  rate-0 wrapped:    {stats['rate_zero_s'] * 1e3:8.1f} ms "
+          f"({stats['rate_zero_overhead_x']:.2f}x, "
+          f"bit-identical: {stats['rate_zero_bit_identical']})")
+    print(f"  flaky-lab chaos:   {stats['chaos_s'] * 1e3:8.1f} ms "
+          f"({stats['chaos_overhead_x']:.2f}x, "
+          f"{stats['chaos_probe_retries']} retries, "
+          f"{stats['chaos_fault_events']} fault events)")
+
+    if not stats["rate_zero_bit_identical"]:
+        print("ERROR: rate-0 fault wrapping perturbed the measured image")
+        return 1
+    if stats["rate_zero_retries"] != 0:
+        print("ERROR: rate-0 models spent retries")
+        return 1
+
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(stats, handle, indent=2)
+            handle.write("\n")
+        print(f"wrote {args.json}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

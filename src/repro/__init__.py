@@ -46,10 +46,18 @@ from .execution import (
     RunController,
     SerialBackend,
 )
+from .faults import (
+    FaultModel,
+    FaultyBackend,
+    fault_names,
+    get_fault,
+    register_fault,
+)
 from .instrument import (
     ChargeSensorMeter,
     ExperimentSession,
     MeterSnapshot,
+    ProbeRetryPolicy,
     SessionFactory,
     TimingModel,
     VirtualClock,
@@ -103,9 +111,15 @@ __all__ = [
     "RetryPolicy",
     "RunController",
     "SerialBackend",
+    "FaultModel",
+    "FaultyBackend",
+    "fault_names",
+    "get_fault",
+    "register_fault",
     "ChargeSensorMeter",
     "ExperimentSession",
     "MeterSnapshot",
+    "ProbeRetryPolicy",
     "StageTelemetry",
     "TuneContext",
     "TuningPipeline",

@@ -310,6 +310,64 @@ def format_stage_breakdown(rows: list[dict]) -> str:
     )
 
 
+FAULT_RESILIENCE_HEADERS = [
+    "Fault condition",
+    "Jobs",
+    "Succeeded",
+    "Probe retries",
+    "Worker crashes",
+]
+
+
+def aggregate_fault_resilience(rows: list[dict]) -> dict[str, dict]:
+    """Per-fault-condition outcome totals from per-job campaign dicts.
+
+    Groups jobs by their injected fault condition (``"none"`` for
+    fault-free jobs) and totals successes, probe-level retries, and
+    worker-death records — the numbers that say whether the retry stack
+    actually absorbed the injected misbehaviour.
+    """
+    totals: dict[str, dict] = {}
+    for row in rows:
+        condition = str(row.get("fault") or "none")
+        entry = totals.setdefault(
+            condition,
+            {"n_jobs": 0, "n_succeeded": 0, "n_probe_retries": 0, "n_crashes": 0},
+        )
+        entry["n_jobs"] += 1
+        entry["n_succeeded"] += bool(row.get("success"))
+        entry["n_probe_retries"] += int(row.get("n_probe_retries") or 0)
+        entry["n_crashes"] += row.get("failure_category") == "worker_error"
+    return totals
+
+
+def format_fault_resilience(rows: list[dict]) -> str:
+    """Fault-resilience table over a campaign's jobs.
+
+    Empty string when nothing was injected — no job carries a fault
+    condition or a probe retry — so fault-free campaign reports render
+    exactly as they did before the fault axis existed.
+    """
+    if not any(row.get("fault") or row.get("n_probe_retries") for row in rows):
+        return ""
+    totals = aggregate_fault_resilience(rows)
+    table_rows = [
+        [
+            condition,
+            str(entry["n_jobs"]),
+            f"{entry['n_succeeded']}/{entry['n_jobs']}",
+            str(entry["n_probe_retries"]),
+            str(entry["n_crashes"]),
+        ]
+        for condition, entry in totals.items()
+    ]
+    return format_table(
+        FAULT_RESILIENCE_HEADERS,
+        table_rows,
+        title="Fault resilience: outcomes under injected conditions",
+    )
+
+
 def format_campaign_summary(summary: dict) -> str:
     """Aggregate block of a campaign (see ``CampaignResult.summary``).
 

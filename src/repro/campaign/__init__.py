@@ -42,12 +42,18 @@ Typical use::
 from .engine import TuningCampaign, campaign_fingerprint
 from .grid import KNOWN_METHODS, CampaignGrid, CampaignJob, DeviceSpec
 from .results import CampaignJobRecord, CampaignResult
-from .worker import classify_failure, run_campaign_job, worker_error_record
+from .worker import (
+    DEFAULT_FAULT_RETRY,
+    classify_failure,
+    run_campaign_job,
+    worker_error_record,
+)
 
 __all__ = [
     "TuningCampaign",
     "CampaignGrid",
     "CampaignJob",
+    "DEFAULT_FAULT_RETRY",
     "DeviceSpec",
     "KNOWN_METHODS",
     "CampaignJobRecord",

@@ -28,6 +28,7 @@ from typing import Callable, Iterable, Sequence
 
 from ..analysis.metrics import SuccessCriterion
 from ..exceptions import ConfigurationError
+from ..faults import get_fault
 from ..execution import (
     CheckpointJournal,
     ExecutionBackend,
@@ -49,6 +50,7 @@ def campaign_fingerprint(
     jobs: Sequence[CampaignJob],
     criterion: SuccessCriterion,
     scenarios: dict[str, object] | None = None,
+    faults: dict[str, tuple] | None = None,
 ) -> str:
     """A stable identity for "this job list scored this way".
 
@@ -56,10 +58,11 @@ def campaign_fingerprint(
     by a *different* campaign (same file path, different grid, seed, or
     criterion — whose records would be silently wrong) fails loudly.  Built
     from each job's label (device spec, gates, resolution, environment,
-    method, repeat), its seed identity, the criterion's repr, and the repr
-    of every resolved scenario *definition* — a scenario re-registered
-    with different physics under the same name changes the fingerprint,
-    because the name alone would let stale records slip through.
+    fault condition, method, repeat), its seed identity, the criterion's
+    repr, and the repr of every resolved scenario and fault-condition
+    *definition* — a scenario or condition re-registered with different
+    physics under the same name changes the fingerprint, because the name
+    alone would let stale records slip through.
     """
     criterion_part = repr(criterion)
     if _ADDRESS_REPR.search(criterion_part):
@@ -82,6 +85,17 @@ def campaign_fingerprint(
                 "memory address, so its checkpoint fingerprint would not "
                 "survive a process restart; give that class a content-based "
                 "__repr__ (or make it a dataclass) to use checkpointing"
+            )
+        parts.append(part)
+    for name in sorted(faults or {}):
+        part = f"fault:{name}={faults[name]!r}"
+        if _ADDRESS_REPR.search(part):
+            raise ConfigurationError(
+                f"fault condition {name!r} contains an object whose repr "
+                "embeds a memory address, so its checkpoint fingerprint "
+                "would not survive a process restart; give that class a "
+                "content-based __repr__ (or make it a dataclass) to use "
+                "checkpointing"
             )
         parts.append(part)
     for job in jobs:
@@ -152,8 +166,9 @@ class TuningCampaign:
         picklable for process-based backends.  A runner that also declares
         a ``pipelines=`` keyword receives the parent-resolved
         :class:`~repro.pipeline.composer.TuningPipeline` objects for the
-        grid's methods (needed for user-registered pipelines under
-        spawn-start pools).
+        grid's methods, and one declaring ``faults=`` receives the
+        parent-resolved fault-model tuples for the grid's fault conditions
+        (both needed for user-registered entries under spawn-start pools).
     """
 
     def __init__(
@@ -229,8 +244,9 @@ class TuningCampaign:
         """Whether the configured job runner takes a keyword argument.
 
         Keeps the historical ``(job, criterion=..., scenarios=...)`` runner
-        contract working: newer engine-supplied kwargs (``pipelines``) are
-        only passed to runners that declare them (or ``**kwargs``).
+        contract working: newer engine-supplied kwargs (``pipelines``,
+        ``faults``) are only passed to runners that declare them (or
+        ``**kwargs``).
         """
         try:
             parameters = inspect.signature(self._job_runner).parameters
@@ -279,13 +295,20 @@ class TuningCampaign:
                 "to re-run failures from; pass checkpoint= as well"
             )
         started = time.perf_counter()
-        # Resolve scenario names and pipeline methods in this process and
-        # ship the objects to the workers: user-registered scenarios and
-        # pipelines live only in the parent's registry, which a spawn-start
+        # Resolve scenario names, pipeline methods, and fault conditions in
+        # this process and ship the objects to the workers: user-registered
+        # entries live only in the parent's registry, which a spawn-start
         # worker would not have.
         scenarios = {
             name: get_scenario(name)
             for name in {job.scenario for job in self._jobs if job.scenario}
+        }
+        faults = {
+            name: get_fault(name)
+            for name in {
+                getattr(job, "fault", None) for job in self._jobs
+            }
+            if name is not None
         }
         runner_kwargs = {"criterion": self._criterion, "scenarios": scenarios}
         if self._runner_accepts("pipelines"):
@@ -293,6 +316,8 @@ class TuningCampaign:
                 method: get_pipeline(method)
                 for method in {job.method for job in self._jobs}
             }
+        if self._runner_accepts("faults"):
+            runner_kwargs["faults"] = faults
         run_one = partial(self._job_runner, **runner_kwargs)
         journal = (
             CheckpointJournal(
@@ -300,7 +325,7 @@ class TuningCampaign:
                 serialize=CampaignJobRecord.as_dict,
                 deserialize=CampaignJobRecord.from_dict,
                 fingerprint=campaign_fingerprint(
-                    self._jobs, self._criterion, scenarios
+                    self._jobs, self._criterion, scenarios, faults
                 ),
             )
             if checkpoint is not None

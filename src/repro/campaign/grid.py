@@ -6,8 +6,8 @@ count, and :meth:`CampaignGrid.expand` turns the cross product into a flat
 tuple of :class:`CampaignJob` specs.  Expansion is where determinism is
 fixed:
 
-* jobs are enumerated in a stable order
-  (device → gate pair → resolution → noise → scenario → method → repeat), and
+* jobs are enumerated in a stable order (device → gate pair → resolution →
+  noise → scenario → fault → method → repeat), and
 * every job gets its own child of the grid's root seed via
   :func:`repro.seeding.spawn_seeds`, assigned by job index *before* anything
   runs.
@@ -36,6 +36,7 @@ from functools import cache
 import numpy as np
 
 from ..exceptions import ConfigurationError
+from ..faults.registry import get_fault
 from ..physics.noise import NoiseModel, standard_lab_noise
 from ..pipeline.registry import resolve_method
 from ..scenarios.catalog import get_scenario
@@ -75,6 +76,10 @@ class CampaignJob:
     ``scenario`` names a registered :class:`~repro.scenarios.catalog.LabScenario`
     whose environment (noise, drift, timing, time-dependence) the job runs
     under, or ``None`` for the classic static noise-axis environment.
+    ``fault`` names a registered fault condition
+    (:func:`repro.faults.get_fault`) injected into the job — probe-scope
+    models wrap the session's backend, worker-scope models may kill the
+    executing worker — or ``None`` for a fault-free run.
     """
 
     job_id: int
@@ -89,6 +94,7 @@ class CampaignJob:
     repeat: int
     seed: np.random.SeedSequence | None
     scenario: str | None = None
+    fault: str | None = None
 
     @property
     def label(self) -> str:
@@ -98,6 +104,8 @@ class CampaignJob:
             if self.scenario is None
             else f"{self.scenario} n{self.noise_scale:g}"
         )
+        if self.fault is not None:
+            environment += f" !{self.fault}"
         return (
             f"#{self.job_id} {self.device.factory}:{self.gate_x}-{self.gate_y}"
             f" r{self.resolution} {environment} {self.method} x{self.repeat}"
@@ -116,12 +124,19 @@ class CampaignGrid:
     :class:`~repro.scenarios.catalog.LabScenario` once, as registered —
     named scenarios fix their own noise, so crossing them with the noise
     axis would only clone jobs.
+
+    The ``faults`` axis crosses every environment with each named fault
+    condition (``None`` = fault-free); it is a full axis — unlike scenarios
+    it *is* crossed with everything — because fault resilience is exactly
+    the question "the same tuning problem, with and without injected
+    misbehaviour".
     """
 
     devices: tuple[DeviceSpec, ...] = (DeviceSpec(),)
     resolutions: tuple[int, ...] = (100,)
     noise_scales: tuple[float, ...] = (0.0,)
     scenarios: tuple[str | None, ...] = (None,)
+    faults: tuple[str | None, ...] = (None,)
     methods: tuple[str, ...] = ("fast",)
     n_repeats: int = 1
     seed: int | None = 0
@@ -143,6 +158,19 @@ class CampaignGrid:
         for name in self.scenarios:
             if name is not None:
                 get_scenario(name)  # raises ConfigurationError when unknown
+        if not self.faults:
+            raise ConfigurationError(
+                "the fault axis must be non-empty; use (None,) for "
+                "fault-free runs"
+            )
+        if len(set(self.faults)) != len(self.faults):
+            raise ConfigurationError("the fault axis must not repeat entries")
+        for name in self.faults:
+            if name is not None:
+                try:
+                    get_fault(name)
+                except KeyError as exc:
+                    raise ConfigurationError(str(exc)) from None
         if not self.methods:
             raise ConfigurationError("a campaign grid needs at least one method")
         for method in self.methods:
@@ -189,6 +217,7 @@ class CampaignGrid:
             n_pairs
             * len(self.resolutions)
             * len(self._environments())
+            * len(self.faults)
             * len(self.methods)
             * self.n_repeats
         )
@@ -200,22 +229,24 @@ class CampaignGrid:
             for dot_a, dot_b, gate_x, gate_y in pairs:
                 for resolution in self.resolutions:
                     for scenario, noise_scale in self._environments():
-                        for method in self.methods:
-                            for repeat in range(self.n_repeats):
-                                combos.append(
-                                    (
-                                        spec,
-                                        dot_a,
-                                        dot_b,
-                                        gate_x,
-                                        gate_y,
-                                        resolution,
-                                        noise_scale,
-                                        scenario,
-                                        method,
-                                        repeat,
+                        for fault in self.faults:
+                            for method in self.methods:
+                                for repeat in range(self.n_repeats):
+                                    combos.append(
+                                        (
+                                            spec,
+                                            dot_a,
+                                            dot_b,
+                                            gate_x,
+                                            gate_y,
+                                            resolution,
+                                            noise_scale,
+                                            scenario,
+                                            fault,
+                                            method,
+                                            repeat,
+                                        )
                                     )
-                                )
         seeds = spawn_seeds(self.seed, len(combos))
         return tuple(
             CampaignJob(
@@ -231,6 +262,7 @@ class CampaignGrid:
                 repeat=repeat,
                 seed=seeds[job_id],
                 scenario=scenario,
+                fault=fault,
             )
             for job_id, (
                 spec,
@@ -241,6 +273,7 @@ class CampaignGrid:
                 resolution,
                 noise_scale,
                 scenario,
+                fault,
                 method,
                 repeat,
             ) in enumerate(combos)

@@ -23,6 +23,7 @@ from ..analysis.reporting import (
     aggregate_stage_costs,
     format_campaign_summary,
     format_campaign_table,
+    format_fault_resilience,
     format_stage_breakdown,
 )
 from ..core.result import StageTelemetry
@@ -65,6 +66,12 @@ class CampaignJobRecord:
     failure_category: str
     failure_reason: str
     scenario: str | None = None
+    #: Injected fault condition the job ran under (``None`` = fault-free).
+    #: Defaults keep journals written before the fault axis loadable.
+    fault: str | None = None
+    #: Probe-level retry attempts the session's meter spent riding out
+    #: injected faults (0 for fault-free jobs and pre-fault journals).
+    n_probe_retries: int = 0
     stage_telemetry: tuple[StageTelemetry, ...] = ()
 
     def __eq__(self, other: object) -> bool:
@@ -266,7 +273,9 @@ class CampaignResult:
         Renders partial results (an interrupted run's journal, a truncated
         resume) exactly like complete ones, with the summary flagging how
         many of the expected jobs have records.  The per-stage breakdown
-        appears whenever any record carries stage telemetry.
+        appears whenever any record carries stage telemetry, and the fault
+        resilience section whenever any job ran under an injected fault
+        condition (or spent probe retries).
         """
         rows = self.job_rows()
         table = format_campaign_table(rows, max_rows=max_rows)
@@ -274,6 +283,9 @@ class CampaignResult:
         breakdown = format_stage_breakdown(rows)
         if breakdown:
             report += "\n\n" + breakdown
+        resilience = format_fault_resilience(rows)
+        if resilience:
+            report += "\n\n" + resilience
         return report
 
     # ------------------------------------------------------------------

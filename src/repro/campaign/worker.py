@@ -13,19 +13,40 @@ it never raises: an unexpected exception becomes a failed record with the
 from __future__ import annotations
 
 import time
+from dataclasses import replace
 
 from ..analysis.metrics import SuccessCriterion, accuracy_metrics
 from ..core.result import ExtractionResult
+from ..faults import (
+    FaultModel,
+    get_fault,
+    inject_worker_faults,
+    models_for,
+    probe_fault_models,
+)
+from ..instrument.resilience import ProbeRetryPolicy
 from ..instrument.session import SessionFactory
 from ..pipeline.registry import get_pipeline
 from ..scenarios.catalog import LabScenario, get_scenario
 from .grid import CampaignJob, noise_for_scale
 from .results import CampaignJobRecord
 
+#: Probe retry policy a fault-axis job runs under when neither the scenario
+#: nor the factory sets one: a few bounded attempts with the breaker armed,
+#: so the built-in fault conditions are survivable out of the box while a
+#: genuinely dead instrument still fails loudly.
+DEFAULT_FAULT_RETRY = ProbeRetryPolicy()
+
 #: Ordered (pattern, category) rules matched against lower-cased failure
 #: reasons.  First hit wins; the patterns mirror the messages raised by the
 #: extraction pipeline and its validators.
 _FAILURE_RULES: tuple[tuple[str, str], ...] = (
+    # Instrument-fault rules come first: their messages can contain words
+    # the generic extraction rules also match ("budget" in the probe
+    # timeout message), and first hit wins.
+    ("circuit breaker", "circuit-breaker"),
+    ("timeout budget", "probe-timeout"),
+    ("injected", "instrument-fault"),
     ("did not converge", "fit-divergence"),
     ("did not produce a fit", "no-fit"),
     ("not finite", "non-finite-slopes"),
@@ -86,7 +107,25 @@ def _base_record_fields(job: CampaignJob) -> dict:
         "gate_x": job.gate_x,
         "gate_y": job.gate_y,
         "scenario": job.scenario,
+        # getattr: hand-crafted job specs predating the fault axis (and
+        # custom runners' job types) may not carry the field.
+        "fault": getattr(job, "fault", None),
     }
+
+
+def _fault_models_for(
+    name: str, faults: dict[str, tuple[FaultModel, ...]] | None
+) -> tuple[FaultModel, ...]:
+    """The fault models behind a job's fault-condition name.
+
+    ``faults`` maps names to parent-resolved model tuples — the same
+    ship-the-objects treatment scenarios and pipelines get, because a
+    condition registered by the user exists only in the parent's registry.
+    The per-process registry is the fallback for direct in-process calls.
+    """
+    if faults is not None and name in faults:
+        return faults[name]
+    return get_fault(name)
 
 
 def run_campaign_job(
@@ -94,19 +133,36 @@ def run_campaign_job(
     criterion: SuccessCriterion | None = None,
     scenarios: dict[str, LabScenario] | None = None,
     pipelines: dict | None = None,
+    faults: dict[str, tuple[FaultModel, ...]] | None = None,
 ) -> CampaignJobRecord:
     """Run one campaign job and return its condensed, picklable record.
 
     ``scenarios`` maps scenario names to resolved :class:`LabScenario`
-    objects and ``pipelines`` maps method strings to resolved
-    :class:`~repro.pipeline.composer.TuningPipeline` instances.  The engine
-    fills both in the parent process and ships them with the job, because a
-    scenario or pipeline registered by the user exists only in the parent's
-    registry — a spawn-start worker process would re-import the built-ins
-    and miss it.  The per-process registries are only a fallback for direct
-    in-process calls.
+    objects, ``pipelines`` maps method strings to resolved
+    :class:`~repro.pipeline.composer.TuningPipeline` instances, and
+    ``faults`` maps fault-condition names to resolved model tuples.  The
+    engine fills all three in the parent process and ships them with the
+    job, because a scenario, pipeline, or fault condition registered by the
+    user exists only in the parent's registry — a spawn-start worker
+    process would re-import the built-ins and miss it.  The per-process
+    registries are only a fallback for direct in-process calls.
+
+    A job with a ``fault`` condition runs its worker-scope models *before*
+    the never-raise envelope below: an injected crash must escape this
+    function (hard process exit in a pool worker,
+    :class:`~repro.exceptions.WorkerCrashError` in-process) so every
+    backend condenses it into the same ``"worker_error"`` record, rather
+    than the in-process paths downgrading it to a ``"crash"`` record.
+    Probe-scope models wrap the session's measurement backend, and the
+    session runs under :data:`DEFAULT_FAULT_RETRY` unless the scenario
+    already sets a probe-retry policy.
     """
     criterion = criterion or SuccessCriterion()
+    fault_name = getattr(job, "fault", None)
+    job_fault_models: tuple[FaultModel, ...] = ()
+    if fault_name is not None:
+        job_fault_models = _fault_models_for(fault_name, faults)
+        inject_worker_faults(job.job_id, job_fault_models, job.seed)
     started = time.perf_counter()
     try:
         device = job.device.build()
@@ -128,6 +184,15 @@ def run_campaign_job(
                 device=device,
                 resolution=job.resolution,
                 noise=noise_for_scale(job.noise_scale),
+            )
+        probe_models = probe_fault_models(job_fault_models)
+        if probe_models:
+            # Compose with (not replace) any faults the scenario itself
+            # bakes in; the scenario's own retry policy wins when set.
+            factory = replace(
+                factory,
+                faults=models_for(factory.faults) + probe_models,
+                probe_retry=factory.probe_retry or DEFAULT_FAULT_RETRY,
             )
         session = factory.make(
             gate_x=job.gate_x,
@@ -162,6 +227,7 @@ def run_campaign_job(
             wall_elapsed_s=time.perf_counter() - started,
             failure_category=category,
             failure_reason=result.failure_reason if not matched else "",
+            n_probe_retries=int(getattr(session.meter, "n_probe_retries", 0)),
             stage_telemetry=result.stage_telemetry,
         )
     except Exception as exc:  # a crashed job must not sink the campaign

@@ -45,6 +45,40 @@ class ProbeBudgetExceededError(MeasurementError):
     """The experiment session exceeded its configured probe budget."""
 
 
+class InstrumentFault(MeasurementError):
+    """A probe failed for instrument reasons (as opposed to a bad request).
+
+    This is the typed surface of the :mod:`repro.faults` injection layer and
+    of the resilience machinery that tolerates it: exhausted retries, probe
+    timeouts, and a tripped circuit breaker all raise a subclass, so callers
+    can distinguish "the lab is misbehaving" from "the request was invalid"
+    (:class:`VoltageRangeError`) or "the budget ran out"
+    (:class:`ProbeBudgetExceededError`).
+    """
+
+
+class TransientReadError(InstrumentFault):
+    """A probe read failed transiently; an immediate retry may succeed."""
+
+
+class ProbeTimeoutError(InstrumentFault):
+    """A probe stalled longer than the retry policy's timeout budget."""
+
+
+class CircuitBreakerOpenError(InstrumentFault):
+    """Too many consecutive probe failures; the meter stopped trying."""
+
+
+class WorkerCrashError(ReproError):
+    """An execution worker died (or was deterministically made to die).
+
+    Raised in-process by serial/asyncio backends when a crash fault fires,
+    and synthesised by :class:`~repro.execution.backends.ProcessPoolBackend`
+    when a pool worker hard-exits; the run controller converts it into a
+    ``worker_error`` record instead of aborting the campaign.
+    """
+
+
 class DatasetError(ReproError):
     """A benchmark dataset could not be generated, loaded, or validated."""
 

@@ -38,8 +38,10 @@ from .base import (
     ExecutionBackend,
     ProgressCallback,
     SupportsJobId,
+    WorkerCrash,
     backend_from_spec,
     backend_names,
+    crash_message,
     register_backend,
 )
 from .checkpoint import CheckpointJournal
@@ -56,8 +58,10 @@ __all__ = [
     "RunController",
     "SerialBackend",
     "SupportsJobId",
+    "WorkerCrash",
     "backend_from_spec",
     "backend_names",
+    "crash_message",
     "guarded_runner",
     "register_backend",
 ]

@@ -25,10 +25,11 @@ from __future__ import annotations
 
 import asyncio
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor, as_completed
+from concurrent.futures.process import BrokenProcessPool
 from typing import Any, AsyncIterator, Callable, Iterable, Iterator
 
 from ..exceptions import ConfigurationError
-from .base import ExecutionBackend, SupportsJobId, register_backend
+from .base import ExecutionBackend, SupportsJobId, WorkerCrash, register_backend
 
 __all__ = [
     "AsyncioBackend",
@@ -110,18 +111,41 @@ class ProcessPoolBackend(ExecutionBackend):
         jobs: Iterable[SupportsJobId],
         run_one: Callable[[Any], Any],
     ) -> Iterator[tuple[int, Any]]:
+        """Stream records per finished chunk, surviving worker death.
+
+        A worker that hard-exits (``os._exit``, OOM kill, an injected
+        :class:`~repro.faults.WorkerCrashFault`) breaks the whole
+        :class:`~concurrent.futures.ProcessPoolExecutor`: the chunk it was
+        running *and* every chunk still pending raise
+        :class:`~concurrent.futures.process.BrokenProcessPool`, and before
+        this backend handled it the records of already-completed chunks were
+        abandoned with the raise.  Now completed chunks have already been
+        streamed by the time the break surfaces, and the affected jobs are
+        retried one at a time, each in a fresh single-worker pool: a job
+        that breaks *that* pool is unambiguously the culprit and yields a
+        :class:`~repro.execution.base.WorkerCrash` marker, while innocent
+        collateral jobs re-run (deterministically seeded, so to identical
+        records).  Crash attribution is exact at the cost of running the
+        post-break remainder serially — the failure path trades throughput
+        for never misblaming a job.
+        """
         jobs = tuple(jobs)
         if not jobs:
             return
         chunk = self.effective_chunk_size(len(jobs))
+        suspects: list[SupportsJobId] = []
         with ProcessPoolExecutor(max_workers=min(self._max_workers, len(jobs))) as pool:
-            futures = [
-                pool.submit(_run_chunk, run_one, jobs[start : start + chunk])
+            futures = {
+                pool.submit(_run_chunk, run_one, jobs[start : start + chunk]):
+                    jobs[start : start + chunk]
                 for start in range(0, len(jobs), chunk)
-            ]
+            }
             try:
                 for future in as_completed(futures):
-                    yield from future.result()
+                    try:
+                        yield from future.result()
+                    except BrokenProcessPool:
+                        suspects.extend(futures[future])
             finally:
                 # When the consumer abandons the stream (an interrupting
                 # progress hook, a raising chunk) cancel every not-yet-
@@ -129,6 +153,15 @@ class ProcessPoolBackend(ExecutionBackend):
                 # already running, not the whole remaining grid.
                 for future in futures:
                     future.cancel()
+        # Submission order keeps the recovery pass deterministic regardless
+        # of which chunk happened to break first.
+        order = {id(job): i for i, job in enumerate(jobs)}
+        for job in sorted(suspects, key=lambda job: order[id(job)]):
+            with ProcessPoolExecutor(max_workers=1) as rescue:
+                try:
+                    yield from rescue.submit(_run_chunk, run_one, (job,)).result()
+                except BrokenProcessPool:
+                    yield job.job_id, WorkerCrash(job_id=job.job_id)
 
 
 class AsyncioBackend(ExecutionBackend):

@@ -22,6 +22,7 @@ layer, so new orchestrators can reuse the backends wholesale.
 from __future__ import annotations
 
 import abc
+from dataclasses import dataclass
 from typing import Any, Callable, ClassVar, Iterable, Iterator, Protocol, runtime_checkable
 
 from ..exceptions import ConfigurationError
@@ -31,8 +32,10 @@ __all__ = [
     "ExecutionBackend",
     "ProgressCallback",
     "SupportsJobId",
+    "WorkerCrash",
     "backend_from_spec",
     "backend_names",
+    "crash_message",
     "register_backend",
 ]
 
@@ -46,6 +49,39 @@ class SupportsJobId(Protocol):
     """Anything a backend can schedule: a spec with a stable integer id."""
 
     job_id: int
+
+
+def crash_message(job_id: int) -> str:
+    """Canonical description of a job whose worker died.
+
+    One string shared by every path that reports a worker death — the
+    process pool's broken-pool recovery here, and the in-process crash
+    injection in :mod:`repro.faults` — so a crashed job condenses into the
+    same error record no matter which backend ran it.
+    """
+    return f"worker crash while executing job {int(job_id)}"
+
+
+@dataclass(frozen=True)
+class WorkerCrash:
+    """Marker record: the worker executing this job died mid-run.
+
+    A backend that can *observe* worker death without being able to get a
+    real record out of the corpse (the process pool after a hard ``os._exit``
+    or OOM kill) yields ``(job_id, WorkerCrash(job_id))`` instead of raising
+    and abandoning the batch.  The
+    :class:`~repro.execution.controller.RunController` converts the marker
+    through its ``on_error`` hook into an ordinary failure record (or raises
+    :class:`~repro.exceptions.WorkerCrashError` when no hook is set), so
+    crashes journal and resume exactly like any other failed job.
+    """
+
+    job_id: int
+
+    @property
+    def message(self) -> str:
+        """The canonical crash description for this job."""
+        return crash_message(self.job_id)
 
 
 class ExecutionBackend(ContentRepr, abc.ABC):

@@ -21,12 +21,13 @@ concerns every backend would otherwise duplicate:
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from functools import partial
 from typing import Any, Callable, Iterable
 
-from ..exceptions import ConfigurationError
-from .base import ExecutionBackend, ProgressCallback, SupportsJobId
+from ..exceptions import ConfigurationError, WorkerCrashError
+from .base import ExecutionBackend, ProgressCallback, SupportsJobId, WorkerCrash, crash_message
 from .checkpoint import CheckpointJournal
 
 __all__ = ["RetryPolicy", "RunController", "guarded_runner"]
@@ -34,29 +35,55 @@ __all__ = ["RetryPolicy", "RunController", "guarded_runner"]
 
 @dataclass(frozen=True)
 class RetryPolicy:
-    """How many times a raising job is attempted before it becomes a record.
+    """How a raising job is re-attempted before it becomes a record.
+
+    This is *runner-level* retry: the whole ``run_one(job)`` call is
+    repeated inside the worker, and — unlike the simulated-clock probe
+    retries of :class:`~repro.instrument.resilience.ProbeRetryPolicy` —
+    its backoff and elapsed budget are genuine **wall-clock** waits,
+    because the faults it targets (flaky I/O in a future remote backend, a
+    custom runner's network call) live in real time.  The defaults (no
+    backoff, no budget) keep behaviour bit-identical to a bare retry loop.
 
     ``max_attempts=1`` (the default) means no retries: the first exception
     is final.  Retries re-run the same deterministically seeded job, so
-    they only help against transient faults *raised inside the runner*
-    (flaky I/O in a future remote backend, a custom runner's network
-    call), never against deterministic failures.  Faults that destroy the
-    worker itself (an OOM kill breaking the process pool) cannot be
-    retried from within it — they propagate to the parent, where the
-    checkpoint journal plus resume is the recovery path.
+    they never help against deterministic failures.  Faults that destroy
+    the worker itself (an OOM kill or injected crash breaking the process
+    pool) cannot be retried from within it — the backend surfaces them as
+    :class:`~repro.execution.base.WorkerCrash` markers, and the checkpoint
+    journal plus resume is the recovery path.
+
+    Attributes
+    ----------
+    max_attempts:
+        Total attempts per job, including the first.
+    backoff_s:
+        Wall-clock sleep before the first retry, doubling on each further
+        retry.  ``0`` (default) retries immediately.
+    max_elapsed_s:
+        Wall-clock budget across all of a job's attempts: once exceeded,
+        no further retry is started (the attempt in progress is never
+        interrupted — in-process code cannot safely preempt a runner).
+        ``0`` (default) means unlimited.
     """
 
     max_attempts: int = 1
+    backoff_s: float = 0.0
+    max_elapsed_s: float = 0.0
 
     def __post_init__(self) -> None:
         if self.max_attempts < 1:
             raise ConfigurationError("max_attempts must be at least 1")
+        if self.backoff_s < 0:
+            raise ConfigurationError("backoff_s must be non-negative")
+        if self.max_elapsed_s < 0:
+            raise ConfigurationError("max_elapsed_s must be non-negative")
 
 
 def _guarded_run(
     run_one: Callable[[Any], Any],
     on_error: Callable[[Any, BaseException], Any] | None,
-    max_attempts: int,
+    retry: RetryPolicy,
     job: SupportsJobId,
 ) -> Any:
     """Run one job, converting a (repeatedly) raising job into a record.
@@ -67,8 +94,19 @@ def _guarded_run(
     Without ``on_error`` the retry budget still applies, but the last
     attempt's exception propagates.
     """
+    started = time.monotonic() if retry.max_elapsed_s else 0.0
+    backoff = retry.backoff_s
     last_error: BaseException | None = None
-    for _ in range(max_attempts):
+    for attempt in range(retry.max_attempts):
+        if attempt:
+            if (
+                retry.max_elapsed_s
+                and time.monotonic() - started >= retry.max_elapsed_s
+            ):
+                break
+            if backoff > 0:
+                time.sleep(backoff)
+                backoff *= 2.0
         try:
             return run_one(job)
         except Exception as exc:
@@ -86,13 +124,13 @@ def guarded_runner(
     """A picklable wrapper of ``run_one`` applying retries and isolation.
 
     ``on_error(job, exception)`` builds the failure record once
-    ``retry.max_attempts`` attempts have all raised; it must itself be
-    picklable for process-based backends (a module-level function).  With
+    ``retry.max_attempts`` attempts have all raised (or the policy's
+    wall-clock budget ran out first); it must itself be picklable for
+    process-based backends (a module-level function).  With
     ``on_error=None`` the wrapper only retries — the final exception
     propagates to the caller.
     """
-    attempts = (retry or RetryPolicy()).max_attempts
-    return partial(_guarded_run, run_one, on_error, attempts)
+    return partial(_guarded_run, run_one, on_error, retry or RetryPolicy())
 
 
 class RunController:
@@ -105,6 +143,14 @@ class RunController:
         scheduling.
     retry:
         Attempts per job before ``on_error`` is consulted; default one.
+        This retry is **runner-level** — the whole ``run_one(job)`` call
+        repeats inside the worker — and its ``backoff_s`` /
+        ``max_elapsed_s`` are **wall-clock** waits, unlike the
+        simulated-time probe retries inside a session
+        (:class:`~repro.instrument.resilience.ProbeRetryPolicy`).  Note
+        that in-process code cannot preempt a truly hung runner; the
+        worker-death path (crash markers plus journal resume) is the
+        recovery story there.
     progress:
         Optional ``(n_done, n_total, record)`` callback fired in the parent
         after every completed job.  Jobs preloaded from the journal count
@@ -153,6 +199,13 @@ class RunController:
         it, the retry budget still applies but the final exception
         propagates and aborts the run (the journal still holds every
         record that completed first).
+
+        A :class:`~repro.execution.base.WorkerCrash` marker yielded by the
+        backend (a pool worker died and took its job with it) is converted
+        here the same way: ``on_error(job, WorkerCrashError(...))`` becomes
+        the job's record — journaled, counted, and resumable like any other
+        failure — or, without ``on_error``, the
+        :class:`~repro.exceptions.WorkerCrashError` propagates.
         """
         jobs = tuple(jobs)
         wanted = {job.job_id for job in jobs}
@@ -165,12 +218,18 @@ class RunController:
                 and (self._adopt is None or self._adopt(record))
             }
         pending = tuple(job for job in jobs if job.job_id not in completed)
+        by_id = {job.job_id: job for job in pending}
         if on_error is not None or self._retry.max_attempts > 1:
             safe = guarded_runner(run_one, on_error, self._retry)
         else:
             safe = run_one
         n_done = len(completed)
         for job_id, record in self._backend.submit(pending, safe):
+            if isinstance(record, WorkerCrash):
+                error = WorkerCrashError(crash_message(job_id))
+                if on_error is None:
+                    raise error
+                record = on_error(by_id[job_id], error)
             completed[job_id] = record
             if self._journal is not None:
                 self._journal.append(job_id, record)

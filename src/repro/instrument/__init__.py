@@ -14,6 +14,7 @@ from .measurement import (
     ProbeLog,
     ProbeRecord,
 )
+from .resilience import ProbeRetryPolicy
 from .session import ExperimentSession, SessionFactory, SessionSummary
 from .timing import TimingModel, VirtualClock
 from .voltage_source import ChannelSpec, VoltageSource
@@ -26,6 +27,7 @@ __all__ = [
     "MeterSnapshot",
     "ProbeLog",
     "ProbeRecord",
+    "ProbeRetryPolicy",
     "ExperimentSession",
     "SessionFactory",
     "SessionSummary",

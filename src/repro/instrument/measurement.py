@@ -36,11 +36,18 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from ..exceptions import MeasurementError, ProbeBudgetExceededError
+from ..exceptions import (
+    CircuitBreakerOpenError,
+    InstrumentFault,
+    MeasurementError,
+    ProbeBudgetExceededError,
+    ProbeTimeoutError,
+)
 from ..physics.csd import ChargeStabilityDiagram, nearest_axis_index, uniform_axis_step
 from ..physics.dot_array import DotArrayDevice
 from ..physics.drift import DeviceDrift, DeviceDriftState
 from ..physics.noise import NoiseModel, NoNoise, TimeDependentNoise
+from .resilience import ProbeRetryPolicy
 from .timing import TimingModel, VirtualClock
 
 #: Initial column capacity of a probe log.
@@ -691,6 +698,16 @@ class ChargeSensorMeter:
     max_probes:
         Optional hard budget on physical probes; exceeding it raises
         :class:`ProbeBudgetExceededError`.
+    retry:
+        Optional :class:`~repro.instrument.resilience.ProbeRetryPolicy`
+        governing how probes against a fault-injecting backend (one
+        exposing ``plan_batch``, i.e.
+        :class:`~repro.faults.backend.FaultyBackend`) are retried.  With a
+        fault-capable backend and no policy, the first fault fails the
+        probe; with an ordinary backend the policy is inert.  Retried
+        attempts, backoffs, and tolerated stalls all charge the virtual
+        clock but never the probe budget or the log — only the attempt
+        that finally returns a value is a probe.
     """
 
     def __init__(
@@ -699,6 +716,7 @@ class ChargeSensorMeter:
         clock: VirtualClock | None = None,
         cache: bool = True,
         max_probes: int | None = None,
+        retry: ProbeRetryPolicy | None = None,
     ) -> None:
         self._backend = backend
         self._clock = clock or VirtualClock(TimingModel.paper_default())
@@ -708,6 +726,18 @@ class ChargeSensorMeter:
         self._measured = np.zeros(backend.shape, dtype=bool)
         self._value_grid = np.zeros(backend.shape, dtype=float)
         self._n_probes = 0
+        # Resilience state.  The fault-free code paths below are the exact
+        # pre-fault-injection ones — the resilient twins are only entered
+        # for a backend that can plan faults, so a clean meter stays
+        # bit-identical (and overhead-free) by construction.
+        self._retry = retry
+        self._fault_capable = hasattr(backend, "plan_batch")
+        self._n_probe_retries = 0
+        self._n_fault_events = 0
+        self._n_probes_exhausted = 0
+        self._fault_delay_s = 0.0
+        self._consecutive_failures = 0
+        self._breaker_open = False
 
     # ------------------------------------------------------------------
     @property
@@ -780,8 +810,234 @@ class ChargeSensorMeter:
         )
 
     # ------------------------------------------------------------------
+    # Fault/resilience telemetry
+    # ------------------------------------------------------------------
+    @property
+    def retry(self) -> ProbeRetryPolicy | None:
+        """The probe retry policy, if one was configured."""
+        return self._retry
+
+    @property
+    def n_probe_retries(self) -> int:
+        """Number of retried probe attempts (fault recoveries)."""
+        return self._n_probe_retries
+
+    @property
+    def n_fault_events(self) -> int:
+        """Number of failed probe attempts (errors and timeouts)."""
+        return self._n_fault_events
+
+    @property
+    def n_probes_exhausted(self) -> int:
+        """Number of probes that failed every allowed attempt."""
+        return self._n_probes_exhausted
+
+    @property
+    def fault_delay_s(self) -> float:
+        """Simulated seconds lost to faults: stalls, backoffs, dead attempts."""
+        return self._fault_delay_s
+
+    @property
+    def breaker_open(self) -> bool:
+        """Whether the circuit breaker has tripped (reset() re-arms it)."""
+        return self._breaker_open
+
+    # ------------------------------------------------------------------
+    # Resilient probing against a fault-capable backend
+    # ------------------------------------------------------------------
+    def _resilient_probe(self, row: int, col: int) -> tuple[float, float]:
+        """One physical probe through the retry loop.
+
+        Returns ``(value, completion_time)``.  Every attempt charges a full
+        probe cost; backoffs and tolerated stalls charge the clock too.  A
+        retry therefore samples a *later* timestamp — and, because fault
+        draws are keyed by timestamp, fresh fault luck — exactly like a
+        retry on real hardware.  Raises a typed
+        :class:`~repro.exceptions.InstrumentFault` when attempts are
+        exhausted or the circuit breaker trips.
+        """
+        policy = self._retry or ProbeRetryPolicy.no_retry()
+        if self._breaker_open:
+            raise CircuitBreakerOpenError(
+                "circuit breaker is open; reset() the meter to re-arm it"
+            )
+        rows = np.array([row])
+        cols = np.array([col])
+        cost = self._clock.timing.cost_per_probe_s
+        backoff = policy.backoff_s
+        last_error: Exception | None = None
+        for attempt in range(1, policy.max_attempts + 1):
+            if attempt > 1:
+                self._n_probe_retries += 1
+                if backoff > 0:
+                    self._clock.advance(backoff)
+                    self._fault_delay_s += backoff
+                    backoff *= policy.backoff_factor
+            self._clock.charge_probe()
+            scheduled = self._clock.elapsed_s
+            plan = self._backend.plan_batch(rows, cols, np.array([scheduled]))
+            disruption = plan.disruption
+            if disruption is None:
+                self._consecutive_failures = 0
+                return float(plan.values[0]), scheduled
+            tolerated_stall = disruption.error is None and (
+                policy.timeout_s is None or disruption.stall_s <= policy.timeout_s
+            )
+            if tolerated_stall:
+                # The read is late but lands: wait out the hang, keep the
+                # value the backend drew at the scheduled instant.
+                self._clock.advance(disruption.stall_s)
+                self._fault_delay_s += disruption.stall_s
+                self._consecutive_failures = 0
+                return float(plan.values[0]), self._clock.elapsed_s
+            # Failed attempt: the dwell bought nothing.
+            self._n_fault_events += 1
+            self._fault_delay_s += cost
+            if disruption.error is not None:
+                last_error = disruption.error
+            else:
+                self._clock.advance(policy.timeout_s)
+                self._fault_delay_s += policy.timeout_s
+                last_error = ProbeTimeoutError(
+                    f"probe ({row}, {col}) stalled {disruption.stall_s:.3f}s, "
+                    f"over the {policy.timeout_s:.3f}s timeout budget"
+                )
+            self._consecutive_failures += 1
+            if (
+                policy.breaker_failures
+                and self._consecutive_failures >= policy.breaker_failures
+            ):
+                self._breaker_open = True
+                raise CircuitBreakerOpenError(
+                    f"circuit breaker open after {self._consecutive_failures} "
+                    f"consecutive probe failures (last: {last_error})"
+                )
+        self._n_probes_exhausted += 1
+        raise last_error
+
+    def _get_current_resilient(self, row: int, col: int) -> float:
+        """Scalar measurement against a fault-capable backend."""
+        self._backend.validate_pixel(row, col)
+        vx, vy = self._backend.voltage_at(row, col)
+        if self._cache_enabled and self._measured[row, col]:
+            value = float(self._value_grid[row, col])
+            self._log.append_probe(
+                row, col, vx, vy, value, self._clock.elapsed_s, True
+            )
+            return value
+        if self._max_probes is not None and self._n_probes >= self._max_probes:
+            raise ProbeBudgetExceededError(
+                f"probe budget of {self._max_probes} points exhausted"
+            )
+        value, time_s = self._resilient_probe(row, col)
+        if not self._measured[row, col]:
+            self._n_probes += 1
+        self._measured[row, col] = True
+        self._value_grid[row, col] = value
+        self._log.append_probe(row, col, vx, vy, value, time_s, False)
+        return value
+
+    def _get_currents_resilient(
+        self,
+        rows: np.ndarray,
+        cols: np.ndarray,
+        physical: np.ndarray,
+        new_unique: np.ndarray,
+        stop: int,
+        n: int,
+    ) -> np.ndarray:
+        """Batched measurement against a fault-capable backend.
+
+        Optimistic vectorisation: preview the timestamps the whole pending
+        segment of physical probes *would* get, plan it in one backend
+        call, commit the fault-free prefix wholesale (bit-identical clock
+        arithmetic via :meth:`VirtualClock.preview_probes` /
+        ``charge_probes``), then push only the disrupted probe through the
+        scalar retry loop — re-planning it at the same scheduled timestamp
+        reproduces the same fault, so scalar and batched paths agree
+        bit-for-bit.  A probe that exhausts its retries commits everything
+        measured before it (cache hits included) and re-raises, mirroring
+        the mid-batch budget semantics.
+        """
+        committed_rows = rows[:stop]
+        committed_cols = cols[:stop]
+        committed_physical = physical[:stop]
+        probe_positions = np.flatnonzero(committed_physical)
+        probe_rows = committed_rows[committed_physical]
+        probe_cols = committed_cols[committed_physical]
+        n_physical = int(probe_rows.size)
+        probe_values = np.empty(n_physical, dtype=float)
+        probe_times = np.empty(n_physical, dtype=float)
+        base_elapsed = self._clock.elapsed_s
+        done = 0
+        failure: Exception | None = None
+        while done < n_physical:
+            segment = slice(done, n_physical)
+            tentative = self._clock.preview_probes(n_physical - done)
+            plan = self._backend.plan_batch(
+                probe_rows[segment], probe_cols[segment], tentative
+            )
+            disruption = plan.disruption
+            clean = (n_physical - done) if disruption is None else disruption.index
+            if clean:
+                times = self._clock.charge_probes(clean)
+                probe_values[done : done + clean] = plan.values[:clean]
+                probe_times[done : done + clean] = times
+                done += clean
+            if disruption is None:
+                continue
+            try:
+                value, time_s = self._resilient_probe(
+                    int(probe_rows[done]), int(probe_cols[done])
+                )
+            except InstrumentFault as exc:
+                failure = exc
+                break
+            probe_values[done] = value
+            probe_times[done] = time_s
+            done += 1
+        # Requests before the first uncommitted physical probe are final.
+        request_stop = stop if failure is None else int(probe_positions[done])
+        final_rows = committed_rows[:request_stop]
+        final_cols = committed_cols[:request_stop]
+        final_physical = committed_physical[:request_stop]
+        values = np.empty(request_stop, dtype=float)
+        if done:
+            measured_values = probe_values[:done]
+            values[final_physical] = measured_values
+            self._value_grid[probe_rows[:done], probe_cols[:done]] = measured_values
+            self._measured[probe_rows[:done], probe_cols[:done]] = True
+        from_cache = ~final_physical
+        if np.any(from_cache):
+            values[from_cache] = self._value_grid[
+                final_rows[from_cache], final_cols[from_cache]
+            ]
+        self._n_probes += int(np.count_nonzero(new_unique[:request_stop]))
+        times = np.concatenate(([base_elapsed], probe_times[:done]))[
+            np.cumsum(final_physical)
+        ]
+        self._log.extend(
+            final_rows,
+            final_cols,
+            self._backend.x_voltages[final_cols].astype(float),
+            self._backend.y_voltages[final_rows].astype(float),
+            values,
+            times,
+            from_cache,
+        )
+        if failure is not None:
+            raise failure
+        if stop < n:
+            raise ProbeBudgetExceededError(
+                f"probe budget of {self._max_probes} points exhausted"
+            )
+        return values
+
+    # ------------------------------------------------------------------
     def get_current(self, row: int, col: int) -> float:
         """Measure the pixel at ``(row, col)`` — the paper's Algorithm 1."""
+        if self._fault_capable:
+            return self._get_current_resilient(row, col)
         self._backend.validate_pixel(row, col)
         vx, vy = self._backend.voltage_at(row, col)
         if self._cache_enabled and self._measured[row, col]:
@@ -859,6 +1115,8 @@ class ChargeSensorMeter:
             hits = np.flatnonzero(violating)
             if hits.size:
                 stop = int(hits[0])
+        if self._fault_capable:
+            return self._get_currents_resilient(rows, cols, physical, new_unique, stop, n)
         committed_rows = rows[:stop]
         committed_cols = cols[:stop]
         committed_physical = physical[:stop]
@@ -927,8 +1185,14 @@ class ChargeSensorMeter:
         return image
 
     def reset(self) -> None:
-        """Clear the probe log, cache, and clock."""
+        """Clear the probe log, cache, clock, fault counters, and breaker."""
         self._log = ProbeLog()
         self._measured.fill(False)
         self._n_probes = 0
         self._clock.reset()
+        self._n_probe_retries = 0
+        self._n_fault_events = 0
+        self._n_probes_exhausted = 0
+        self._fault_delay_s = 0.0
+        self._consecutive_failures = 0
+        self._breaker_open = False

@@ -21,7 +21,13 @@ from ..physics.csd import ChargeStabilityDiagram, CSDSimulator, TransitionLineGe
 from ..physics.dot_array import DotArrayDevice
 from ..physics.drift import DeviceDrift
 from ..physics.noise import NoiseModel
-from .measurement import ChargeSensorMeter, DatasetBackend, DeviceBackend
+from .measurement import (
+    ChargeSensorMeter,
+    DatasetBackend,
+    DeviceBackend,
+    MeasurementBackend,
+)
+from .resilience import ProbeRetryPolicy
 from .timing import TimingModel, VirtualClock
 from .voltage_source import VoltageSource
 
@@ -145,6 +151,8 @@ class ExperimentSession:
         max_probes: int | None = None,
         drift: DeviceDrift | None = None,
         time_dependent_noise: bool = False,
+        faults=None,
+        probe_retry: ProbeRetryPolicy | None = None,
         label: str | None = None,
     ) -> "ExperimentSession":
         """Measure a simulated device on demand over a voltage grid.
@@ -154,6 +162,16 @@ class ExperimentSession:
         :class:`~repro.instrument.measurement.DeviceBackend`); the timing
         model's per-probe cost doubles as the pixel-to-seconds conversion for
         the time-dependent noise mechanisms.
+
+        ``faults`` injects deterministic lab misbehaviour: a registered
+        fault-condition name, a :class:`~repro.faults.FaultModel`, or an
+        iterable of either (see :func:`repro.faults.models_for`).  Probe-scope
+        models wrap the backend in a
+        :class:`~repro.faults.FaultyBackend` sharing the session seed
+        (reserved key branch — adding faults never reshuffles the device's
+        own noise/drift streams); worker-scope models are ignored here, the
+        campaign layer applies them.  ``probe_retry`` sets how the meter
+        rides out those faults.
         """
         simulator = CSDSimulator(
             device, dot_a=dot_a, dot_b=dot_b, gate_x=gate_x, gate_y=gate_y
@@ -168,7 +186,7 @@ class ExperimentSession:
         xs = np.linspace(x_min, x_max, n_cols)
         ys = np.linspace(y_min, y_max, n_rows)
         timing = timing or TimingModel.paper_default()
-        backend = DeviceBackend(
+        backend: MeasurementBackend = DeviceBackend(
             device,
             x_voltages=xs,
             y_voltages=ys,
@@ -180,8 +198,22 @@ class ExperimentSession:
             time_dependent_noise=time_dependent_noise,
             probe_interval_s=timing.cost_per_probe_s,
         )
+        if faults is not None:
+            # Imported here: repro.faults builds on the instrument layer, so
+            # a top-level import would be circular.
+            from ..faults import FaultyBackend, models_for, probe_fault_models
+
+            probe_models = probe_fault_models(models_for(faults))
+            if probe_models:
+                backend = FaultyBackend(backend, probe_models, seed=seed)
         clock = VirtualClock(timing, realtime=realtime)
-        meter = ChargeSensorMeter(backend, clock=clock, cache=cache, max_probes=max_probes)
+        meter = ChargeSensorMeter(
+            backend,
+            clock=clock,
+            cache=cache,
+            max_probes=max_probes,
+            retry=probe_retry,
+        )
         source = VoltageSource.for_gates(device.gate_names)
         return cls(
             meter=meter,
@@ -215,6 +247,12 @@ class SessionFactory:
     realtime: bool = False
     drift: DeviceDrift | None = None
     time_dependent_noise: bool = False
+    #: Fault injection: a registered condition name or fault model(s); probe
+    #: scope applies inside every opened session, worker scope is carried
+    #: along for the campaign layer to apply per job.
+    faults: object | None = None
+    #: How sessions ride out injected probe faults (None = fail on first).
+    probe_retry: ProbeRetryPolicy | None = None
 
     def make(
         self,
@@ -243,5 +281,7 @@ class SessionFactory:
             max_probes=self.max_probes,
             drift=self.drift,
             time_dependent_noise=self.time_dependent_noise,
+            faults=self.faults,
+            probe_retry=self.probe_retry,
             label=label or f"{self.device.name}:{gate_x}-{gate_y}",
         )

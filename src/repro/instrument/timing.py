@@ -120,6 +120,24 @@ class VirtualClock:
         self._elapsed_s = float(times[-1])
         return times
 
+    def preview_probes(self, n: int) -> np.ndarray:
+        """Timestamps :meth:`charge_probes` *would* return, without charging.
+
+        Runs the identical ``cumsum`` arithmetic, so committing any prefix
+        later via ``charge_probes(k)`` (``k <= n``) yields exactly the first
+        ``k`` previewed floats.  The meter's fault-tolerant batched path
+        uses this to plan a whole candidate batch, then charge only the
+        prefix that measured cleanly.
+        """
+        if n < 0:
+            raise ConfigurationError("cannot preview a negative number of probes")
+        if n == 0:
+            return np.zeros(0)
+        cost = self._timing.cost_per_probe_s
+        return np.cumsum(
+            np.concatenate(([self._elapsed_s], np.full(int(n), cost)))
+        )[1:]
+
     def reset(self) -> None:
         """Reset the accumulated simulated time to zero."""
         self._elapsed_s = 0.0

@@ -1,9 +1,9 @@
 """Import-time contract audit over the library's registries and records.
 
 Where the AST rules read *source*, this half audits *live objects*: every
-scenario, pipeline, and execution backend reachable from its registry, and
-every strict-JSON record class in the library, is checked against the
-contracts the campaign/checkpoint machinery relies on:
+scenario, pipeline, execution backend, and fault model reachable from its
+registry, and every strict-JSON record class in the library, is checked
+against the contracts the campaign/checkpoint machinery relies on:
 
 ``contract-pickle``
     The object round-trips ``pickle.dumps`` / ``loads`` and its class is
@@ -136,10 +136,11 @@ def _check_repr(obj: object, where: str, out: list[Violation]) -> None:
 
 
 def audit_registry_contracts() -> list[Violation]:
-    """Audit every object reachable from the three registries."""
+    """Audit every object reachable from the four registries."""
     # Imported here, not at module top: the audit inspects the campaign
     # layers, but the lint package must stay importable on its own.
     from ..execution.base import backend_from_spec, backend_names
+    from ..faults import all_faults
     from ..pipeline.registry import METHOD_ALIASES, get_pipeline, pipeline_names
     from ..scenarios.catalog import all_scenarios
 
@@ -148,6 +149,20 @@ def audit_registry_contracts() -> list[Violation]:
         where = f"scenario:{scenario.name}"
         _check_pickle(scenario, where, violations)
         _check_repr(scenario, where, violations)
+    for name, models in all_faults().items():
+        for model in models:
+            where = f"fault:{name}:{type(model).__name__}"
+            _check_pickle(model, where, violations)
+            _check_repr(model, where, violations)
+        if not models:
+            violations.append(
+                _violation(
+                    "contract-registry",
+                    f"fault:{name}",
+                    "fault condition registered with no models; selecting it "
+                    "would silently inject nothing",
+                )
+            )
     for name in pipeline_names():
         where = f"pipeline:{name}"
         pipeline = get_pipeline(name)
@@ -266,6 +281,9 @@ def _register_builtin_samples() -> None:
             failure_category="no_ground_truth",
             failure_reason="sample",
             scenario="quiet_lab",
+            # Fault-axis fields ride through the same round-trip contract.
+            fault="transient-reads",
+            n_probe_retries=2,
             stage_telemetry=(telemetry(),),
         )
 

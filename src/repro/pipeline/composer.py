@@ -9,10 +9,12 @@ strings stages together over a shared :class:`~repro.pipeline.context.TuneContex
 and assembles the final :class:`~repro.core.result.ExtractionResult`,
 reproducing the pre-pipeline extractors' semantics exactly:
 
-* a stage raising :class:`~repro.exceptions.ExtractionError` yields an
-  *unsuccessful* result carrying every artifact and telemetry row produced
-  before the failure (an extraction that fails on a device is an expected,
-  counted outcome — two of the paper's twelve benchmarks fail);
+* a stage raising :class:`~repro.exceptions.ExtractionError` — or an
+  :class:`~repro.exceptions.InstrumentFault`, when an injected fault
+  exhausts the meter's retry budget — yields an *unsuccessful* result
+  carrying every artifact and telemetry row produced before the failure
+  (an extraction that fails on a device is an expected, counted outcome —
+  two of the paper's twelve benchmarks fail);
 * a stage returning ``status="failed"`` (validation) also yields an
   unsuccessful result but keeps the rejected matrix visible for diagnosis;
 * probe statistics come from the meter's totals, so per-stage telemetry
@@ -26,7 +28,7 @@ import time
 from typing import Callable, Iterable
 
 from ..core.result import ExtractionResult, ProbeStatistics, StageTelemetry
-from ..exceptions import ExtractionError
+from ..exceptions import ExtractionError, InstrumentFault
 from ..instrument.measurement import ChargeSensorMeter
 from ..instrument.session import ExperimentSession
 from .context import Stage, StageOutcome, TuneContext
@@ -41,16 +43,18 @@ def run_stage(
 
     Costs come from diffing ``ctx.meter`` snapshots around the stage unless
     the stage's outcome carries explicit overrides (stages probing through a
-    private meter).  A stage that raises :class:`ExtractionError` still gets
-    its telemetry row (outcome ``"failed"``, costs up to the raise) before
-    the exception propagates to the caller.
+    private meter).  A stage that raises :class:`ExtractionError` — or an
+    :class:`~repro.exceptions.InstrumentFault`, the typed surface of an
+    injected fault that exhausted the meter's retry budget — still gets its
+    telemetry row (outcome ``"failed"``, costs up to the raise) before the
+    exception propagates to the caller.
     """
     meter_before = ctx.meter
     before = meter_before.snapshot() if meter_before is not None else None
     started_wall = time.perf_counter()  # repro: allow[wall-clock] -- StageTelemetry.wall_s profiling timer; normalized() pins it for determinism checks
     try:
         outcome = stage.run(ctx) or StageOutcome()
-    except ExtractionError as exc:
+    except (ExtractionError, InstrumentFault) as exc:
         telemetry.append(
             _telemetry_row(
                 stage,
@@ -230,11 +234,16 @@ class TuningPipeline:
             ctx.gate_x, ctx.gate_y = gate_names_for(ctx.meter)
         telemetry: list[StageTelemetry] = []
         failure: str | None = None
-        failure_exc: ExtractionError | None = None
+        failure_exc: Exception | None = None
         for stage in self._stages:
             try:
                 outcome = run_stage(stage, ctx, telemetry)
-            except ExtractionError as exc:
+            except (ExtractionError, InstrumentFault) as exc:
+                # InstrumentFault: an injected fault outlived the meter's
+                # retry budget (or tripped its breaker) mid-stage.  Like an
+                # extraction failure it is an expected, counted outcome —
+                # the run degrades to an unsuccessful result with telemetry
+                # intact instead of aborting the caller's campaign job.
                 failure = str(exc)
                 failure_exc = exc
                 break

@@ -21,6 +21,7 @@ from dataclasses import dataclass, field, replace
 import numpy as np
 
 from ..exceptions import ConfigurationError
+from ..instrument.resilience import ProbeRetryPolicy
 from ..instrument.session import ExperimentSession, SessionFactory
 from ..instrument.timing import TimingModel
 from ..physics.dot_array import DotArrayDevice
@@ -62,6 +63,15 @@ class LabScenario:
         (:meth:`~repro.physics.noise.NoiseModel.at_times`); when false, it is
         rendered as one static per-pixel field, the way the paper's
         replayed benchmarks bake noise into the image.
+    faults:
+        Deterministic instrument misbehaviour baked into the scenario: a
+        registered fault-condition name, a :class:`~repro.faults.FaultModel`,
+        or an iterable of either (see :func:`repro.faults.models_for`).
+        ``None`` (the default, and every built-in) keeps the scenario
+        fault-free.
+    probe_retry:
+        How sessions opened on this scenario ride out injected probe
+        faults; ``None`` fails on the first fault.
     """
 
     name: str
@@ -71,6 +81,8 @@ class LabScenario:
     drift: DeviceDrift | None = None
     timing: TimingModel = field(default_factory=TimingModel.paper_default)
     time_dependent_noise: bool = False
+    faults: object | None = None
+    probe_retry: ProbeRetryPolicy | None = None
 
     def __post_init__(self) -> None:
         if not self.name:
@@ -110,6 +122,8 @@ class LabScenario:
             max_probes=max_probes,
             drift=self.drift,
             time_dependent_noise=self.time_dependent_noise,
+            faults=self.faults,
+            probe_retry=self.probe_retry,
         )
 
     def open_session(
@@ -156,10 +170,28 @@ class LabScenario:
         noise = self.noise.describe() if self.noise is not None else "none"
         drift = self.drift.describe() if self.drift is not None else "drift(static)"
         mode = "time-dependent" if self.time_dependent_noise else "static-field"
-        return (
+        text = (
             f"{self.name}: noise={noise} [{mode}], {drift}, "
             f"probe={self.timing.cost_per_probe_s:g} s"
         )
+        if self.faults is not None:
+            injected = (
+                self.faults
+                if isinstance(self.faults, str)
+                else ", ".join(type(m).__name__ for m in _fault_models(self.faults))
+            )
+            text += f", faults={injected}"
+        return text
+
+
+def _fault_models(spec) -> tuple:
+    """Resolve a scenario's fault spec into model instances (for describe)."""
+    # Imported lazily: repro.faults builds on the instrument layer this
+    # module also imports, and keeping the import local avoids ordering
+    # sensitivity during package import.
+    from ..faults import models_for
+
+    return models_for(spec)
 
 
 # ---------------------------------------------------------------------------

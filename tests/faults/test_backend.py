@@ -1,0 +1,137 @@
+"""Tests for FaultyBackend: planning, identity guarantees, delegation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import TransientReadError
+from repro.faults import (
+    FaultyBackend,
+    ProbeHangFault,
+    TransientReadFault,
+    WorkerCrashFault,
+    probe_fault_models,
+)
+from repro.instrument import ExperimentSession, ProbeRetryPolicy
+from repro.scenarios import DeviceSpec
+
+RETRY = ProbeRetryPolicy(max_attempts=5, backoff_s=0.1, timeout_s=3.0)
+
+
+def _device():
+    return DeviceSpec.of("double_dot", cross_coupling=(0.25, 0.22)).build()
+
+
+def _session(faults=None, probe_retry=None, seed=7, resolution=24):
+    return ExperimentSession.from_device(
+        _device(),
+        resolution=resolution,
+        seed=seed,
+        faults=faults,
+        probe_retry=probe_retry,
+    )
+
+
+class TestFaultyBackendSurface:
+    def test_rejects_worker_scope_models(self):
+        inner = _session().meter.backend
+        with pytest.raises(ValueError, match="worker-scope"):
+            FaultyBackend(inner, (WorkerCrashFault(rate=0.5),), seed=7)
+
+    def test_probe_fault_models_filters_scope(self):
+        models = (TransientReadFault(), WorkerCrashFault())
+        assert probe_fault_models(models) == (models[0],)
+
+    def test_delegates_inner_attributes(self):
+        session = _session(faults="transient-reads", probe_retry=RETRY)
+        backend = session.meter.backend
+        assert isinstance(backend, FaultyBackend)
+        assert backend.gate_x_name == backend.inner.gate_x_name
+        assert backend.gate_y_name == backend.inner.gate_y_name
+        assert backend.n_pixels == backend.inner.n_pixels
+        with pytest.raises(AttributeError):
+            backend.does_not_exist
+
+    def test_is_always_time_dependent(self):
+        session = _session(faults=TransientReadFault(rate=0.0), probe_retry=RETRY)
+        assert session.meter.backend.is_time_dependent
+
+    def test_plan_batch_is_pure(self):
+        session = _session(faults="flaky-lab", probe_retry=RETRY)
+        backend = session.meter.backend
+        rows = np.arange(10)
+        cols = np.arange(10)
+        times = np.linspace(0.03, 40.0, 10)
+        first = backend.plan_batch(rows, cols, times)
+        second = backend.plan_batch(rows, cols, times)
+        np.testing.assert_array_equal(first.values, second.values)
+        assert (first.disruption is None) == (second.disruption is None)
+        if first.disruption is not None:
+            assert first.disruption.index == second.disruption.index
+            assert first.disruption.stall_s == second.disruption.stall_s
+
+    def test_direct_currents_raise_first_injected_error(self):
+        session = _session(
+            faults=TransientReadFault(rate=1.0),
+            probe_retry=ProbeRetryPolicy.no_retry(),
+        )
+        backend = session.meter.backend
+        with pytest.raises(TransientReadError, match="injected"):
+            backend.currents(
+                np.array([0, 1]), np.array([0, 1]), np.linspace(0.03, 0.06, 2)
+            )
+        with pytest.raises(TransientReadError):
+            backend.current(0, 0, time_s=0.03)
+
+
+class TestIdentityGuarantees:
+    def test_rate_zero_faults_are_bit_identical_to_clean(self):
+        clean = _session()
+        clean_image = clean.meter.acquire_full_grid()
+        zeroed = _session(
+            faults=(TransientReadFault(rate=0.0), ProbeHangFault(rate=0.0)),
+            probe_retry=RETRY,
+        )
+        zeroed_image = zeroed.meter.acquire_full_grid()
+        np.testing.assert_array_equal(clean_image, zeroed_image)
+        assert clean.meter.elapsed_s == zeroed.meter.elapsed_s
+        assert clean.meter.n_probes == zeroed.meter.n_probes
+        assert zeroed.meter.n_probe_retries == 0
+        assert zeroed.meter.n_fault_events == 0
+
+    def test_scalar_and_batched_paths_fail_identically(self):
+        batched = _session(faults="flaky-lab", probe_retry=RETRY)
+        image = batched.meter.acquire_full_grid()
+        scalar = _session(faults="flaky-lab", probe_retry=RETRY)
+        n_rows, n_cols = scalar.meter.shape
+        looped = np.array(
+            [
+                [scalar.meter.get_current(r, c) for c in range(n_cols)]
+                for r in range(n_rows)
+            ]
+        )
+        np.testing.assert_array_equal(image, looped)
+        assert batched.meter.n_probe_retries == scalar.meter.n_probe_retries
+        assert batched.meter.n_fault_events == scalar.meter.n_fault_events
+        assert batched.meter.elapsed_s == scalar.meter.elapsed_s
+
+    def test_same_seed_same_chaos(self):
+        a = _session(faults="flaky-lab", probe_retry=RETRY, seed=13)
+        b = _session(faults="flaky-lab", probe_retry=RETRY, seed=13)
+        np.testing.assert_array_equal(
+            a.meter.acquire_full_grid(), b.meter.acquire_full_grid()
+        )
+        assert a.meter.n_probe_retries == b.meter.n_probe_retries
+
+    def test_faults_never_reshuffle_inner_noise(self):
+        # The fault keys live on a reserved seed branch: wrapping must not
+        # change the device's own noise/drift draws, so a fault session
+        # that happens to see no events matches the clean session exactly.
+        clean = _session(seed=5)
+        faulty = _session(
+            faults=TransientReadFault(rate=0.0), probe_retry=RETRY, seed=5
+        )
+        np.testing.assert_array_equal(
+            clean.meter.acquire_full_grid(), faulty.meter.acquire_full_grid()
+        )

@@ -1,0 +1,185 @@
+"""Tests for the probe retry policy and the meter's resilient probe loop."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import (
+    CircuitBreakerOpenError,
+    ConfigurationError,
+    InstrumentFault,
+    ProbeTimeoutError,
+    TransientReadError,
+)
+from repro.faults import ProbeHangFault, TransientReadFault
+from repro.instrument import ExperimentSession, ProbeRetryPolicy
+from repro.scenarios import DeviceSpec
+
+
+def _session(faults, probe_retry, seed=7, resolution=16):
+    device = DeviceSpec.of("double_dot", cross_coupling=(0.25, 0.22)).build()
+    return ExperimentSession.from_device(
+        device,
+        resolution=resolution,
+        seed=seed,
+        faults=faults,
+        probe_retry=probe_retry,
+    )
+
+
+class TestProbeRetryPolicy:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"max_attempts": 0},
+            {"backoff_s": -0.1},
+            {"backoff_factor": 0.5},
+            {"timeout_s": -1.0},
+            {"breaker_failures": -1},
+        ],
+    )
+    def test_invalid_parameters_rejected(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            ProbeRetryPolicy(**kwargs)
+
+    def test_no_retry_fails_on_first_fault(self):
+        policy = ProbeRetryPolicy.no_retry()
+        assert policy.max_attempts == 1
+        assert policy.breaker_failures == 0
+
+    def test_defaults_are_simulated_time_only(self):
+        policy = ProbeRetryPolicy()
+        assert policy.backoff_s == 0.0
+        assert policy.timeout_s is None
+
+
+class TestRetryLoop:
+    def test_retries_ride_out_transient_errors(self):
+        session = _session(
+            faults=TransientReadFault(rate=0.25),
+            probe_retry=ProbeRetryPolicy(max_attempts=8, breaker_failures=0),
+            resolution=24,
+        )
+        image = session.meter.acquire_full_grid()
+        assert np.isfinite(image).all()
+        assert session.meter.n_probe_retries > 0
+        assert session.meter.n_fault_events == session.meter.n_probe_retries
+        assert session.meter.n_probes_exhausted == 0
+
+    def test_exhausted_attempts_raise_the_last_typed_error(self):
+        session = _session(
+            faults=TransientReadFault(rate=1.0),
+            probe_retry=ProbeRetryPolicy(max_attempts=3, breaker_failures=0),
+        )
+        with pytest.raises(TransientReadError, match="injected"):
+            session.meter.get_current(0, 0)
+        meter = session.meter
+        assert meter.n_probes_exhausted == 1
+        assert meter.n_probe_retries == 2
+        assert meter.n_fault_events == 3
+        # Every attempt failed, so all elapsed time was fault time.
+        assert meter.elapsed_s == pytest.approx(meter.fault_delay_s)
+
+    def test_backoff_is_charged_to_the_virtual_clock(self):
+        def elapsed_after_failure(backoff_s):
+            session = _session(
+                faults=TransientReadFault(rate=1.0),
+                probe_retry=ProbeRetryPolicy(
+                    max_attempts=3,
+                    backoff_s=backoff_s,
+                    backoff_factor=2.0,
+                    breaker_failures=0,
+                ),
+            )
+            with pytest.raises(InstrumentFault):
+                session.meter.get_current(0, 0)
+            return session.meter.elapsed_s
+
+        # Two retries back off 0.5 s then 1.0 s; everything else is equal.
+        assert elapsed_after_failure(0.5) - elapsed_after_failure(0.0) == (
+            pytest.approx(1.5)
+        )
+
+    def test_probe_timeout_budget(self):
+        session = _session(
+            faults=ProbeHangFault(rate=1.0, hang_s=5.0),
+            probe_retry=ProbeRetryPolicy(
+                max_attempts=2, timeout_s=1.0, breaker_failures=0
+            ),
+        )
+        with pytest.raises(ProbeTimeoutError, match="timeout budget"):
+            session.meter.get_current(0, 0)
+        assert session.meter.n_fault_events == 2
+
+    def test_tolerated_stall_advances_the_clock(self):
+        hang = ProbeHangFault(rate=1.0, hang_s=5.0)
+        stalled = _session(faults=hang, probe_retry=ProbeRetryPolicy())
+        clean = _session(faults=None, probe_retry=None)
+        value = stalled.meter.get_current(0, 0)
+        assert value == clean.meter.get_current(0, 0)
+        # No timeout budget: the hang is waited out, not retried.
+        assert stalled.meter.n_probe_retries == 0
+        assert stalled.meter.n_fault_events == 0
+        assert stalled.meter.fault_delay_s == pytest.approx(5.0)
+        assert stalled.meter.elapsed_s == pytest.approx(
+            clean.meter.elapsed_s + 5.0
+        )
+
+
+class TestCircuitBreaker:
+    def _failing_session(self):
+        return _session(
+            faults=TransientReadFault(rate=1.0),
+            probe_retry=ProbeRetryPolicy(max_attempts=1, breaker_failures=3),
+        )
+
+    def test_breaker_opens_after_consecutive_failures(self):
+        session = self._failing_session()
+        meter = session.meter
+        for _ in range(2):
+            with pytest.raises(TransientReadError):
+                meter.get_current(0, 0)
+        assert not meter.breaker_open
+        with pytest.raises(CircuitBreakerOpenError, match="3 consecutive"):
+            meter.get_current(0, 0)
+        assert meter.breaker_open
+
+    def test_open_breaker_short_circuits_probes(self):
+        session = self._failing_session()
+        meter = session.meter
+        for _ in range(3):
+            with pytest.raises(InstrumentFault):
+                meter.get_current(0, 0)
+        elapsed = meter.elapsed_s
+        with pytest.raises(CircuitBreakerOpenError, match="reset"):
+            meter.get_current(0, 1)
+        # Short-circuited: the backend was never touched, no time charged.
+        assert meter.elapsed_s == elapsed
+
+    def test_reset_rearms_the_breaker(self):
+        session = self._failing_session()
+        meter = session.meter
+        for _ in range(3):
+            with pytest.raises(InstrumentFault):
+                meter.get_current(0, 0)
+        assert meter.breaker_open
+        meter.reset()
+        assert not meter.breaker_open
+        assert meter.n_probe_retries == 0
+        assert meter.n_fault_events == 0
+        # Probing works again (and fails honestly, not via the breaker).
+        with pytest.raises(TransientReadError):
+            meter.get_current(0, 0)
+
+    def test_success_resets_the_consecutive_count(self):
+        session = _session(
+            faults=TransientReadFault(rate=0.15),
+            probe_retry=ProbeRetryPolicy(max_attempts=10, breaker_failures=6),
+            resolution=24,
+            seed=3,
+        )
+        image = session.meter.acquire_full_grid()
+        assert np.isfinite(image).all()
+        assert session.meter.n_fault_events >= 4
+        assert not session.meter.breaker_open

@@ -140,3 +140,35 @@ class TestSeededRegressions:
         messages = " ".join(v.message for v in flagged)
         assert "does not reconstruct an equal object" in messages
         assert "omits field(s) label" in messages
+
+
+class TestFaultRegistryAudit:
+    """The fault registry is walked like the other three."""
+
+    def test_empty_fault_condition_is_flagged(self):
+        from repro.faults import registry as fault_registry
+
+        fault_registry._REGISTRY["lint-test-empty-fault"] = ()
+        try:
+            violations = audit_registry_contracts()
+        finally:
+            del fault_registry._REGISTRY["lint-test-empty-fault"]
+        flagged = [v for v in violations if "lint-test-empty-fault" in v.path]
+        assert [v.rule for v in flagged] == ["contract-registry"]
+        assert "no models" in flagged[0].message
+
+    def test_address_repr_fault_model_is_flagged(self):
+        from repro.faults import registry as fault_registry
+
+        class _AddressReprFault:
+            scope = "probe"
+
+        fault_registry._REGISTRY["lint-test-bad-fault"] = (_AddressReprFault(),)
+        try:
+            violations = audit_registry_contracts()
+        finally:
+            del fault_registry._REGISTRY["lint-test-bad-fault"]
+        flagged = [v for v in violations if "lint-test-bad-fault" in v.path]
+        assert any(v.rule == "contract-repr" for v in flagged)
+        # Defined locally, so the pickle contract trips too.
+        assert any(v.rule == "contract-pickle" for v in flagged)

@@ -436,3 +436,62 @@ class TestMeterSnapshot:
         assert delta.n_requests == 3
         assert delta.n_cache_hits == 1
         assert delta.elapsed_s == pytest.approx(2 * 0.05)
+
+
+class TestInstrumentFaultDegradation:
+    """A session whose instrument gives out degrades, never aborts."""
+
+    def _doomed_session(self, **policy_overrides):
+        from repro.faults import TransientReadFault
+        from repro.instrument import ProbeRetryPolicy
+        from repro.scenarios import DeviceSpec
+
+        device = DeviceSpec.of("double_dot", cross_coupling=(0.25, 0.22)).build()
+        policy = dict(max_attempts=2, breaker_failures=0)
+        policy.update(policy_overrides)
+        return ExperimentSession.from_device(
+            device,
+            resolution=24,
+            seed=7,
+            faults=TransientReadFault(rate=1.0),
+            probe_retry=ProbeRetryPolicy(**policy),
+        )
+
+    def test_exhausted_retries_fail_the_stage_not_the_run(self):
+        result = get_pipeline("fast-extraction").run(self._doomed_session())
+        assert not result.success
+        assert "injected" in result.failure_reason
+        # The probing stage records a failed telemetry row with its costs.
+        assert result.stage_telemetry
+        assert result.stage_telemetry[-1].outcome == "failed"
+
+    def test_tripped_breaker_degrades_the_same_way(self):
+        result = get_pipeline("fast-extraction").run(
+            self._doomed_session(breaker_failures=2)
+        )
+        assert not result.success
+        assert "circuit breaker" in result.failure_reason
+
+    def test_failure_reasons_classify_into_the_fault_taxonomy(self):
+        from repro.campaign import classify_failure
+
+        assert (
+            classify_failure("injected transient read failure at t=1.0s", False, False)
+            == "instrument-fault"
+        )
+        assert (
+            classify_failure(
+                "circuit breaker open after 2 consecutive probe failures",
+                False,
+                False,
+            )
+            == "circuit-breaker"
+        )
+        assert (
+            classify_failure(
+                "probe (0, 0) stalled 5.000s, over the 1.000s timeout budget",
+                False,
+                False,
+            )
+            == "probe-timeout"
+        )
