@@ -1,0 +1,162 @@
+"""Benchmark: scenario-space sampling throughput and surface-campaign cost.
+
+The scenario-space stack has two performance-sensitive layers:
+
+* **sampling** — ``ScenarioSpace.sample(n, seed)`` spawns two seed children
+  and materialises a full :class:`~repro.scenarios.LabScenario` per draw.
+  The miner evaluates hundreds of draws per search, so sampling must stay
+  comfortably in the thousands-of-draws-per-second range;
+* **surfaces** — :func:`~repro.scenariospace.success_surface` fans every
+  draw through the campaign engine.  Its wall time is dominated by the
+  extractions themselves, so the surface overhead (binning, Wilson
+  intervals, report assembly) must be negligible next to the jobs.
+
+This file is both a pytest benchmark (like its siblings) and a standalone
+script for CI smoke runs and the persisted perf trajectory::
+
+    PYTHONPATH=src python benchmarks/bench_scenariospace.py --smoke
+    PYTHONPATH=src python benchmarks/bench_scenariospace.py --json BENCH_8.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+
+import pytest
+
+from repro.scenariospace import (
+    Choice,
+    Fixed,
+    LogUniform,
+    ScenarioSpace,
+    Uniform,
+    success_surface,
+)
+from repro.scenarios import DeviceSpec
+
+
+def _space(name: str = "bench") -> ScenarioSpace:
+    return ScenarioSpace(
+        name=name,
+        device=Choice(
+            options=(
+                DeviceSpec.of("double_dot"),
+                DeviceSpec.of("linear_array", n_dots=6),
+                DeviceSpec.of("grid_array", rows=2, cols=3),
+            )
+        ),
+        noise_scale=LogUniform(0.25, 4.0),
+        drift_mv_per_hour=Uniform(0.0, 30.0),
+        fault_rate=Uniform(0.0, 0.2),
+    )
+
+
+@pytest.mark.benchmark(group="scenariospace")
+def test_sampling_throughput(benchmark):
+    """Sampling hundreds of draws is instant next to running even one."""
+    space = _space()
+    draws = benchmark.pedantic(
+        lambda: space.sample(200, seed=3), rounds=3, iterations=1
+    )
+    assert len(draws) == 200
+
+
+@pytest.mark.benchmark(group="scenariospace")
+def test_surface_campaign(benchmark, write_report):
+    """A small success surface end-to-end: sample, run, bin, report."""
+    space = _space()
+    report = benchmark.pedantic(
+        lambda: success_surface(
+            space,
+            n_draws=8,
+            seed=1,
+            axes=("noise_scale", "drift_mv_per_hour"),
+            bins=2,
+            resolution=24,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    assert report.n_jobs == 8
+    write_report("scenariospace.txt", report.format())
+
+
+def run_suite(n_sample: int, n_draws: int, resolution: int) -> dict:
+    """Measure both layers and return the perf-trajectory payload."""
+    space = _space()
+
+    started = time.perf_counter()
+    draws = space.sample(n_sample, seed=3)
+    sample_s = time.perf_counter() - started
+
+    started = time.perf_counter()
+    report = success_surface(
+        space,
+        n_draws=n_draws,
+        seed=1,
+        axes=("noise_scale", "drift_mv_per_hour"),
+        bins=2,
+        resolution=resolution,
+    )
+    surface_s = time.perf_counter() - started
+
+    return {
+        "bench": "scenariospace",
+        "n_sample": n_sample,
+        "sample_s": round(sample_s, 4),
+        "draws_per_s": round(n_sample / sample_s, 1),
+        "surface_draws": n_draws,
+        "surface_resolution": resolution,
+        "surface_s": round(surface_s, 4),
+        "surface_jobs": report.n_jobs,
+        "surface_succeeded": report.n_succeeded,
+        "surface_s_per_job": round(surface_s / max(report.n_jobs, 1), 4),
+        "prefix_stable": [d.params for d in draws[:5]]
+        == [d.params for d in space.sample(5, seed=3)],
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="small sample and surface (8 draws, resolution 24) for CI",
+    )
+    parser.add_argument(
+        "--json", metavar="PATH",
+        help="write the measurements as JSON (the persisted perf trajectory)",
+    )
+    args = parser.parse_args(argv)
+
+    n_sample = 200 if args.smoke else 2000
+    n_draws = 8 if args.smoke else 48
+    stats = run_suite(n_sample, n_draws, resolution=24)
+
+    print(f"scenario-space performance (sample {n_sample}, "
+          f"surface {n_draws} draws at resolution 24):")
+    print(f"  sampling:          {stats['sample_s'] * 1e3:8.1f} ms "
+          f"({stats['draws_per_s']:.0f} draws/s)")
+    print(f"  success surface:   {stats['surface_s'] * 1e3:8.1f} ms "
+          f"({stats['surface_succeeded']}/{stats['surface_jobs']} jobs ok, "
+          f"{stats['surface_s_per_job'] * 1e3:.1f} ms/job)")
+
+    if not stats["prefix_stable"]:
+        print("ERROR: sampling is not prefix-stable")
+        return 1
+    if stats["draws_per_s"] < 50:
+        print("ERROR: sampling throughput collapsed below 50 draws/s")
+        return 1
+
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(stats, handle, indent=2)
+            handle.write("\n")
+        print(f"wrote {args.json}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

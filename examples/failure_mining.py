@@ -1,0 +1,124 @@
+"""Failure mining: hunt down tuner breakage and distil it into regressions.
+
+Hand-written test scenarios only cover the failures someone already
+imagined.  This example walks the full adversarial loop the scenario-space
+stack automates:
+
+1. **Define a space** — a seeded distribution over devices (doubles up to
+   2-D lattices), sensor noise, operating-point drift, and probe faults.
+2. **Map the terrain** — a success-rate surface over two severity axes,
+   each region annotated with a Wilson confidence interval, showing where
+   the extractor starts to break.
+3. **Mine adversarially** — a deterministic hill-climb stretches the
+   severity axes toward the highest failure rate, harvesting every failed
+   job (parameters + seed) it encounters anywhere along the search.
+4. **Distil** — shrink one harvested failure to its minimal reproducing
+   parameter vector: axes that don't matter go to zero, the load-bearing
+   axis bisects down to the smallest value that still fails.
+
+The distilled vector plus its recorded seed is a permanent regression test
+— exactly how the ``mined_*`` entries in
+:data:`repro.scenariospace.MINED_REGRESSIONS` were produced.
+
+Run with::
+
+    python examples/failure_mining.py
+"""
+
+from __future__ import annotations
+
+from repro import DeviceSpec, ScenarioSpace, mine_failures, success_surface
+from repro.scenariospace import Choice, LogUniform, Uniform, distill_failure
+from repro.scenariospace.distill import replay_failure
+
+
+def build_space() -> ScenarioSpace:
+    return ScenarioSpace(
+        name="demo",
+        device=Choice(
+            options=(
+                DeviceSpec.of("double_dot"),
+                DeviceSpec.of("linear_array", n_dots=6),
+                DeviceSpec.of("grid_array", rows=2, cols=3),
+            )
+        ),
+        noise_scale=LogUniform(0.5, 3.0),
+        drift_mv_per_hour=Uniform(0.0, 25.0),
+        fault_rate=Uniform(0.0, 0.25),
+    )
+
+
+def main() -> None:
+    space = build_space()
+
+    # 1. Sampling is deterministic: same space, same seed, same scenarios.
+    draws = space.sample(4, seed=7)
+    print(f"sampled {len(draws)} scenarios from '{space.name}':")
+    for draw in draws:
+        print(f"  {draw.scenario.name}: {draw.scenario.story}")
+    replayed = space.sample(4, seed=7)
+    assert [d.params for d in draws] == [d.params for d in replayed]
+    assert [d.seed_entropy for d in draws] == [d.seed_entropy for d in replayed]
+
+    # 2. Where does the tuner stop working?  Bin outcomes over two severity
+    # axes; each region gets a Wilson 95% interval on its success rate.
+    report = success_surface(
+        space,
+        n_draws=16,
+        seed=7,
+        axes=("noise_scale", "fault_rate"),
+        bins=2,
+        resolution=24,
+    )
+    print(f"\n{report.format()}")
+    worst = report.worst_cell()
+    print(f"worst region: {worst.n_succeeded}/{worst.n_jobs} succeeded, "
+          f"95% CI [{worst.ci_low:.2f}, {worst.ci_high:.2f}]")
+
+    # 3. Climb toward failure.  Each round stretches one severity axis up
+    # or down and keeps the stress profile with the highest failure rate;
+    # every failed job along the way is harvested with its exact seed.
+    result = mine_failures(
+        space,
+        n_rounds=2,
+        draws_per_round=8,
+        seed=7,
+        resolution=24,
+        stop_at_failure_rate=0.75,
+    )
+    print(f"\nmined {result.n_failures} failures over {len(result.rounds)} rounds:")
+    for record in result.rounds:
+        stresses = ", ".join(f"{axis} x{mult:g}" for axis, mult in record.multipliers)
+        marker = "accepted" if record.accepted else "rejected"
+        print(f"  round {record.round_index}: {record.n_failures}/{record.n_jobs} "
+              f"failed under [{stresses}] ({marker})")
+
+    if not result.failures:
+        print("no failures found — stress the space harder or mine longer")
+        return
+
+    # 4. Shrink one failure to its essence.  Axes the failure doesn't need
+    # go to zero; the rest bisect down to the smallest failing severity.
+    failure = result.failures[0]
+    distilled = distill_failure(failure)
+    print(f"\ndistilled {failure.failure_category!r} failure "
+          f"(in {distilled.n_evaluations} evaluations):")
+    print(f"  original: {failure.params}")
+    print(f"  minimal:  {distilled.minimal}")
+    if distilled.zeroed_axes():
+        print(f"  irrelevant axes zeroed: {', '.join(distilled.zeroed_axes())}")
+
+    # The contract that makes it a regression test: the minimal vector
+    # still fails on the recorded seed, in any process, forever.
+    record = replay_failure(
+        distilled.minimal,
+        failure.seed,
+        method=distilled.method,
+        resolution=distilled.resolution,
+    )
+    assert not record.success
+    print("replay check: the minimal reproducer still fails on its seed")
+
+
+if __name__ == "__main__":
+    main()

@@ -84,6 +84,16 @@ from .scenarios import (
     get_scenario,
     register_scenario,
     scenario_names,
+    temporary_scenarios,
+)
+from .scenariospace import (
+    MinedRegression,
+    ScenarioParams,
+    ScenarioSpace,
+    SurfaceReport,
+    distill_failure,
+    mine_failures,
+    success_surface,
 )
 from .seeding import spawn_seeds
 
@@ -141,5 +151,13 @@ __all__ = [
     "get_scenario",
     "register_scenario",
     "scenario_names",
+    "temporary_scenarios",
+    "MinedRegression",
+    "ScenarioParams",
+    "ScenarioSpace",
+    "SurfaceReport",
+    "distill_failure",
+    "mine_failures",
+    "success_surface",
     "__version__",
 ]

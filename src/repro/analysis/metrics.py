@@ -17,6 +17,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..core.result import ExtractionResult
+from ..exceptions import ConfigurationError
 from ..physics.csd import TransitionLineGeometry
 
 
@@ -122,3 +123,30 @@ def probe_reduction(baseline_probes: int, fast_probes: int) -> float:
     if fast_probes <= 0:
         return float("nan") if baseline_probes <= 0 else float("inf")
     return baseline_probes / float(fast_probes)
+
+
+def wilson_interval(
+    n_success: int, n_total: int, z: float = 1.96
+) -> tuple[float, float]:
+    """Wilson score confidence interval for a success proportion.
+
+    The interval of choice for the small per-region counts a success
+    surface aggregates: unlike the normal approximation it never escapes
+    [0, 1] and stays informative at 0/n and n/n.  ``(0, 1)`` for an empty
+    region — no evidence constrains nothing.
+    """
+    if n_total < 0 or n_success < 0 or n_success > n_total:
+        raise ConfigurationError(
+            f"need 0 <= n_success <= n_total, got {n_success}/{n_total}"
+        )
+    if z <= 0:
+        raise ConfigurationError(f"z must be positive, got {z!r}")
+    if n_total == 0:
+        return (0.0, 1.0)
+    p = n_success / n_total
+    denom = 1.0 + z * z / n_total
+    centre = (p + z * z / (2.0 * n_total)) / denom
+    margin = (
+        z * np.sqrt(p * (1.0 - p) / n_total + z * z / (4.0 * n_total * n_total))
+    ) / denom
+    return (max(0.0, centre - margin), min(1.0, centre + margin))

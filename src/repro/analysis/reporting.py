@@ -368,6 +368,41 @@ def format_fault_resilience(rows: list[dict]) -> str:
     )
 
 
+SURFACE_HEADERS = ["region", "", "jobs", "success", "rate", "95% CI"]
+
+
+def format_surface_table(
+    x_axis: str, y_axis: str, cells: list[dict], title: str | None = None
+) -> str:
+    """Success-surface table from per-cell dicts (see ``SurfaceCell``).
+
+    One row per region, lowest severities first; empty regions render with
+    a ``-`` rate so coverage gaps are visible rather than silently absent.
+    """
+
+    def _bounds(low: float, high: float, axis: str) -> str:
+        if low == high:
+            return f"{axis}={low:g}"
+        return f"{axis} [{low:g}, {high:g})"
+
+    rows = []
+    for cell in cells:
+        n_jobs = int(cell["n_jobs"])
+        n_succeeded = int(cell["n_succeeded"])
+        rate = f"{100.0 * n_succeeded / n_jobs:.0f}%" if n_jobs else "-"
+        rows.append(
+            [
+                _bounds(cell["x_low"], cell["x_high"], x_axis),
+                _bounds(cell["y_low"], cell["y_high"], y_axis),
+                str(n_jobs),
+                f"{n_succeeded}/{n_jobs}" if n_jobs else "-",
+                rate,
+                f"[{100.0 * cell['ci_low']:.0f}%, {100.0 * cell['ci_high']:.0f}%]",
+            ]
+        )
+    return format_table(SURFACE_HEADERS, rows, title=title)
+
+
 def format_campaign_summary(summary: dict) -> str:
     """Aggregate block of a campaign (see ``CampaignResult.summary``).
 

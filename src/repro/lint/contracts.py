@@ -304,10 +304,44 @@ def _register_builtin_samples() -> None:
             snippet="t = time.time()",
         )
 
+    from ..scenariospace.space import ScenarioParams
+    from ..scenariospace.surface import SurfaceCell, SurfaceReport
+    from ..scenarios.devices import DeviceSpec
+
+    def scenario_params() -> ScenarioParams:
+        return ScenarioParams(
+            device=DeviceSpec(factory="grid_array", kwargs=(("cols", 3), ("rows", 2))),
+            noise_scale=1.5,
+            drift_mv_per_hour=12.0,
+            fault_rate=0.08,
+            time_dependent=True,
+        )
+
+    def surface_cell() -> SurfaceCell:
+        # An *empty* cell on purpose: n_jobs=0 exercises the nan-free
+        # encoding guarantee (success_rate is a property, never a field).
+        return SurfaceCell(
+            x_low=0.5, x_high=1.75, y_low=0.0, y_high=0.15,
+            n_jobs=0, n_succeeded=0, ci_low=0.0, ci_high=1.0,
+        )
+
+    def surface_report() -> SurfaceReport:
+        return SurfaceReport(
+            space="sample-space",
+            x_axis="noise_scale",
+            y_axis="fault_rate",
+            n_draws=12,
+            seed=7,
+            cells=(surface_cell(),),
+        )
+
     register_contract_sample(StageTelemetry, telemetry)
     register_contract_sample(CampaignJobRecord, record)
     register_contract_sample(CampaignResult, result)
     register_contract_sample(Violation, lint_violation)
+    register_contract_sample(ScenarioParams, scenario_params)
+    register_contract_sample(SurfaceCell, surface_cell)
+    register_contract_sample(SurfaceReport, surface_report)
 
 
 def audit_record_contracts() -> list[Violation]:

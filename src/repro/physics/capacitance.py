@@ -374,3 +374,47 @@ class CapacitanceModel:
                     cdg[i, j] = next_nearest_cross_fraction * cg
         names = tuple(f"{gate_prefix}{i + 1}" for i in range(n_dots))
         return cls(dot_dot=cdd, dot_gate=cdg, gate_names=names)
+
+    @classmethod
+    def grid_lattice(
+        cls,
+        rows: int,
+        cols: int,
+        charging_energy_mev: float = 3.0,
+        mutual_fraction: float = 0.12,
+        plunger_lever_arm: float = 0.10,
+        nearest_cross_fraction: float = 0.25,
+        next_nearest_cross_fraction: float = 0.05,
+        gate_prefix: str = "P",
+    ) -> "CapacitanceModel":
+        """Build a ``rows x cols`` 2-D lattice with one plunger gate per dot.
+
+        Dots are indexed row-major (dot ``r * cols + c`` sits at lattice site
+        ``(r, c)``); mutual capacitance couples 4-connected neighbours, and
+        plunger cross-capacitance decays with Manhattan distance exactly as
+        :meth:`linear_array` decays it with chain distance — a linear array
+        is the ``rows == 1`` special case.
+        """
+        if rows < 1 or cols < 1:
+            raise CapacitanceModelError("grid_lattice needs rows >= 1 and cols >= 1")
+        if charging_energy_mev <= 0:
+            raise CapacitanceModelError("charging energy must be positive")
+        n_dots = rows * cols
+        c_total = constants.E_SQUARED_OVER_AF_IN_MEV / charging_energy_mev
+        cm = mutual_fraction * c_total
+        sites = [(i // cols, i % cols) for i in range(n_dots)]
+        cdd = np.zeros((n_dots, n_dots))
+        cg = plunger_lever_arm * c_total
+        cdg = np.zeros((n_dots, n_dots))
+        for i, (ri, ci) in enumerate(sites):
+            cdd[i, i] = c_total
+            cdg[i, i] = cg
+            for j, (rj, cj) in enumerate(sites):
+                distance = abs(ri - rj) + abs(ci - cj)
+                if distance == 1:
+                    cdd[i, j] = -cm
+                    cdg[i, j] = nearest_cross_fraction * cg
+                elif distance == 2:
+                    cdg[i, j] = next_nearest_cross_fraction * cg
+        names = tuple(f"{gate_prefix}{i + 1}" for i in range(n_dots))
+        return cls(dot_dot=cdd, dot_gate=cdg, gate_names=names)

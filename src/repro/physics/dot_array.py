@@ -61,6 +61,7 @@ class DotArrayDevice:
         gate_specs: tuple[GateSpec, ...] | None = None,
         max_electrons_per_dot: int = 3,
         name: str = "device",
+        adjacency: tuple[tuple[int, int], ...] | None = None,
     ) -> None:
         self._capacitance = capacitance
         self._solver = ChargeStateSolver(
@@ -93,6 +94,22 @@ class DotArrayDevice:
             )
         self._gate_specs = tuple(gate_specs)
         self._name = name
+        if adjacency is not None:
+            edges = tuple((int(a), int(b)) for a, b in adjacency)
+            for a, b in edges:
+                if not (0 <= a < capacitance.n_dots and 0 <= b < capacitance.n_dots):
+                    raise DeviceModelError(
+                        f"adjacency edge ({a}, {b}) references a dot outside "
+                        f"0..{capacitance.n_dots - 1}"
+                    )
+                if a >= b:
+                    raise DeviceModelError(
+                        f"adjacency edges must be ordered pairs (a < b), got ({a}, {b})"
+                    )
+            if len(set(edges)) != len(edges):
+                raise DeviceModelError("adjacency must not repeat edges")
+            adjacency = edges
+        self._adjacency = adjacency
 
     # ------------------------------------------------------------------
     # Introspection
@@ -141,18 +158,29 @@ class DotArrayDevice:
         """Resolve a gate by index or name."""
         return self._capacitance.gate_index(gate)
 
+    @property
+    def adjacency(self) -> tuple[tuple[int, int], ...] | None:
+        """Explicit dot-adjacency edges, or ``None`` for the linear chain."""
+        return self._adjacency
+
     def neighbour_pairs(self) -> tuple[tuple[int, int, str, str], ...]:
         """``(dot_a, dot_b, gate_x, gate_y)`` for every neighbouring pair.
 
         The pairwise virtual gate procedure (paper §2.3) visits exactly
-        these ``n - 1`` pairs; the array extractor and the campaign grid
-        both enumerate them through this single helper.
+        one pair per adjacency edge; the array extractor and the campaign
+        grid both enumerate them through this single helper.  Devices built
+        without an explicit ``adjacency`` (every linear array) use the
+        chain ``(i, i + 1)`` edges; 2-D lattices supply their 4-connected
+        edge list so the procedure walks real neighbours instead of
+        pairing a row's last dot with the next row's first.
         """
         plungers = self.gate_names[: self.n_dots]
-        return tuple(
-            (i, i + 1, plungers[i], plungers[i + 1])
-            for i in range(self.n_dots - 1)
+        edges = (
+            self._adjacency
+            if self._adjacency is not None
+            else tuple((i, i + 1) for i in range(self.n_dots - 1))
         )
+        return tuple((a, b, plungers[a], plungers[b]) for a, b in edges)
 
     # ------------------------------------------------------------------
     # Physics queries
@@ -316,3 +344,56 @@ class DotArrayDevice:
         kwargs.setdefault("n_dots", 4)
         kwargs.setdefault("name", "quadruple-dot")
         return cls.linear_array(**kwargs)
+
+    @classmethod
+    def grid_array(
+        cls,
+        rows: int = 2,
+        cols: int = 3,
+        nearest_cross_fraction: float = 0.25,
+        next_nearest_cross_fraction: float = 0.05,
+        charging_energy_mev: float = 3.0,
+        voltage_range: tuple[float, float] = (0.0, 1.0),
+        name: str | None = None,
+    ) -> "DotArrayDevice":
+        """A ``rows x cols`` 2-D dot lattice with one plunger per dot.
+
+        Dots are indexed row-major; :meth:`neighbour_pairs` walks the
+        lattice's 4-connected edges in sorted ``(dot_a, dot_b)`` order,
+        so the pairwise extraction visits every physical neighbour bond —
+        ``rows * (cols - 1) + (rows - 1) * cols`` pairs, more than the
+        ``n - 1`` of a chain with the same dot count.
+        """
+        if rows < 1 or cols < 1:
+            raise DeviceModelError("grid_array needs rows >= 1 and cols >= 1")
+        capacitance = CapacitanceModel.grid_lattice(
+            rows=rows,
+            cols=cols,
+            charging_energy_mev=charging_energy_mev,
+            nearest_cross_fraction=nearest_cross_fraction,
+            next_nearest_cross_fraction=next_nearest_cross_fraction,
+        )
+        n_dots = rows * cols
+        site = lambda r, c: r * cols + c  # noqa: E731
+        edges: list[tuple[int, int]] = []
+        for r in range(rows):
+            for c in range(cols):
+                if c + 1 < cols:
+                    edges.append((site(r, c), site(r, c + 1)))
+        for r in range(rows):
+            for c in range(cols):
+                if r + 1 < rows:
+                    edges.append((site(r, c), site(r + 1, c)))
+        sensor = ChargeSensor.with_sensitivity(n_dots=n_dots, n_gates=n_dots)
+        low, high = voltage_range
+        specs = tuple(
+            GateSpec(name=gate, min_voltage=low, max_voltage=high)
+            for gate in capacitance.gate_names
+        )
+        return cls(
+            capacitance=capacitance,
+            sensor=sensor,
+            gate_specs=specs,
+            name=name or f"{rows}x{cols}-lattice",
+            adjacency=tuple(sorted(edges)),
+        )

@@ -36,7 +36,7 @@ change a single bit of the sampled noise.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Sequence
 
 import numpy as np
@@ -44,6 +44,12 @@ from scipy.special import ndtri
 
 from ..exceptions import ConfigurationError
 from .events import ExponentialEventStream, require_finite as _require_finite
+
+
+def _require_scale_factor(factor: float) -> None:
+    """Validate a noise scale factor (finite, non-negative)."""
+    if not np.isfinite(factor) or factor < 0:
+        raise ConfigurationError("noise scale factor must be finite and non-negative")
 
 
 class TimeDependentNoise:
@@ -66,12 +72,54 @@ class TimeDependentNoise:
         return type(self).__name__
 
 
+#: Amplitude parameters (all in nA) recognised by the default
+#: :meth:`NoiseModel.scaled` implementation.  Structural parameters —
+#: spectral exponents, dwell times, timescales — are deliberately absent:
+#: scaling a model changes how *loud* the mechanism is, never its shape,
+#: which is what keeps the scaled model's time-dependent samples exactly
+#: ``factor`` times the unscaled ones at every timestamp.
+AMPLITUDE_FIELDS: tuple[str, ...] = (
+    "sigma_na",
+    "amplitude_na",
+    "ramp_na",
+    "sine_amplitude_na",
+)
+
+
 class NoiseModel:
     """Base class for additive noise fields over a pixel grid."""
 
     def sample_grid(self, shape: tuple[int, int], rng: np.random.Generator) -> np.ndarray:
         """Return an additive noise field of the requested shape (in nA)."""
         raise NotImplementedError
+
+    def scaled(self, factor: float) -> "NoiseModel":
+        """This mechanism with every amplitude multiplied by ``factor``.
+
+        The contract — relied on by :meth:`repro.scenarios.catalog.LabScenario.scaled`
+        and the campaign noise axis — is that for the same seed the scaled
+        model samples exactly ``factor`` times the unscaled model's values,
+        in both the static-grid and time-dependent surfaces: only amplitude
+        parameters change, so every structural random draw (hash keys,
+        phases, switching times) is consumed identically.
+
+        The default implementation scales the :data:`AMPLITUDE_FIELDS` a
+        dataclass subclass declares; models with other parameterisations
+        (or non-dataclass models) override this method.
+        """
+        _require_scale_factor(factor)
+        updates = {
+            name: getattr(self, name) * factor
+            for name in AMPLITUDE_FIELDS
+            if hasattr(self, name)
+        }
+        if not updates:
+            raise ConfigurationError(
+                f"cannot scale noise model {type(self).__name__}: it exposes "
+                f"no known amplitude field ({', '.join(AMPLITUDE_FIELDS)}); "
+                "override NoiseModel.scaled to make it scalable"
+            )
+        return replace(self, **updates)
 
     def at_times(
         self, rng: np.random.Generator, probe_interval_s: float = 0.05
@@ -109,6 +157,10 @@ class NoNoise(NoiseModel):
         self, rng: np.random.Generator, probe_interval_s: float = 0.05
     ) -> TimeDependentNoise:
         return _ZeroTemporal()
+
+    def scaled(self, factor: float) -> "NoiseModel":
+        _require_scale_factor(factor)
+        return self
 
     def describe(self) -> str:
         return "none"
@@ -332,6 +384,15 @@ class CompositeNoise(NoiseModel):
         for component in self._components:
             field = field + component.sample_grid(shape, rng)
         return field
+
+    def scaled(self, factor: float) -> "NoiseModel":
+        # Every component is scaled in place (never dropped): the component
+        # count determines how at_times spawns child streams, so removing a
+        # silenced component would reshuffle its siblings' randomness.
+        _require_scale_factor(factor)
+        return CompositeNoise(
+            [component.scaled(factor) for component in self._components]
+        )
 
     def at_times(
         self, rng: np.random.Generator, probe_interval_s: float = 0.05

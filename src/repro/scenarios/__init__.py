@@ -33,6 +33,8 @@ from .catalog import (
     scaled_scenario,
     scenario_catalogue,
     scenario_names,
+    temporary_scenarios,
+    unregister_scenario,
 )
 from .devices import DEVICE_FACTORIES, DeviceSpec
 
@@ -46,6 +48,8 @@ __all__ = [
     "scaled_scenario",
     "scenario_catalogue",
     "scenario_names",
+    "temporary_scenarios",
+    "unregister_scenario",
     "DEVICE_FACTORIES",
     "DeviceSpec",
 ]

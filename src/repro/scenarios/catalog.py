@@ -16,6 +16,7 @@ entries, and the built-ins below double as examples of the vocabulary.
 
 from __future__ import annotations
 
+from contextlib import contextmanager
 from dataclasses import dataclass, field, replace
 
 import numpy as np
@@ -29,7 +30,6 @@ from ..physics.drift import DeviceDrift
 from ..physics.noise import (
     CompositeNoise,
     NoiseModel,
-    NoNoise,
     PinkNoise,
     TelegraphNoise,
     WhiteNoise,
@@ -156,14 +156,25 @@ class LabScenario:
         """This scenario with its noise amplitude scaled.
 
         Scale 1 is the scenario as-is; scale 0 keeps drift and timing but
-        silences the additive noise.  Registry-free, so it works on scenario
-        objects shipped into worker processes.
+        silences the additive noise.  Scaling is delegated to
+        :meth:`~repro.physics.noise.NoiseModel.scaled`, so custom noise
+        models participate by overriding that method, and the scaled
+        scenario's time-dependent samples are exactly ``noise_scale`` times
+        the originals at every probe timestamp.  Registry-free, so it works
+        on scenario objects shipped into worker processes.
         """
         if noise_scale < 0 or not np.isfinite(noise_scale):
             raise ConfigurationError("noise_scale must be finite and non-negative")
         if noise_scale == 1.0 or self.noise is None:
             return self
-        return replace(self, noise=_scale_noise(self.noise, noise_scale))
+        scaled = _scale_noise(self.noise, noise_scale)
+        if scaled is None:
+            # Silenced entirely: drop the time-dependence flag with the
+            # noise it described, so the scaled scenario does not pay the
+            # per-probe-timestamp sampling path to evaluate a zero field
+            # (device drift keeps its own time-dependence independently).
+            return replace(self, noise=None, time_dependent_noise=False)
+        return replace(self, noise=scaled)
 
     def describe(self) -> str:
         """One-line summary used in reports and metadata."""
@@ -220,6 +231,41 @@ def get_scenario(name: str) -> LabScenario:
         raise ConfigurationError(
             f"unknown scenario {name!r}; known: {', '.join(scenario_names())}"
         ) from None
+
+
+def unregister_scenario(name: str) -> LabScenario:
+    """Remove a scenario from the registry, returning it."""
+    try:
+        return _REGISTRY.pop(name)
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown scenario {name!r}; known: {', '.join(scenario_names())}"
+        ) from None
+
+
+@contextmanager
+def temporary_scenarios(*scenarios: LabScenario):
+    """Register scenarios for the duration of a ``with`` block.
+
+    Campaign workers resolve scenarios by name, so anything sampled on the
+    fly (scenario-space draws, miner candidates) must pass through the
+    registry to run.  This keeps those entries from leaking into the
+    catalogue: on exit each name is restored to whatever it mapped to
+    before the block, whether that was absent or a registered scenario.
+    """
+    previous: dict[str, LabScenario | None] = {}
+    try:
+        for scenario in scenarios:
+            if scenario.name not in previous:
+                previous[scenario.name] = _REGISTRY.get(scenario.name)
+            register_scenario(scenario, overwrite=True)
+        yield scenarios
+    finally:
+        for name, original in previous.items():
+            if original is None:
+                _REGISTRY.pop(name, None)
+            else:
+                _REGISTRY[name] = original
 
 
 def scenario_names() -> tuple[str, ...]:
@@ -382,24 +428,12 @@ def scaled_scenario(name: str, noise_scale: float) -> LabScenario:
 
 
 def _scale_noise(model: NoiseModel, factor: float) -> NoiseModel | None:
-    """Scale a noise model's amplitude parameters by ``factor``."""
+    """Scale a noise model's amplitude parameters by ``factor``.
+
+    Scale 0 silences the model entirely (returns ``None``); any other scale
+    delegates to :meth:`~repro.physics.noise.NoiseModel.scaled`, so custom
+    subclasses participate by overriding that hook.
+    """
     if factor == 0.0:
         return None
-    if isinstance(model, NoNoise):
-        return model
-    if isinstance(model, CompositeNoise):
-        return CompositeNoise(
-            [_scale_noise(component, factor) for component in model.components]
-        )
-    amplitude_fields = ("sigma_na", "amplitude_na", "ramp_na", "sine_amplitude_na")
-    updates = {
-        name: getattr(model, name) * factor
-        for name in amplitude_fields
-        if hasattr(model, name)
-    }
-    if not updates:
-        raise ConfigurationError(
-            f"cannot scale noise model {type(model).__name__}; it exposes no "
-            f"known amplitude field ({', '.join(amplitude_fields)})"
-        )
-    return replace(model, **updates)
+    return model.scaled(factor)

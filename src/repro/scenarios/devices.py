@@ -23,6 +23,7 @@ DEVICE_FACTORIES: dict[str, str] = {
     "double_dot": "double_dot",
     "linear_array": "linear_array",
     "quadruple_dot": "quadruple_dot",
+    "grid_array": "grid_array",
 }
 
 

@@ -1,0 +1,168 @@
+"""Seeded samplers for scenario-space axes.
+
+Each sampler is a small frozen dataclass — hashable, picklable, with a
+content-based repr — that turns a :class:`numpy.random.Generator` into one
+drawn value.  A :class:`~repro.scenariospace.space.ScenarioSpace` holds one
+sampler per axis; the adversarial miner perturbs spaces by *rescaling*
+samplers (:meth:`Sampler.scaled`), so the numeric families implement that
+hook and the categorical one rejects it loudly.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..exceptions import ConfigurationError
+
+
+def _require_finite(name: str, value: float) -> None:
+    if not math.isfinite(value):
+        raise ConfigurationError(f"{name} must be finite, got {value!r}")
+
+
+@dataclass(frozen=True)
+class Sampler:
+    """Base class for one scenario-space axis."""
+
+    def draw(self, rng: np.random.Generator):
+        """One value from this sampler's distribution."""
+        raise NotImplementedError
+
+    @property
+    def support(self) -> tuple[float, float]:
+        """``(low, high)`` bounds of the values :meth:`draw` can return.
+
+        Used by the success-surface binner to lay out deterministic bin
+        edges without inspecting the drawn values.  Categorical samplers
+        have no numeric support and raise.
+        """
+        raise NotImplementedError
+
+    def scaled(self, factor: float) -> "Sampler":
+        """This sampler with its numeric range scaled by ``factor``.
+
+        The miner's mutation primitive: stretching an axis's range toward
+        higher severity.  Categorical samplers reject scaling — a mined
+        multiplier has no meaning over unordered options.
+        """
+        raise ConfigurationError(
+            f"{type(self).__name__} cannot be scaled; only numeric samplers "
+            "participate in severity mutation"
+        )
+
+
+def _require_scalable(factor: float) -> None:
+    if not math.isfinite(factor) or factor <= 0:
+        raise ConfigurationError(
+            f"sampler scale factor must be finite and positive, got {factor!r}"
+        )
+
+
+@dataclass(frozen=True)
+class Fixed(Sampler):
+    """Degenerate sampler: always the same value (numeric or not)."""
+
+    value: object = 0.0
+
+    def draw(self, rng: np.random.Generator):
+        return self.value
+
+    @property
+    def support(self) -> tuple[float, float]:
+        if not isinstance(self.value, (int, float)):
+            raise ConfigurationError(
+                f"Fixed({self.value!r}) has no numeric support"
+            )
+        return (float(self.value), float(self.value))
+
+    def scaled(self, factor: float) -> "Sampler":
+        _require_scalable(factor)
+        if not isinstance(self.value, (int, float)):
+            return super().scaled(factor)  # raises the categorical error
+        return Fixed(value=float(self.value) * factor)
+
+
+@dataclass(frozen=True)
+class Uniform(Sampler):
+    """Continuous uniform draw over ``[low, high]``."""
+
+    low: float = 0.0
+    high: float = 1.0
+
+    def __post_init__(self) -> None:
+        _require_finite("low", self.low)
+        _require_finite("high", self.high)
+        if self.high < self.low:
+            raise ConfigurationError(
+                f"Uniform needs low <= high, got [{self.low}, {self.high}]"
+            )
+
+    def draw(self, rng: np.random.Generator) -> float:
+        return float(rng.uniform(self.low, self.high))
+
+    @property
+    def support(self) -> tuple[float, float]:
+        return (self.low, self.high)
+
+    def scaled(self, factor: float) -> "Sampler":
+        _require_scalable(factor)
+        return Uniform(low=self.low * factor, high=self.high * factor)
+
+
+@dataclass(frozen=True)
+class LogUniform(Sampler):
+    """Log-uniform draw over ``[low, high]`` (both strictly positive).
+
+    The natural family for severity knobs spanning decades — a noise scale
+    swept from 0.1x to 10x should visit each decade equally often, which a
+    linear uniform would not.
+    """
+
+    low: float = 0.1
+    high: float = 10.0
+
+    def __post_init__(self) -> None:
+        _require_finite("low", self.low)
+        _require_finite("high", self.high)
+        if self.low <= 0:
+            raise ConfigurationError("LogUniform needs low > 0")
+        if self.high < self.low:
+            raise ConfigurationError(
+                f"LogUniform needs low <= high, got [{self.low}, {self.high}]"
+            )
+
+    def draw(self, rng: np.random.Generator) -> float:
+        return float(
+            math.exp(rng.uniform(math.log(self.low), math.log(self.high)))
+        )
+
+    @property
+    def support(self) -> tuple[float, float]:
+        return (self.low, self.high)
+
+    def scaled(self, factor: float) -> "Sampler":
+        _require_scalable(factor)
+        return LogUniform(low=self.low * factor, high=self.high * factor)
+
+
+@dataclass(frozen=True)
+class Choice(Sampler):
+    """Uniform draw over a fixed tuple of options (device recipes, names)."""
+
+    options: tuple = ()
+
+    def __post_init__(self) -> None:
+        if not self.options:
+            raise ConfigurationError("Choice needs at least one option")
+
+    def draw(self, rng: np.random.Generator):
+        return self.options[int(rng.integers(0, len(self.options)))]
+
+    @property
+    def support(self) -> tuple[float, float]:
+        raise ConfigurationError(
+            "Choice is categorical; it has no numeric support"
+        )

@@ -1,0 +1,143 @@
+"""The distilled-failure corpus: mined regressions, registered forever.
+
+Every entry below was found by :func:`~repro.scenariospace.mining.mine_failures`
+against the default scenario space and shrunk by
+:func:`~repro.scenariospace.distill.distill_failure` to the minimal
+parameter vector that still reproduces the failure on its recorded seed.
+Each is registered as a permanent named scenario at import, so the lint
+contract audit walks it like any catalogue entry, and
+``tests/scenarios/test_mined_regressions.py`` replays it against the
+golden expectations in ``tests/golden/mined_regressions.json``.
+
+``status`` is the ledger: ``"open"`` entries are still-broken — the suite
+asserts the failure *still reproduces* (and flags the happy day it stops);
+``"fixed"`` entries assert the once-failing job now succeeds, pinning the
+fix.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..exceptions import ConfigurationError
+from ..scenarios.catalog import LabScenario, register_scenario
+from ..scenarios.devices import DeviceSpec
+from .distill import replay_failure
+from .space import ScenarioParams, scenario_from_params
+
+
+@dataclass(frozen=True)
+class MinedRegression:
+    """One distilled failure, committed as a permanent regression."""
+
+    name: str
+    story: str
+    params: ScenarioParams
+    seed_entropy: int
+    seed_spawn_key: tuple[int, ...]
+    method: str
+    resolution: int
+    failure_category: str
+    status: str = "open"
+
+    def __post_init__(self) -> None:
+        if self.status not in ("open", "fixed"):
+            raise ConfigurationError(
+                f"regression status must be 'open' or 'fixed', got {self.status!r}"
+            )
+
+    @property
+    def seed(self) -> np.random.SeedSequence:
+        """The session seed the failure was mined under."""
+        return np.random.SeedSequence(
+            entropy=self.seed_entropy, spawn_key=self.seed_spawn_key
+        )
+
+    def scenario(self) -> LabScenario:
+        """The regression's lab scenario (as registered)."""
+        return scenario_from_params(self.name, self.params)
+
+
+def regression_record(regression: MinedRegression, criterion=None):
+    """Replay a regression's job; the suite asserts on the returned record."""
+    return replay_failure(
+        regression.params,
+        regression.seed,
+        method=regression.method,
+        resolution=regression.resolution,
+        criterion=criterion,
+        name=regression.name,
+    )
+
+
+#: The corpus.  Append-only by convention: a fixed failure flips its
+#: ``status`` rather than vanishing, so the suite keeps pinning the fix.
+#: All three were mined from the ``stress`` space (seed 11, step 1.6) and
+#: distilled to minimal parameter vectors; note how distillation zeroed
+#: every axis the failure did not actually need.
+MINED_REGRESSIONS: tuple[MinedRegression, ...] = (
+    MinedRegression(
+        name="mined_transient_flood",
+        story=(
+            "Mined: a clean, drift-free double dot where a 22% transient "
+            "read-fault rate alone exhausts the probe retry budget."
+        ),
+        params=ScenarioParams(
+            device=DeviceSpec(factory="double_dot"),
+            noise_scale=0.0,
+            drift_mv_per_hour=0.0,
+            fault_rate=0.21940166970281652,
+            time_dependent=True,
+        ),
+        seed_entropy=11,
+        seed_spawn_key=(0, 0, 1),
+        method="fast",
+        resolution=24,
+        failure_category="instrument-fault",
+    ),
+    MinedRegression(
+        name="mined_drifting_octet",
+        story=(
+            "Mined: an 8-dot chain under 4.3x lab noise and 19.5 mV/h "
+            "operating-point drift extracts coefficients that no longer "
+            "match the ground truth."
+        ),
+        params=ScenarioParams(
+            device=DeviceSpec(factory="linear_array", kwargs=(("n_dots", 8),)),
+            noise_scale=4.348569891713092,
+            drift_mv_per_hour=19.524518710169584,
+            fault_rate=0.0,
+            time_dependent=True,
+        ),
+        seed_entropy=11,
+        seed_spawn_key=(1, 0, 1),
+        method="fast",
+        resolution=24,
+        failure_category="truth-mismatch",
+    ),
+    MinedRegression(
+        name="mined_noisy_quad",
+        story=(
+            "Mined: a quadruple dot where 2.9x time-dependent lab noise by "
+            "itself — no drift, no faults — silently corrupts the fit."
+        ),
+        params=ScenarioParams(
+            device=DeviceSpec(factory="quadruple_dot"),
+            noise_scale=2.9284980299530443,
+            drift_mv_per_hour=0.0,
+            fault_rate=0.0,
+            time_dependent=True,
+        ),
+        seed_entropy=11,
+        seed_spawn_key=(3, 7, 1),
+        method="fast",
+        resolution=24,
+        failure_category="truth-mismatch",
+    ),
+)
+
+
+for _regression in MINED_REGRESSIONS:
+    register_scenario(_regression.scenario())

@@ -170,6 +170,52 @@ class TestLinearArray:
         with pytest.raises(CapacitanceModelError):
             CapacitanceModel.linear_array(n_dots=0)
         with pytest.raises(CapacitanceModelError):
+            CapacitanceModel.grid_lattice(rows=0, cols=3)
+        with pytest.raises(CapacitanceModelError):
+            CapacitanceModel.grid_lattice(rows=2, cols=3, charging_energy_mev=0.0)
+
+
+class TestGridLattice:
+    def test_shapes_and_names(self):
+        model = CapacitanceModel.grid_lattice(rows=2, cols=3)
+        assert model.n_dots == 6
+        assert model.n_gates == 6
+        assert model.gate_names == ("P1", "P2", "P3", "P4", "P5", "P6")
+
+    def test_mutual_capacitance_only_on_lattice_bonds(self):
+        model = CapacitanceModel.grid_lattice(rows=2, cols=3)
+        cdd = model.dot_dot
+        sites = [(i // 3, i % 3) for i in range(6)]
+        for i, (ri, ci) in enumerate(sites):
+            for j, (rj, cj) in enumerate(sites):
+                if i == j:
+                    continue
+                distance = abs(ri - rj) + abs(ci - cj)
+                if distance == 1:
+                    assert cdd[i, j] < 0.0
+                else:
+                    assert cdd[i, j] == 0.0
+
+    def test_cross_coupling_decays_with_manhattan_distance(self):
+        model = CapacitanceModel.grid_lattice(rows=2, cols=3)
+        cdg = model.dot_gate
+        # dot 0 sits at (0, 0): gate 1 is distance 1, gate 4 distance 2,
+        # gate 5 distance 3 (beyond the modelled range).
+        assert cdg[0, 0] > cdg[0, 1] > cdg[0, 4] > cdg[0, 5] == 0.0
+
+    def test_single_row_matches_linear_array(self):
+        grid = CapacitanceModel.grid_lattice(rows=1, cols=4)
+        chain = CapacitanceModel.linear_array(n_dots=4)
+        np.testing.assert_allclose(grid.dot_dot, chain.dot_dot)
+        np.testing.assert_allclose(grid.dot_gate, chain.dot_gate)
+
+    def test_charging_energy_matches_request(self):
+        model = CapacitanceModel.grid_lattice(
+            rows=2, cols=2, charging_energy_mev=4.0, mutual_fraction=0.0
+        )
+        energies = model.charging_energies_mev()
+        np.testing.assert_allclose(energies, 4.0, rtol=1e-6)
+        with pytest.raises(CapacitanceModelError):
             CapacitanceModel.linear_array(n_dots=2, charging_energy_mev=-1.0)
         with pytest.raises(CapacitanceModelError):
             CapacitanceModel.double_dot(mutual_fraction=0.7)

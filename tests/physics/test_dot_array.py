@@ -82,6 +82,81 @@ class TestLinearArray:
             assert 0 < alpha_12 < 1
             assert 0 < alpha_21 < 1
 
+    def test_six_dot_chain_has_five_pairs(self):
+        device = DotArrayDevice.linear_array(n_dots=6)
+        pairs = device.neighbour_pairs()
+        assert [(a, b) for a, b, _, _ in pairs] == [(i, i + 1) for i in range(5)]
+        assert device.adjacency is None
+
+
+class TestGridArray:
+    def test_factory_shapes_and_name(self):
+        device = DotArrayDevice.grid_array(rows=2, cols=3)
+        assert device.n_dots == 6
+        assert device.n_gates == 6
+        assert device.name == "2x3-lattice"
+
+    def test_neighbour_pairs_walk_lattice_bonds(self):
+        device = DotArrayDevice.grid_array(rows=2, cols=3)
+        bonds = [(a, b) for a, b, _, _ in device.neighbour_pairs()]
+        assert bonds == [(0, 1), (0, 3), (1, 2), (1, 4), (2, 5), (3, 4), (4, 5)]
+        assert len(bonds) == 2 * (3 - 1) + (2 - 1) * 3
+
+    def test_pair_gate_names_match_dots(self):
+        device = DotArrayDevice.grid_array(rows=2, cols=2)
+        for a, b, gate_a, gate_b in device.neighbour_pairs():
+            assert gate_a == device.gate_names[a]
+            assert gate_b == device.gate_names[b]
+
+    def test_all_bonds_have_ground_truth(self):
+        device = DotArrayDevice.grid_array(rows=2, cols=3)
+        for a, b, gate_a, gate_b in device.neighbour_pairs():
+            alpha_ab, alpha_ba = device.ground_truth_alphas(a, b, gate_a, gate_b)
+            assert 0 < alpha_ab < 1
+            assert 0 < alpha_ba < 1
+
+    def test_single_row_grid_matches_chain_topology(self):
+        grid = DotArrayDevice.grid_array(rows=1, cols=4)
+        chain = DotArrayDevice.linear_array(n_dots=4)
+        grid_bonds = [(a, b) for a, b, _, _ in grid.neighbour_pairs()]
+        chain_bonds = [(a, b) for a, b, _, _ in chain.neighbour_pairs()]
+        assert grid_bonds == chain_bonds
+
+    def test_invalid_shape_rejected(self):
+        with pytest.raises(DeviceModelError):
+            DotArrayDevice.grid_array(rows=0, cols=3)
+
+
+class TestExplicitAdjacency:
+    def test_custom_adjacency_overrides_chain(self, double_dot_device):
+        device = DotArrayDevice(
+            capacitance=double_dot_device.capacitance,
+            adjacency=((0, 1),),
+        )
+        assert device.adjacency == ((0, 1),)
+        assert [(a, b) for a, b, _, _ in device.neighbour_pairs()] == [(0, 1)]
+
+    def test_out_of_range_edge_rejected(self, double_dot_device):
+        with pytest.raises(DeviceModelError):
+            DotArrayDevice(
+                capacitance=double_dot_device.capacitance,
+                adjacency=((0, 2),),
+            )
+
+    def test_unordered_edge_rejected(self, double_dot_device):
+        with pytest.raises(DeviceModelError):
+            DotArrayDevice(
+                capacitance=double_dot_device.capacitance,
+                adjacency=((1, 0),),
+            )
+
+    def test_duplicate_edge_rejected(self, double_dot_device):
+        with pytest.raises(DeviceModelError):
+            DotArrayDevice(
+                capacitance=double_dot_device.capacitance,
+                adjacency=((0, 1), (0, 1)),
+            )
+
     def test_gate_spec_count_mismatch_rejected(self, double_dot_device):
         with pytest.raises(DeviceModelError):
             DotArrayDevice(

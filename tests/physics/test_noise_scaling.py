@@ -1,0 +1,179 @@
+"""Tests for ``NoiseModel.scaled`` across every noise family.
+
+The scaling hook must be *linear in the sampled field*: for any factor f,
+``model.scaled(f)`` sampled from a given seed equals ``f *`` the original
+model sampled from the same seed — in both the static-grid and the
+time-dependent surfaces.  Anything weaker would make
+``LabScenario.scaled`` change the noise's character, not just its size.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.physics import (
+    CompositeNoise,
+    DriftNoise,
+    NoNoise,
+    PinkNoise,
+    TelegraphNoise,
+    WhiteNoise,
+)
+from repro.physics.noise import AMPLITUDE_FIELDS, NoiseModel
+from repro.scenarios import LabScenario
+from repro.scenarios.catalog import _scale_noise
+
+SHAPE = (32, 24)
+TIMES = np.linspace(0.0, 90.0, 25)
+
+MODELS = [
+    NoNoise(),
+    WhiteNoise(sigma_na=0.04),
+    PinkNoise(sigma_na=0.03, exponent=1.3),
+    TelegraphNoise(amplitude_na=0.06, mean_dwell_pixels=40.0),
+    DriftNoise(ramp_na=0.05, sine_amplitude_na=0.02, sine_periods=2.0),
+    CompositeNoise(
+        [
+            WhiteNoise(sigma_na=0.01),
+            TelegraphNoise(amplitude_na=0.03, mean_dwell_pixels=25.0),
+            DriftNoise(ramp_na=0.02),
+        ]
+    ),
+]
+
+
+def _ids(model: NoiseModel) -> str:
+    return type(model).__name__
+
+
+@pytest.mark.parametrize("model", MODELS, ids=_ids)
+@pytest.mark.parametrize("factor", [0.5, 2.0])
+class TestScaledIsLinear:
+    def test_grid_field_scales_linearly(self, model, factor):
+        base = model.sample_grid(SHAPE, np.random.default_rng(11))
+        scaled = model.scaled(factor).sample_grid(SHAPE, np.random.default_rng(11))
+        np.testing.assert_allclose(scaled, factor * base, atol=1e-12)
+
+    def test_temporal_samples_scale_linearly(self, model, factor):
+        base = model.at_times(np.random.default_rng(23)).sample_at(TIMES)
+        scaled = model.scaled(factor).at_times(np.random.default_rng(23)).sample_at(TIMES)
+        np.testing.assert_allclose(scaled, factor * base, atol=1e-12)
+
+
+@pytest.mark.parametrize("model", MODELS, ids=_ids)
+class TestScaledContract:
+    def test_preserves_type(self, model):
+        assert type(model.scaled(1.5)) is type(model)
+
+    def test_identity_factor_round_trips(self, model):
+        assert repr(model.scaled(1.0)) == repr(model)
+
+    @pytest.mark.parametrize("factor", [-1.0, float("nan"), float("inf")])
+    def test_rejects_bad_factor(self, model, factor):
+        with pytest.raises(ConfigurationError):
+            model.scaled(factor)
+
+
+class TestPerFamilyFields:
+    def test_nonoise_returns_self(self):
+        model = NoNoise()
+        assert model.scaled(3.0) is model
+
+    def test_white_scales_sigma(self):
+        assert WhiteNoise(sigma_na=0.02).scaled(2.0).sigma_na == pytest.approx(0.04)
+
+    def test_pink_keeps_exponent(self):
+        scaled = PinkNoise(sigma_na=0.02, exponent=1.4).scaled(0.5)
+        assert scaled.sigma_na == pytest.approx(0.01)
+        assert scaled.exponent == 1.4
+
+    def test_telegraph_keeps_dwell(self):
+        scaled = TelegraphNoise(amplitude_na=0.1, mean_dwell_pixels=80.0).scaled(0.25)
+        assert scaled.amplitude_na == pytest.approx(0.025)
+        assert scaled.mean_dwell_pixels == 80.0
+
+    def test_drift_scales_both_amplitudes_keeps_shape(self):
+        model = DriftNoise(
+            ramp_na=0.04, sine_amplitude_na=0.02, sine_periods=3.0, timescale_s=120.0
+        )
+        scaled = model.scaled(2.0)
+        assert scaled.ramp_na == pytest.approx(0.08)
+        assert scaled.sine_amplitude_na == pytest.approx(0.04)
+        assert scaled.sine_periods == 3.0
+        assert scaled.timescale_s == 120.0
+
+    def test_composite_preserves_component_count_and_order(self):
+        model = CompositeNoise([NoNoise(), WhiteNoise(sigma_na=0.02)])
+        scaled = model.scaled(2.0)
+        assert [type(c) for c in scaled.components] == [NoNoise, WhiteNoise]
+        assert scaled.components[1].sigma_na == pytest.approx(0.04)
+
+
+@dataclass(frozen=True)
+class _Lorentzian(NoiseModel):
+    """Custom subclass with a non-standard amplitude parameterisation."""
+
+    height_na: float = 0.05
+
+    def sample_grid(self, shape, rng):
+        return np.full(shape, self.height_na)
+
+    def scaled(self, factor: float) -> NoiseModel:
+        return _Lorentzian(height_na=self.height_na * factor)
+
+
+@dataclass(frozen=True)
+class _Unscalable(NoiseModel):
+    """Custom subclass that declares no known amplitude field."""
+
+    knob: float = 1.0
+
+    def sample_grid(self, shape, rng):
+        return np.zeros(shape)
+
+
+class TestCustomSubclasses:
+    def test_override_participates_in_scale_noise(self):
+        scaled = _scale_noise(_Lorentzian(height_na=0.05), 2.0)
+        assert scaled.height_na == pytest.approx(0.10)
+
+    def test_default_rejects_unknown_parameterisation(self):
+        with pytest.raises(ConfigurationError, match="amplitude field"):
+            _Unscalable().scaled(2.0)
+
+    def test_error_names_every_known_field(self):
+        with pytest.raises(ConfigurationError) as excinfo:
+            _Unscalable().scaled(2.0)
+        for name in AMPLITUDE_FIELDS:
+            assert name in str(excinfo.value)
+
+
+class TestScenarioScaled:
+    def test_zero_scale_drops_time_dependence(self):
+        scenario = LabScenario(
+            name="_scaling_probe",
+            story="temporal noise for the scaling tests",
+            noise=WhiteNoise(sigma_na=0.03),
+            time_dependent_noise=True,
+        )
+        silenced = scenario.scaled(0.0)
+        assert silenced.noise is None
+        assert silenced.time_dependent_noise is False
+
+    def test_nonzero_scale_keeps_time_dependence(self):
+        scenario = LabScenario(
+            name="_scaling_probe",
+            story="temporal noise for the scaling tests",
+            noise=WhiteNoise(sigma_na=0.03),
+            time_dependent_noise=True,
+        )
+        scaled = scenario.scaled(0.5)
+        assert scaled.noise.sigma_na == pytest.approx(0.015)
+        assert scaled.time_dependent_noise is True
+
+    def test_scale_noise_zero_returns_none(self):
+        assert _scale_noise(WhiteNoise(sigma_na=0.03), 0.0) is None

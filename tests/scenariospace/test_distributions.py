@@ -1,0 +1,92 @@
+"""Tests for the scenario-space samplers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.scenariospace import Choice, Fixed, LogUniform, Uniform
+
+
+@pytest.fixture()
+def rng():
+    return np.random.default_rng(3)
+
+
+class TestFixed:
+    def test_draws_value(self, rng):
+        assert Fixed(value=2.5).draw(rng) == 2.5
+
+    def test_support_degenerate(self):
+        assert Fixed(value=2.5).support == (2.5, 2.5)
+
+    def test_scaled(self):
+        assert Fixed(value=2.0).scaled(3.0) == Fixed(value=6.0)
+
+    def test_non_numeric_support_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Fixed(value="grid").support
+
+    def test_non_numeric_scaling_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Fixed(value="grid").scaled(2.0)
+
+
+class TestUniform:
+    def test_draws_within_support(self, rng):
+        sampler = Uniform(low=1.0, high=3.0)
+        values = [sampler.draw(rng) for _ in range(50)]
+        assert all(1.0 <= v <= 3.0 for v in values)
+
+    def test_scaled_stretches_both_ends(self):
+        assert Uniform(1.0, 3.0).scaled(2.0) == Uniform(2.0, 6.0)
+
+    def test_inverted_bounds_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Uniform(low=3.0, high=1.0)
+
+    @pytest.mark.parametrize("factor", [0.0, -1.0, float("nan"), float("inf")])
+    def test_bad_scale_factor_rejected(self, factor):
+        with pytest.raises(ConfigurationError):
+            Uniform(1.0, 2.0).scaled(factor)
+
+
+class TestLogUniform:
+    def test_draws_within_support(self, rng):
+        sampler = LogUniform(low=0.1, high=10.0)
+        values = [sampler.draw(rng) for _ in range(100)]
+        assert all(0.1 <= v <= 10.0 for v in values)
+
+    def test_spans_decades_roughly_equally(self, rng):
+        sampler = LogUniform(low=0.01, high=100.0)
+        values = np.array([sampler.draw(rng) for _ in range(2000)])
+        below_one = np.sum(values < 1.0)
+        # Log-uniform over 4 decades puts half the mass below the midpoint
+        # decade; a linear uniform would put ~1% there.
+        assert 800 < below_one < 1200
+
+    def test_nonpositive_low_rejected(self):
+        with pytest.raises(ConfigurationError):
+            LogUniform(low=0.0, high=1.0)
+
+    def test_scaled(self):
+        assert LogUniform(0.5, 2.0).scaled(2.0) == LogUniform(1.0, 4.0)
+
+
+class TestChoice:
+    def test_draws_only_options(self, rng):
+        sampler = Choice(options=("a", "b", "c"))
+        assert {sampler.draw(rng) for _ in range(60)} == {"a", "b", "c"}
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Choice(options=())
+
+    def test_no_numeric_support(self):
+        with pytest.raises(ConfigurationError):
+            Choice(options=(1, 2)).support
+
+    def test_scaling_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Choice(options=(1, 2)).scaled(2.0)
