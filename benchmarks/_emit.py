@@ -1,0 +1,24 @@
+"""Shared JSON emitter for the benchmark perf trajectory.
+
+Every benchmark that persists a ``BENCH_*.json`` payload goes through
+:func:`emit_json`, so the files all share one format contract: UTF-8,
+two-space indent, a trailing newline, and strict JSON (``allow_nan=False``
+— a NaN ratio would silently poison :mod:`benchmarks.perf_gate`'s
+comparisons, better to fail at write time).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+
+def emit_json(stats: dict, path: str) -> None:
+    """Write one benchmark payload to ``path`` and announce it."""
+    parent = os.path.dirname(path)
+    if parent:
+        os.makedirs(parent, exist_ok=True)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(stats, handle, indent=2, allow_nan=False)
+        handle.write("\n")
+    print(f"wrote {path}")

@@ -8,7 +8,7 @@ fixed grid, checks every cell against the serial reference, and reports
 throughput (jobs/s) per cell.
 
 This file is both a pytest benchmark (like its siblings) and a standalone
-script for CI smoke runs::
+script for CI smoke runs and the persisted perf trajectory::
 
     PYTHONPATH=src python benchmarks/bench_backends.py --smoke
     PYTHONPATH=src python benchmarks/bench_backends.py --jobs 40 --workers 1 2 4
@@ -20,6 +20,7 @@ import argparse
 import sys
 
 import pytest
+from _emit import emit_json
 
 from repro.analysis.reporting import format_table
 from repro.campaign import CampaignGrid, DeviceSpec, TuningCampaign
@@ -121,6 +122,10 @@ def main(argv: list[str] | None = None) -> int:
         "--workers", type=int, nargs="+", default=[2, 4],
         help="worker counts to sweep per parallel backend",
     )
+    parser.add_argument(
+        "--json", metavar="PATH",
+        help="write the measurements as JSON (the persisted perf trajectory)",
+    )
     args = parser.parse_args(argv)
 
     if args.smoke:
@@ -140,6 +145,27 @@ def main(argv: list[str] | None = None) -> int:
         print("ERROR: some backend produced records differing from serial")
         return 1
     print("determinism check: every backend cell matches the serial reference")
+
+    if args.json:
+        emit_json(
+            {
+                "bench": "backends",
+                "n_jobs": grid.n_jobs,
+                "worker_counts": list(worker_counts),
+                "all_identical": all_identical,
+                "cells": [
+                    {
+                        "backend": row["backend"],
+                        "workers": row["workers"],
+                        "wall_s": round(row["wall_s"], 4),
+                        "jobs_per_s": round(row["jobs_per_s"], 2),
+                        "identical": row["identical"],
+                    }
+                    for row in rows
+                ],
+            },
+            args.json,
+        )
     return 0
 
 

@@ -6,8 +6,14 @@ expansion, not to execution order), and on a multi-core machine the wall
 time drops roughly with the worker count because the jobs are independent
 CPU-bound extractions fanned out over a process pool.
 
+A second section measures the kernel cache on a repeat-heavy serial campaign
+(same device, window, and resolution re-measured across repeats and noise
+scales, only the seeds differing): the cached run must reproduce the
+uncached records exactly and cut wall time by >= 2x, because the noise-free
+physics kernel is solved once and every later job re-reads it.
+
 This file is both a pytest benchmark (like its siblings) and a standalone
-script for CI smoke runs::
+script for CI smoke runs and the persisted perf trajectory::
 
     PYTHONPATH=src python benchmarks/bench_campaign.py --quick
     PYTHONPATH=src python benchmarks/bench_campaign.py --jobs 50 --workers 4
@@ -17,10 +23,16 @@ from __future__ import annotations
 
 import argparse
 import sys
+import time
 
 import pytest
+from _emit import emit_json
 
 from repro.campaign import CampaignGrid, DeviceSpec, TuningCampaign
+from repro.kernelcache import clear_kernel_cache, configure_kernel_cache
+
+#: Wall-time speedup the kernel cache must reach on the repeat-heavy grid.
+TARGET_CACHE_SPEEDUP = 2.0
 
 
 def build_grid(n_repeats: int, seed: int = 2024) -> CampaignGrid:
@@ -59,6 +71,75 @@ def records_identical(a, b) -> bool:
     )
 
 
+def build_cache_grid(n_repeats: int, resolution: int, seed: int = 2024) -> CampaignGrid:
+    """A repeat-heavy grid where every job shares one physics kernel.
+
+    A single 6-dot chain at one resolution: the dense-grid baseline method
+    re-rasterises the same window for every repeat and noise scale, so the
+    noise-free kernel is the dominant cost and the cache's best case.
+    """
+    return CampaignGrid(
+        devices=(DeviceSpec.of("linear_array", n_dots=6),),
+        resolutions=(resolution,),
+        noise_scales=(0.0, 1.0),
+        methods=("baseline",),
+        n_repeats=n_repeats,
+        seed=seed,
+    )
+
+
+def compare_kernel_cache(n_repeats: int, resolution: int) -> dict:
+    """Serial repeat-heavy campaign with the kernel cache off, then on.
+
+    Returns wall times, the speedup, and record equality.  The process-wide
+    cache is cleared before each run and left enabled (the library default)
+    afterwards.
+    """
+    grid = build_cache_grid(n_repeats, resolution)
+
+    def run(enabled: bool):
+        clear_kernel_cache()
+        configure_kernel_cache(enabled=enabled)
+        started = time.perf_counter()
+        result = TuningCampaign(grid, backend="serial").run()
+        return result, time.perf_counter() - started
+
+    try:
+        uncached, uncached_s = run(enabled=False)
+        cached, cached_s = run(enabled=True)
+    finally:
+        clear_kernel_cache()
+        configure_kernel_cache(enabled=True)
+    return {
+        "cache_jobs": grid.n_jobs,
+        "cache_resolution": resolution,
+        "cache_off_s": round(uncached_s, 4),
+        "cache_on_s": round(cached_s, 4),
+        "cache_speedup_x": round(uncached_s / max(cached_s, 1e-12), 2),
+        "cache_records_identical": records_identical(uncached, cached),
+    }
+
+
+@pytest.mark.benchmark(group="campaign")
+def test_kernel_cache_records_identical(write_report):
+    """Cached and uncached campaigns agree record for record."""
+    stats = compare_kernel_cache(n_repeats=2, resolution=40)
+    write_report(
+        "campaign_cache.txt",
+        "\n".join(
+            [
+                f"repeat-heavy grid: {stats['cache_jobs']} jobs at "
+                f"{stats['cache_resolution']}x{stats['cache_resolution']}",
+                f"cache off: {stats['cache_off_s']:.3f}s",
+                f"cache on:  {stats['cache_on_s']:.3f}s "
+                f"({stats['cache_speedup_x']:.2f}x)",
+                f"records identical: {stats['cache_records_identical']}",
+            ]
+        ),
+    )
+    assert stats["cache_records_identical"]
+
+
 @pytest.mark.benchmark(group="campaign")
 def test_campaign_parallel_determinism(benchmark, write_report):
     """Sequential and 2-worker campaigns agree job for job."""
@@ -85,6 +166,10 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument("--jobs", type=int, default=56, help="approximate job count")
     parser.add_argument("--workers", type=int, default=4, help="parallel worker count")
+    parser.add_argument(
+        "--json", metavar="PATH",
+        help="write the measurements as JSON (the persisted perf trajectory)",
+    )
     args = parser.parse_args(argv)
 
     if args.quick:
@@ -109,6 +194,42 @@ def main(argv: list[str] | None = None) -> int:
         print("ERROR: parallel records differ from the sequential reference")
         return 1
     print("determinism check: sequential and parallel records are identical")
+
+    cache = compare_kernel_cache(
+        n_repeats=2 if args.quick else 8,
+        resolution=40 if args.quick else 100,
+    )
+    print(f"kernel cache (serial, {cache['cache_jobs']} repeat-heavy jobs at "
+          f"{cache['cache_resolution']}x{cache['cache_resolution']}):")
+    print(f"  cache off: {cache['cache_off_s']:.2f}s")
+    print(f"  cache on:  {cache['cache_on_s']:.2f}s "
+          f"({cache['cache_speedup_x']:.2f}x)")
+
+    if not cache["cache_records_identical"]:
+        print("ERROR: cached records differ from the uncached reference")
+        return 1
+    print("determinism check: cached and uncached records are identical")
+    if not args.quick and cache["cache_speedup_x"] < TARGET_CACHE_SPEEDUP:
+        print(f"ERROR: cache speedup {cache['cache_speedup_x']:.2f}x below the "
+              f"{TARGET_CACHE_SPEEDUP:.0f}x target")
+        return 1
+
+    if args.json:
+        emit_json(
+            {
+                "bench": "campaign",
+                "n_jobs": grid.n_jobs,
+                "workers": workers,
+                "sequential_s": round(sequential.wall_time_s, 4),
+                "parallel_s": round(parallel.wall_time_s, 4),
+                "parallel_speedup_x": round(
+                    sequential.wall_time_s / max(parallel.wall_time_s, 1e-9), 2
+                ),
+                "records_identical": True,
+                **cache,
+            },
+            args.json,
+        )
     return 0
 
 

@@ -21,12 +21,12 @@ script for CI smoke runs and the persisted perf trajectory::
 from __future__ import annotations
 
 import argparse
-import json
 import sys
 import time
 
 import numpy as np
 import pytest
+from _emit import emit_json
 
 from repro.faults import ProbeHangFault, TransientReadFault
 from repro.instrument import ExperimentSession, ProbeRetryPolicy
@@ -39,12 +39,15 @@ RATE_ZERO = (TransientReadFault(rate=0.0), ProbeHangFault(rate=0.0))
 
 def _session(faults=None, probe_retry=None, resolution=63, seed=7):
     device = DeviceSpec.of("double_dot", cross_coupling=(0.25, 0.22)).build()
+    # kernel_cache off: this benchmark isolates fault-wrapping overhead, and
+    # a shared kernel would let later sessions ride the first one's solves.
     return ExperimentSession.from_device(
         device,
         resolution=resolution,
         seed=seed,
         faults=faults,
         probe_retry=probe_retry,
+        kernel_cache=False,
     )
 
 
@@ -157,10 +160,7 @@ def main(argv: list[str] | None = None) -> int:
         return 1
 
     if args.json:
-        with open(args.json, "w", encoding="utf-8") as handle:
-            json.dump(stats, handle, indent=2)
-            handle.write("\n")
-        print(f"wrote {args.json}")
+        emit_json(stats, args.json)
     return 0
 
 

@@ -8,11 +8,16 @@ observable effect is wall-clock speed — the full-grid acquisition that
 dominates the Hough baseline drops from 10,000 Python-level probes to one
 vectorised evaluation, targeting >= 10x on a 100x100 double-dot device grid.
 
+A second section measures the solver's bound-certified pruning on a larger
+array: rasterising a 6-dot chain's default CSD window must touch >= 5x fewer
+lattice scores than full enumeration while staying exactly equal, occupation
+by occupation.
+
 This file is both a pytest benchmark (like its siblings) and a standalone
-script for CI smoke runs::
+script for CI smoke runs and the persisted perf trajectory::
 
     PYTHONPATH=src python benchmarks/bench_probe_path.py --smoke
-    PYTHONPATH=src python benchmarks/bench_probe_path.py --resolution 100
+    PYTHONPATH=src python benchmarks/bench_probe_path.py --resolution 100 --json out.json
 """
 
 from __future__ import annotations
@@ -23,20 +28,35 @@ import time
 
 import numpy as np
 import pytest
+from _emit import emit_json
 
 from repro.instrument import ChargeSensorMeter, DeviceBackend
-from repro.physics import DotArrayDevice, WhiteNoise
+from repro.physics import ChargeStateSolver, CSDSimulator, DotArrayDevice, WhiteNoise
 
 #: Speedup the batched full-grid acquisition must reach at 100x100.
 TARGET_SPEEDUP = 10.0
 
+#: Lattice-score reduction the pruned solver must reach on a 6-dot chain's
+#: default window at 100x100 (it lands around 30x in practice).
+TARGET_PRUNE_RATIO = 5.0
+
+#: Dots in the pruning-section device; 6 gives a 4096-state lattice.
+PRUNE_DOTS = 6
+
 
 def build_meter(resolution: int, seed: int = 7) -> ChargeSensorMeter:
-    """A meter over a noisy double-dot device backend at the given resolution."""
+    """A meter over a noisy double-dot device backend at the given resolution.
+
+    The kernel cache is pinned off: this benchmark times the probe *path*
+    (batch vs scalar Python overhead), and a shared kernel would let the
+    second meter ride the first one's solves.
+    """
     device = DotArrayDevice.double_dot(cross_coupling=(0.25, 0.22))
     xs = np.linspace(0.0, 0.05, resolution)
     ys = np.linspace(0.0, 0.05, resolution)
-    backend = DeviceBackend(device, xs, ys, noise=WhiteNoise(0.05), seed=seed)
+    backend = DeviceBackend(
+        device, xs, ys, noise=WhiteNoise(0.05), seed=seed, kernel_cache=False
+    )
     return ChargeSensorMeter(backend)
 
 
@@ -91,6 +111,70 @@ def compare_paths(resolution: int) -> tuple[float, float, list[str]]:
     return scalar_s, batch_s, problems
 
 
+def compare_pruning(resolution: int, n_dots: int = PRUNE_DOTS) -> dict:
+    """Rasterise one device window with and without solver pruning.
+
+    Returns the comparison payload: wall times, lattice-score counts for both
+    solvers (the pruned side pays for bound evaluations too, so its count is
+    ``n_state_scores + n_bound_scores``), and exact equality of the maps.
+    """
+    device = DotArrayDevice.linear_array(n_dots)
+    window = CSDSimulator(device).default_window()
+    (x_min, x_max), (y_min, y_max) = window
+    xs = np.linspace(x_min, x_max, resolution)
+    ys = np.linspace(y_min, y_max, resolution)
+
+    def rasterise(prune: bool) -> tuple[np.ndarray, float, int]:
+        solver = ChargeStateSolver(
+            device.capacitance,
+            max_electrons_per_dot=device.solver.max_electrons_per_dot,
+            prune=prune,
+        )
+        start = time.perf_counter()
+        occupations = solver.occupation_map("P1", "P2", xs, ys)
+        elapsed = time.perf_counter() - start
+        stats = solver.stats
+        return occupations, elapsed, stats.n_state_scores + stats.n_bound_scores
+
+    full_map, full_s, full_scores = rasterise(prune=False)
+    pruned_map, pruned_s, pruned_scores = rasterise(prune=True)
+    return {
+        "prune_dots": n_dots,
+        "prune_resolution": resolution,
+        "prune_lattice_states": int(device.solver.n_lattice_states),
+        "prune_full_s": round(full_s, 4),
+        "prune_pruned_s": round(pruned_s, 4),
+        "prune_full_scores": int(full_scores),
+        "prune_pruned_scores": int(pruned_scores),
+        "prune_score_ratio_x": round(full_scores / max(pruned_scores, 1), 2),
+        "prune_speedup_x": round(full_s / max(pruned_s, 1e-12), 2),
+        "prune_bit_identical": bool(np.array_equal(full_map, pruned_map)),
+    }
+
+
+@pytest.mark.benchmark(group="probe-path")
+def test_pruned_raster_identical_and_lean(write_report):
+    """Pruned rasterisation is exactly equal and scores far fewer states."""
+    stats = compare_pruning(resolution=60)
+    write_report(
+        "solver_pruning.txt",
+        "\n".join(
+            [
+                f"device: {stats['prune_dots']}-dot chain, "
+                f"{stats['prune_lattice_states']} lattice states",
+                f"grid: {stats['prune_resolution']}x{stats['prune_resolution']} "
+                "default CSD window",
+                f"full enumeration: {stats['prune_full_scores']} scores",
+                f"pruned:           {stats['prune_pruned_scores']} scores "
+                f"({stats['prune_score_ratio_x']:.1f}x fewer)",
+                f"bit-identical: {stats['prune_bit_identical']}",
+            ]
+        ),
+    )
+    assert stats["prune_bit_identical"]
+    assert stats["prune_score_ratio_x"] >= TARGET_PRUNE_RATIO
+
+
 @pytest.mark.benchmark(group="probe-path")
 def test_batched_full_grid_speedup(benchmark, write_report):
     """Batched acquisition is bit-identical to, and >= 10x faster than, the loop."""
@@ -141,6 +225,10 @@ def main(argv: list[str] | None = None) -> int:
         "--resolution", type=int, default=100,
         help="grid resolution per axis (default 100, the paper's baseline)",
     )
+    parser.add_argument(
+        "--json", metavar="PATH",
+        help="write the measurements as JSON (the persisted perf trajectory)",
+    )
     args = parser.parse_args(argv)
 
     resolution = 40 if args.smoke else args.resolution
@@ -159,6 +247,40 @@ def main(argv: list[str] | None = None) -> int:
     if not args.smoke and speedup < TARGET_SPEEDUP:
         print(f"ERROR: speedup {speedup:.1f}x below the {TARGET_SPEEDUP:.0f}x target")
         return 1
+
+    prune = compare_pruning(resolution)
+    print(f"solver pruning: {prune['prune_dots']}-dot chain "
+          f"({prune['prune_lattice_states']} lattice states), "
+          f"{resolution}x{resolution} default CSD window")
+    print(f"  full enumeration: {prune['prune_full_s']:.3f}s, "
+          f"{prune['prune_full_scores']} scores")
+    print(f"  pruned:           {prune['prune_pruned_s']:.3f}s, "
+          f"{prune['prune_pruned_scores']} scores "
+          f"({prune['prune_score_ratio_x']:.1f}x fewer, "
+          f"{prune['prune_speedup_x']:.1f}x faster)")
+
+    if not prune["prune_bit_identical"]:
+        print("ERROR: pruned solver diverged from full enumeration")
+        return 1
+    if not args.smoke and prune["prune_score_ratio_x"] < TARGET_PRUNE_RATIO:
+        print(f"ERROR: score reduction {prune['prune_score_ratio_x']:.1f}x below "
+              f"the {TARGET_PRUNE_RATIO:.0f}x target")
+        return 1
+    print("equivalence check: pruned and full solvers are bit-identical")
+
+    if args.json:
+        emit_json(
+            {
+                "bench": "probe_path",
+                "resolution": resolution,
+                "scalar_s": round(scalar_s, 4),
+                "batch_s": round(batch_s, 4),
+                "batch_speedup_x": round(speedup, 2),
+                "batch_bit_identical": not problems,
+                **prune,
+            },
+            args.json,
+        )
     return 0
 
 

@@ -21,11 +21,11 @@ script for CI smoke runs and the persisted perf trajectory::
 from __future__ import annotations
 
 import argparse
-import json
 import sys
 import time
 
 import pytest
+from _emit import emit_json
 
 from repro.scenariospace import (
     Choice,
@@ -151,10 +151,7 @@ def main(argv: list[str] | None = None) -> int:
         return 1
 
     if args.json:
-        with open(args.json, "w", encoding="utf-8") as handle:
-            json.dump(stats, handle, indent=2)
-            handle.write("\n")
-        print(f"wrote {args.json}")
+        emit_json(stats, args.json)
     return 0
 
 

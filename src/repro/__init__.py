@@ -62,6 +62,14 @@ from .instrument import (
     TimingModel,
     VirtualClock,
 )
+from .kernelcache import (
+    KernelCache,
+    KernelCacheStats,
+    clear_kernel_cache,
+    configure_kernel_cache,
+    default_kernel_cache,
+    kernel_fingerprint,
+)
 from .physics import (
     CapacitanceModel,
     ChargeSensor,
@@ -69,6 +77,7 @@ from .physics import (
     CSDSimulator,
     DeviceDrift,
     DotArrayDevice,
+    SolverStats,
     standard_lab_noise,
 )
 from .pipeline import (
@@ -130,6 +139,12 @@ __all__ = [
     "ExperimentSession",
     "MeterSnapshot",
     "ProbeRetryPolicy",
+    "KernelCache",
+    "KernelCacheStats",
+    "clear_kernel_cache",
+    "configure_kernel_cache",
+    "default_kernel_cache",
+    "kernel_fingerprint",
     "StageTelemetry",
     "TuneContext",
     "TuningPipeline",
@@ -146,6 +161,7 @@ __all__ = [
     "CSDSimulator",
     "DeviceDrift",
     "DotArrayDevice",
+    "SolverStats",
     "standard_lab_noise",
     "LabScenario",
     "get_scenario",

@@ -30,6 +30,7 @@ Typical direct use (the campaign engine wires all of this up for you)::
 
 from .backends import (
     DEFAULT_CHUNK_CAP,
+    TRANSPORTS,
     AsyncioBackend,
     ProcessPoolBackend,
     SerialBackend,
@@ -46,22 +47,33 @@ from .base import (
 )
 from .checkpoint import CheckpointJournal
 from .controller import RetryPolicy, RunController, guarded_runner
+from .shm import (
+    DEFAULT_MIN_SHM_BYTES,
+    ShmChunk,
+    decode_chunk,
+    encode_chunk,
+)
 
 __all__ = [
     "AsyncioBackend",
     "CheckpointJournal",
     "DEFAULT_CHUNK_CAP",
+    "DEFAULT_MIN_SHM_BYTES",
     "ExecutionBackend",
     "ProcessPoolBackend",
     "ProgressCallback",
     "RetryPolicy",
     "RunController",
     "SerialBackend",
+    "ShmChunk",
     "SupportsJobId",
+    "TRANSPORTS",
     "WorkerCrash",
     "backend_from_spec",
     "backend_names",
     "crash_message",
+    "decode_chunk",
+    "encode_chunk",
     "guarded_runner",
     "register_backend",
 ]

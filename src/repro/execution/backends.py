@@ -30,13 +30,27 @@ from typing import Any, AsyncIterator, Callable, Iterable, Iterator
 
 from ..exceptions import ConfigurationError
 from .base import ExecutionBackend, SupportsJobId, WorkerCrash, register_backend
+from .shm import (
+    DEFAULT_MIN_SHM_BYTES,
+    decode_payload,
+    encode_chunk,
+    ensure_tracker,
+    release_payload,
+)
 
 __all__ = [
     "AsyncioBackend",
     "DEFAULT_CHUNK_CAP",
     "ProcessPoolBackend",
     "SerialBackend",
+    "TRANSPORTS",
 ]
+
+#: Record transports a :class:`ProcessPoolBackend` can ship chunks with.
+#: ``auto`` uses shared memory for columnar payloads above the size floor
+#: and pickle otherwise; ``shared-memory`` forces shared memory whenever the
+#: payload is columnar at all; ``pickle`` is the classic pipe.
+TRANSPORTS = ("auto", "pickle", "shared-memory")
 
 #: Ceiling on the default process-pool chunk size.  The old campaign default
 #: (``len(jobs) // (4 * workers)``) grows with the grid, so a 1000-job grid
@@ -64,10 +78,25 @@ class SerialBackend(ExecutionBackend):
 
 
 def _run_chunk(
-    run_one: Callable[[Any], Any], chunk: tuple[SupportsJobId, ...]
-) -> list[tuple[int, Any]]:
-    """Worker-side body: run one chunk of jobs, pairing records with ids."""
-    return [(job.job_id, run_one(job)) for job in chunk]
+    run_one: Callable[[Any], Any],
+    chunk: tuple[SupportsJobId, ...],
+    transport: str = "pickle",
+    shm_min_bytes: int = DEFAULT_MIN_SHM_BYTES,
+) -> Any:
+    """Worker-side body: run one chunk of jobs, pairing records with ids.
+
+    Returns either the plain ``[(job_id, record), ...]`` list (pickled back
+    through the result pipe) or a :class:`~repro.execution.shm.ShmChunk`
+    descriptor when the transport settings elect shared memory; the parent
+    normalises both through :func:`~repro.execution.shm.decode_payload`.
+    """
+    results = [(job.job_id, run_one(job)) for job in chunk]
+    if transport == "pickle":
+        return results
+    encoded = encode_chunk(
+        results, min_bytes=0 if transport == "shared-memory" else shm_min_bytes
+    )
+    return results if encoded is None else encoded
 
 
 class ProcessPoolBackend(ExecutionBackend):
@@ -82,22 +111,52 @@ class ProcessPoolBackend(ExecutionBackend):
         chunks per worker capped at :data:`DEFAULT_CHUNK_CAP`, so large
         grids keep fine-grained dispatch (tail load-balancing) and small
         grids still amortise pickling.
+    transport:
+        How finished records travel back from the workers — one of
+        :data:`TRANSPORTS`.  The default ``"auto"`` ships columnar payloads
+        (numpy arrays, dicts of numpy columns) above ``shm_min_bytes``
+        through :mod:`multiprocessing.shared_memory` and everything else
+        through the classic pickle pipe; records are value-identical either
+        way.
+    shm_min_bytes:
+        Payload-size floor (bytes per chunk) below which ``"auto"`` sticks
+        with pickle — tiny payloads lose more to segment syscalls than they
+        save in copies.
     """
 
     name = "process"
 
-    def __init__(self, max_workers: int, chunk_size: int | None = None) -> None:
+    def __init__(
+        self,
+        max_workers: int,
+        chunk_size: int | None = None,
+        transport: str = "auto",
+        shm_min_bytes: int = DEFAULT_MIN_SHM_BYTES,
+    ) -> None:
         if max_workers < 1:
             raise ConfigurationError("max_workers must be at least 1")
         if chunk_size is not None and chunk_size < 1:
             raise ConfigurationError("chunk_size must be at least 1")
+        if transport not in TRANSPORTS:
+            raise ConfigurationError(
+                f"unknown transport {transport!r}; expected one of {TRANSPORTS}"
+            )
+        if shm_min_bytes < 0:
+            raise ConfigurationError("shm_min_bytes must be non-negative")
         self._max_workers = int(max_workers)
         self._chunk_size = chunk_size
+        self._transport = transport
+        self._shm_min_bytes = int(shm_min_bytes)
 
     @property
     def max_workers(self) -> int:
         """Configured pool size."""
         return self._max_workers
+
+    @property
+    def transport(self) -> str:
+        """Configured record transport (see :data:`TRANSPORTS`)."""
+        return self._transport
 
     def effective_chunk_size(self, n_jobs: int) -> int:
         """The chunk size a grid of ``n_jobs`` would be dispatched with."""
@@ -133,33 +192,66 @@ class ProcessPoolBackend(ExecutionBackend):
         if not jobs:
             return
         chunk = self.effective_chunk_size(len(jobs))
+        if self._transport != "pickle":
+            ensure_tracker()
         suspects: list[SupportsJobId] = []
-        with ProcessPoolExecutor(max_workers=min(self._max_workers, len(jobs))) as pool:
-            futures = {
-                pool.submit(_run_chunk, run_one, jobs[start : start + chunk]):
-                    jobs[start : start + chunk]
-                for start in range(0, len(jobs), chunk)
-            }
-            try:
-                for future in as_completed(futures):
-                    try:
-                        yield from future.result()
-                    except BrokenProcessPool:
-                        suspects.extend(futures[future])
-            finally:
-                # When the consumer abandons the stream (an interrupting
-                # progress hook, a raising chunk) cancel every not-yet-
-                # started chunk so teardown waits only for the chunks
-                # already running, not the whole remaining grid.
-                for future in futures:
-                    future.cancel()
+        consumed: set = set()
+        futures: dict = {}
+        try:
+            with ProcessPoolExecutor(
+                max_workers=min(self._max_workers, len(jobs))
+            ) as pool:
+                futures = {
+                    pool.submit(
+                        _run_chunk,
+                        run_one,
+                        jobs[start : start + chunk],
+                        self._transport,
+                        self._shm_min_bytes,
+                    ): jobs[start : start + chunk]
+                    for start in range(0, len(jobs), chunk)
+                }
+                try:
+                    for future in as_completed(futures):
+                        consumed.add(future)
+                        try:
+                            payload = future.result()
+                        except BrokenProcessPool:
+                            suspects.extend(futures[future])
+                            continue
+                        yield from decode_payload(payload)
+                finally:
+                    # When the consumer abandons the stream (an interrupting
+                    # progress hook, a raising chunk) cancel every not-yet-
+                    # started chunk so teardown waits only for the chunks
+                    # already running, not the whole remaining grid.
+                    for future in futures:
+                        future.cancel()
+        finally:
+            # The pool has shut down, so every future is now settled.  Any
+            # completed-but-never-decoded chunk may hold a shared-memory
+            # segment; release it so abandoned streams cannot leak.
+            for future in futures:
+                if future in consumed or future.cancelled():
+                    continue
+                try:
+                    release_payload(future.result())
+                except Exception:
+                    continue
         # Submission order keeps the recovery pass deterministic regardless
         # of which chunk happened to break first.
         order = {id(job): i for i, job in enumerate(jobs)}
         for job in sorted(suspects, key=lambda job: order[id(job)]):
             with ProcessPoolExecutor(max_workers=1) as rescue:
                 try:
-                    yield from rescue.submit(_run_chunk, run_one, (job,)).result()
+                    payload = rescue.submit(
+                        _run_chunk,
+                        run_one,
+                        (job,),
+                        self._transport,
+                        self._shm_min_bytes,
+                    ).result()
+                    yield from decode_payload(payload)
                 except BrokenProcessPool:
                     yield job.job_id, WorkerCrash(job_id=job.job_id)
 

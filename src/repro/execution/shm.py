@@ -1,0 +1,221 @@
+"""Zero-copy columnar record transport over ``multiprocessing.shared_memory``.
+
+:class:`~repro.execution.backends.ProcessPoolBackend` normally ships each
+finished chunk's records back to the parent by pickling them through the
+result pipe.  For columnar payloads — a numpy array, or a dict of numpy
+columns such as :meth:`repro.instrument.measurement.ProbeLog.as_arrays` — the
+pickle round-trip copies every byte twice (serialise + deserialise) through
+a pipe whose bandwidth is far below memcpy.  This module instead writes the
+raw array bytes into one :class:`~multiprocessing.shared_memory.SharedMemory`
+segment per chunk and sends only a tiny picklable descriptor
+(:class:`ShmChunk`) across the pipe; the parent copies the arrays out and
+unlinks the segment.
+
+The protocol is strictly value-preserving: arrays come back with the same
+dtype, shape, and bytes.  Anything non-columnar — campaign record
+dataclasses, scalars, arrays with object dtype — is left to the ordinary
+pickle path (:func:`encode_chunk` returns ``None``), so enabling the
+transport never changes what a backend can carry, only how fast the
+columnar payloads travel.
+
+Lifecycle: the *worker* creates the segment and closes its mapping; the
+*parent* attaches, copies out, closes, and unlinks.  On fork-started pools
+(the Linux default) parent and workers share one resource tracker, so the
+create/unlink pair balances and nothing leaks or warns.  A descriptor that
+is never decoded (a consumer abandoning the stream mid-iteration) is
+released by :func:`release_payload`, which the pool backend calls on every
+undecoded completed future during teardown.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from multiprocessing import shared_memory
+from typing import Any
+
+import numpy as np
+
+__all__ = [
+    "DEFAULT_MIN_SHM_BYTES",
+    "ShmChunk",
+    "decode_chunk",
+    "decode_payload",
+    "encode_chunk",
+    "ensure_tracker",
+    "release_payload",
+]
+
+
+def ensure_tracker() -> None:
+    """Start the multiprocessing resource tracker in *this* process.
+
+    Must run before a fork-started pool is created: the tracker is spawned
+    lazily on first use, so if the first segment is created inside a forked
+    worker, every worker spins up its own tracker and the parent's
+    ``unlink()`` can never balance the worker-side registration — each
+    worker tracker then warns about an "leaked" segment the parent already
+    freed.  Pre-starting the tracker here makes all forked workers inherit
+    the one instance, so create/unlink pairs balance cleanly.
+    """
+    try:
+        from multiprocessing import resource_tracker
+
+        resource_tracker.ensure_running()
+    except Exception:  # repro: allow[silent-fallback] -- platform without a resource tracker: the transport still works, cleanup just loses its safety net
+        pass
+
+#: Below this many payload bytes per chunk the pickle pipe wins: the segment
+#: create/attach/unlink syscalls cost more than the copy they avoid.
+DEFAULT_MIN_SHM_BYTES = 1 << 16
+
+#: Array offsets inside the segment are padded to this alignment so every
+#: reconstructed view is safely aligned for any numpy dtype.
+_ALIGN = 64
+
+
+@dataclass(frozen=True)
+class _ArraySpec:
+    """Placement of one array inside the shared segment."""
+
+    key: str
+    dtype: np.dtype
+    shape: tuple[int, ...]
+    offset: int
+
+
+@dataclass(frozen=True)
+class _RecordSpec:
+    """One ``(job_id, record)`` pair: a bare array or a dict of columns."""
+
+    job_id: int
+    is_mapping: bool
+    arrays: tuple[_ArraySpec, ...]
+
+
+@dataclass(frozen=True)
+class ShmChunk:
+    """Picklable descriptor of one chunk's records in a shared segment."""
+
+    shm_name: str
+    total_bytes: int
+    records: tuple[_RecordSpec, ...]
+
+
+def _columnar_arrays(record: Any) -> dict[str, np.ndarray] | None:
+    """The record's arrays keyed by column name, or ``None`` if not columnar."""
+    if isinstance(record, np.ndarray):
+        arrays: dict[str, Any] = {"": record}
+    elif isinstance(record, dict) and record:
+        arrays = record
+    else:
+        return None
+    out: dict[str, np.ndarray] = {}
+    for key, value in arrays.items():
+        if not isinstance(key, str) or not isinstance(value, np.ndarray):
+            return None
+        if value.dtype.hasobject:
+            return None
+        out[key] = value
+    return out
+
+
+def _aligned(offset: int) -> int:
+    return (offset + _ALIGN - 1) // _ALIGN * _ALIGN
+
+
+def encode_chunk(
+    results: list[tuple[int, Any]], min_bytes: int = DEFAULT_MIN_SHM_BYTES
+) -> ShmChunk | None:
+    """Pack a chunk's records into a fresh shared segment (worker side).
+
+    Returns ``None`` — meaning "use pickle" — when any record is
+    non-columnar or the total payload is below ``min_bytes``.  On success
+    the segment stays allocated for the parent to decode; the caller must
+    guarantee the returned descriptor reaches :func:`decode_chunk` or
+    :func:`release_payload`.
+    """
+    per_record: list[tuple[int, bool, dict[str, np.ndarray]]] = []
+    total = 0
+    for job_id, record in results:
+        arrays = _columnar_arrays(record)
+        if arrays is None:
+            return None
+        per_record.append((job_id, not isinstance(record, np.ndarray), arrays))
+        for value in arrays.values():
+            total = _aligned(total) + value.nbytes
+    if total < min_bytes:
+        return None
+    segment = shared_memory.SharedMemory(create=True, size=max(total, 1))
+    try:
+        offset = 0
+        specs: list[_RecordSpec] = []
+        for job_id, is_mapping, arrays in per_record:
+            placed: list[_ArraySpec] = []
+            for key, value in arrays.items():
+                offset = _aligned(offset)
+                view = np.ndarray(
+                    value.shape, dtype=value.dtype, buffer=segment.buf, offset=offset
+                )
+                view[...] = value
+                placed.append(_ArraySpec(key, value.dtype, value.shape, offset))
+                offset += value.nbytes
+            specs.append(_RecordSpec(job_id, is_mapping, tuple(placed)))
+        chunk = ShmChunk(
+            shm_name=segment.name, total_bytes=total, records=tuple(specs)
+        )
+    except BaseException:
+        segment.close()
+        segment.unlink()
+        raise
+    segment.close()
+    return chunk
+
+
+def decode_chunk(chunk: ShmChunk) -> list[tuple[int, Any]]:
+    """Rebuild the records from a descriptor and free the segment (parent).
+
+    Every array is copied out of the segment, so the returned records own
+    their memory and the segment can be unlinked immediately.
+    """
+    segment = shared_memory.SharedMemory(name=chunk.shm_name)
+    try:
+        results: list[tuple[int, Any]] = []
+        for spec in chunk.records:
+            arrays = {
+                placed.key: np.ndarray(
+                    placed.shape,
+                    dtype=placed.dtype,
+                    buffer=segment.buf,
+                    offset=placed.offset,
+                ).copy()
+                for placed in spec.arrays
+            }
+            record: Any = arrays if spec.is_mapping else arrays[""]
+            results.append((spec.job_id, record))
+        return results
+    finally:
+        segment.close()
+        segment.unlink()
+
+
+def decode_payload(payload: Any) -> list[tuple[int, Any]]:
+    """Normalise a worker result: decode a :class:`ShmChunk`, pass lists through."""
+    if isinstance(payload, ShmChunk):
+        return decode_chunk(payload)
+    return payload
+
+
+def release_payload(payload: Any) -> None:
+    """Free a payload that will never be decoded (abandoned stream teardown).
+
+    Safe to call on any worker result; already-freed or non-shm payloads
+    are ignored.
+    """
+    if not isinstance(payload, ShmChunk):
+        return
+    try:
+        segment = shared_memory.SharedMemory(name=payload.shm_name)
+    except FileNotFoundError:
+        return
+    segment.close()
+    segment.unlink()

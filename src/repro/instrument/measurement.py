@@ -43,6 +43,12 @@ from ..exceptions import (
     ProbeBudgetExceededError,
     ProbeTimeoutError,
 )
+from ..kernelcache import (
+    KernelCache,
+    KernelCacheEntry,
+    default_kernel_cache,
+    kernel_fingerprint,
+)
 from ..physics.csd import ChargeStabilityDiagram, nearest_axis_index, uniform_axis_step
 from ..physics.dot_array import DotArrayDevice
 from ..physics.drift import DeviceDrift, DeviceDriftState
@@ -505,6 +511,16 @@ class DeviceBackend(MeasurementBackend):
         Nominal simulated cost of one probe; converts pixel-unit noise
         parameters (telegraph dwell, 1/f band) into seconds.  Pass the
         session's ``TimingModel.cost_per_probe_s``.
+    kernel_cache:
+        Where to memoise the noise-free physics kernel across backends with
+        identical content fingerprints (see :mod:`repro.kernelcache`).
+        ``True`` (default) uses the process-wide cache, ``False``/``None``
+        disables caching for this backend, or pass a
+        :class:`~repro.kernelcache.KernelCache` instance.  Only the pure
+        layer is cached — the seeded noise field and every time-dependent
+        mechanism stay per-backend, and a time-dependent backend (active
+        drift or time-dependent noise) bypasses the cache entirely, so
+        cached and uncached probes are bit-identical.
     """
 
     def __init__(
@@ -520,6 +536,7 @@ class DeviceBackend(MeasurementBackend):
         drift: DeviceDrift | None = None,
         time_dependent_noise: bool = False,
         probe_interval_s: float = 0.05,
+        kernel_cache: "KernelCache | bool | None" = True,
     ) -> None:
         self._device = device
         self._xs = np.asarray(x_voltages, dtype=float)
@@ -557,6 +574,10 @@ class DeviceBackend(MeasurementBackend):
         self._temporal_noise: TimeDependentNoise | None = None
         self._drift_state: DeviceDriftState | None = None
         self._seed_children_cache: tuple[np.random.SeedSequence, ...] | None = None
+        self._kernel_cache_opt = kernel_cache
+        self._kernel_fp: str | None = None
+        self._kernel_hits = 0
+        self._kernel_solves = 0
 
     @property
     def device(self) -> DotArrayDevice:
@@ -628,6 +649,67 @@ class DeviceBackend(MeasurementBackend):
             )
         return self._temporal_noise
 
+    # ------------------------------------------------------------------
+    # Kernel caching (noise-free layer only)
+    # ------------------------------------------------------------------
+    @property
+    def kernel_cache_hits(self) -> int:
+        """Pixels this backend served from a shared kernel cache."""
+        return self._kernel_hits
+
+    @property
+    def kernel_cache_solves(self) -> int:
+        """Pixels this backend solved fresh into a shared kernel cache."""
+        return self._kernel_solves
+
+    def _kernel_entry(self) -> "KernelCacheEntry | None":
+        """The cache entry for this backend's kernel, or ``None`` to bypass.
+
+        Time-dependent backends (active drift, time-dependent noise) always
+        bypass: their pure values depend on the probe timestamp and a cached
+        grid would go stale the moment the device evolves.
+        """
+        if self.is_time_dependent:
+            return None
+        opt = self._kernel_cache_opt
+        if opt is False or opt is None:
+            return None
+        cache = default_kernel_cache() if opt is True else opt
+        if not cache.enabled:
+            return None
+        if self._kernel_fp is None:
+            self._kernel_fp = kernel_fingerprint(
+                self._device,
+                self._xs,
+                self._ys,
+                self._gate_x,
+                self._gate_y,
+                self._fixed,
+            )
+        return cache.entry(self._kernel_fp, self.shape)
+
+    def _pure_currents(
+        self,
+        rows: np.ndarray,
+        cols: np.ndarray,
+        points: np.ndarray,
+        detuning_offset_mv: np.ndarray | float,
+    ) -> np.ndarray:
+        """Noise-free currents, served through the kernel cache when pure."""
+        entry = self._kernel_entry()
+        if entry is None:
+            return self._device.sensor_currents(
+                points, detuning_offset_mv=detuning_offset_mv
+            )
+        before = entry.n_pixel_solves
+        values = entry.fetch(
+            rows, cols, lambda idx: self._device.sensor_currents(points[idx])
+        )
+        solved = entry.n_pixel_solves - before
+        self._kernel_solves += solved
+        self._kernel_hits += rows.size - solved
+        return values
+
     def _drifting(self) -> DeviceDriftState:
         assert self._drift is not None
         if self._drift_state is None:
@@ -671,9 +753,7 @@ class DeviceBackend(MeasurementBackend):
             points[:, self._gate_x] *= scale
             points[:, self._gate_y] *= scale
             detuning_offset_mv = state.detuning_offset_mv(times)
-        values = self._device.sensor_currents(
-            points, detuning_offset_mv=detuning_offset_mv
-        )
+        values = self._pure_currents(rows, cols, points, detuning_offset_mv)
         if self._time_dependent_noise:
             return values + self._temporal().sample_at(times)
         return values + self._noise_grid()[rows, cols]
@@ -794,6 +874,22 @@ class ChargeSensorMeter:
     def n_cache_hits(self) -> int:
         """Number of requests answered from the cache rather than measured."""
         return self._log.n_cached
+
+    @property
+    def kernel_cache_hits(self) -> int:
+        """Pixels served from the cross-job kernel cache (0 if inapplicable).
+
+        Unwraps a fault-injecting backend, whose clean values come from the
+        wrapped device backend.
+        """
+        backend = getattr(self._backend, "inner", self._backend)
+        return int(getattr(backend, "kernel_cache_hits", 0))
+
+    @property
+    def kernel_cache_solves(self) -> int:
+        """Pixels solved fresh into the cross-job kernel cache."""
+        backend = getattr(self._backend, "inner", self._backend)
+        return int(getattr(backend, "kernel_cache_solves", 0))
 
     def snapshot(self) -> MeterSnapshot:
         """Freeze the meter's cost counters (probes, requests, hits, time).

@@ -153,9 +153,15 @@ class ExperimentSession:
         time_dependent_noise: bool = False,
         faults=None,
         probe_retry: ProbeRetryPolicy | None = None,
+        kernel_cache: bool = True,
         label: str | None = None,
     ) -> "ExperimentSession":
         """Measure a simulated device on demand over a voltage grid.
+
+        ``kernel_cache`` (default on) lets the backend serve its noise-free
+        physics from the process-wide :mod:`repro.kernelcache` — bit-identical
+        values, shared across sessions with the same device/window/resolution
+        fingerprint; time-dependent sessions bypass it automatically.
 
         ``drift`` and ``time_dependent_noise`` make the backend evolve with
         the session's simulated clock (see
@@ -197,6 +203,7 @@ class ExperimentSession:
             drift=drift,
             time_dependent_noise=time_dependent_noise,
             probe_interval_s=timing.cost_per_probe_s,
+            kernel_cache=kernel_cache,
         )
         if faults is not None:
             # Imported here: repro.faults builds on the instrument layer, so
@@ -253,6 +260,9 @@ class SessionFactory:
     faults: object | None = None
     #: How sessions ride out injected probe faults (None = fail on first).
     probe_retry: ProbeRetryPolicy | None = None
+    #: Whether opened sessions may share noise-free kernels through the
+    #: process-wide :mod:`repro.kernelcache` (bit-identical either way).
+    kernel_cache: bool = True
 
     def make(
         self,
@@ -283,5 +293,6 @@ class SessionFactory:
             time_dependent_noise=self.time_dependent_noise,
             faults=self.faults,
             probe_retry=self.probe_retry,
+            kernel_cache=self.kernel_cache,
             label=label or f"{self.device.name}:{gate_x}-{gate_y}",
         )

@@ -1,0 +1,286 @@
+"""Cross-job memoisation of noise-free CSD kernels.
+
+Campaign repeats, ablation variants, and array-extraction gate-pair sweeps
+rasterise the *same* noise-free physics over and over: the pure sensor-current
+grid depends only on the device electrostatics, the sensor configuration, the
+solver bound, and the voltage window — not on the seed, the noise model, the
+timing model, or which pipeline is asking.  This module caches exactly that
+pure layer, keyed by a content fingerprint of everything the values depend on.
+
+What is — and is not — cached
+-----------------------------
+
+Only the noise-free, time-independent sensor currents are memoised.  The
+seeded noise field, time-dependent noise draws, and drift trajectories are
+*never* cached: :class:`~repro.instrument.measurement.DeviceBackend` adds its
+own seeded noise on top of the cached kernel, and bypasses the cache entirely
+whenever it is time-dependent (active drift or time-dependent noise), because
+those values depend on the probe timestamp and would otherwise go stale.
+Cached values are produced by the same batched physics kernel a cache miss
+would run, so cache on/off is bit-identical by construction.
+
+Entries fill lazily, pixel by pixel, so probe-efficient algorithms that only
+touch a fraction of the grid never pay for a full rasterisation.
+
+The default process-wide cache (:func:`default_kernel_cache`) is what
+``DeviceBackend`` uses unless told otherwise; campaign workers each hold one
+per process, so repeats landing on the same worker stop re-solving identical
+physics.  :func:`configure_kernel_cache` tunes or disables it globally.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from collections import OrderedDict
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = [
+    "DEFAULT_MAX_ENTRIES",
+    "KernelCache",
+    "KernelCacheEntry",
+    "KernelCacheStats",
+    "clear_kernel_cache",
+    "configure_kernel_cache",
+    "default_kernel_cache",
+    "kernel_fingerprint",
+]
+
+#: Default bound on cached kernels; one 100x100 entry is ~90 KB, so the
+#: default cache tops out at a few MB even with full-grid workloads.
+DEFAULT_MAX_ENTRIES = 32
+
+
+def _array_bytes(values: np.ndarray | list) -> bytes:
+    arr = np.ascontiguousarray(np.asarray(values, dtype=float))
+    return repr(arr.shape).encode() + arr.tobytes()
+
+
+def kernel_fingerprint(
+    device,
+    x_voltages: np.ndarray,
+    y_voltages: np.ndarray,
+    gate_x: int,
+    gate_y: int,
+    fixed_voltages: np.ndarray,
+) -> str:
+    """Content fingerprint of one noise-free CSD rasterisation.
+
+    Covers everything the pure pixel values depend on — capacitance matrices,
+    gate names and specs, sensor configuration, the solver's occupation bound,
+    the swept-gate indices, both voltage axes, and the fixed voltages of the
+    unswept gates.  Deliberately excludes seeds, noise models, timing, drift,
+    and solver pruning flags: none of them change the noise-free values
+    (pruning is bit-identical by proof, the rest enter downstream of the
+    kernel), so jobs differing only in those share one entry.
+    """
+    model = device.capacitance
+    h = hashlib.sha256()
+    parts = [
+        b"kernel-v1",
+        _array_bytes(model.dot_dot),
+        _array_bytes(model.dot_gate),
+        ",".join(model.gate_names).encode(),
+        repr(tuple(device.gate_specs)).encode(),
+        repr(device.sensor.config).encode(),
+        str(int(device.solver.max_electrons_per_dot)).encode(),
+        str(int(gate_x)).encode(),
+        str(int(gate_y)).encode(),
+        _array_bytes(x_voltages),
+        _array_bytes(y_voltages),
+        _array_bytes(fixed_voltages),
+    ]
+    for part in parts:
+        h.update(part)
+        h.update(b"\x1f")
+    return h.hexdigest()
+
+
+@dataclass(frozen=True)
+class KernelCacheStats:
+    """Counters of a :class:`KernelCache` (strict-JSON round-trippable).
+
+    ``pixel_hits`` / ``pixel_solves`` count individual pixel values served
+    from memory vs solved fresh; ``entry_hits`` / ``entry_misses`` count
+    whole-kernel lookups; ``evictions`` counts LRU drops.
+    """
+
+    n_entries: int
+    pixel_hits: int
+    pixel_solves: int
+    entry_hits: int
+    entry_misses: int
+    evictions: int
+
+    def as_dict(self) -> dict:
+        """Plain-dict view with JSON-safe scalar values."""
+        return {
+            "n_entries": int(self.n_entries),
+            "pixel_hits": int(self.pixel_hits),
+            "pixel_solves": int(self.pixel_solves),
+            "entry_hits": int(self.entry_hits),
+            "entry_misses": int(self.entry_misses),
+            "evictions": int(self.evictions),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "KernelCacheStats":
+        """Rebuild from :meth:`as_dict` output."""
+        return cls(
+            n_entries=int(payload["n_entries"]),
+            pixel_hits=int(payload["pixel_hits"]),
+            pixel_solves=int(payload["pixel_solves"]),
+            entry_hits=int(payload["entry_hits"]),
+            entry_misses=int(payload["entry_misses"]),
+            evictions=int(payload["evictions"]),
+        )
+
+
+class KernelCacheEntry:
+    """Lazily filled noise-free current grid for one kernel fingerprint."""
+
+    def __init__(self, fingerprint: str, shape: tuple[int, int]) -> None:
+        self.fingerprint = fingerprint
+        self.values = np.zeros(shape, dtype=float)
+        self.solved = np.zeros(shape, dtype=bool)
+        self.n_pixel_hits = 0
+        self.n_pixel_solves = 0
+
+    def __repr__(self) -> str:
+        return (
+            f"KernelCacheEntry(fingerprint={self.fingerprint[:12]!r}, "
+            f"shape={self.values.shape}, solved={int(self.solved.sum())})"
+        )
+
+    @property
+    def n_solved(self) -> int:
+        """Number of pixels whose pure value has been computed."""
+        return int(np.count_nonzero(self.solved))
+
+    def fetch(self, rows: np.ndarray, cols: np.ndarray, solve) -> np.ndarray:
+        """Values for the requested pixels, solving the missing ones once.
+
+        ``solve(indices)`` must return the pure values of
+        ``(rows[indices], cols[indices])``; it is called with the first
+        in-request-order occurrence of each not-yet-solved pixel.  Because
+        the physics kernel is batch-size independent, values are identical
+        whether pixels are solved here, in a different grouping, or without
+        any cache at all.
+        """
+        missing = np.flatnonzero(~self.solved[rows, cols])
+        if missing.size:
+            keys = rows[missing] * self.values.shape[1] + cols[missing]
+            _, first_seen = np.unique(keys, return_index=True)
+            idx = missing[np.sort(first_seen)]
+            fresh = np.asarray(solve(idx), dtype=float)
+            self.values[rows[idx], cols[idx]] = fresh
+            self.solved[rows[idx], cols[idx]] = True
+            self.n_pixel_solves += int(idx.size)
+            self.n_pixel_hits += int(rows.size - idx.size)
+        else:
+            self.n_pixel_hits += int(rows.size)
+        return self.values[rows, cols]
+
+
+class KernelCache:
+    """LRU cache of :class:`KernelCacheEntry` objects, keyed by fingerprint."""
+
+    def __init__(self, max_entries: int = DEFAULT_MAX_ENTRIES, enabled: bool = True):
+        if max_entries < 1:
+            raise ValueError("max_entries must be at least 1")
+        self.max_entries = int(max_entries)
+        self.enabled = bool(enabled)
+        self._entries: OrderedDict[str, KernelCacheEntry] = OrderedDict()
+        self._entry_hits = 0
+        self._entry_misses = 0
+        self._evictions = 0
+        self._retired_pixel_hits = 0
+        self._retired_pixel_solves = 0
+
+    def __repr__(self) -> str:
+        return (
+            f"KernelCache(enabled={self.enabled}, "
+            f"max_entries={self.max_entries}, n_entries={len(self._entries)})"
+        )
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def entry(self, fingerprint: str, shape: tuple[int, int]) -> KernelCacheEntry | None:
+        """The (possibly fresh) entry for a fingerprint; ``None`` if disabled."""
+        if not self.enabled:
+            return None
+        found = self._entries.get(fingerprint)
+        if found is not None:
+            self._entries.move_to_end(fingerprint)
+            self._entry_hits += 1
+            return found
+        self._entry_misses += 1
+        fresh = KernelCacheEntry(fingerprint, shape)
+        self._entries[fingerprint] = fresh
+        self._shrink()
+        return fresh
+
+    def _shrink(self) -> None:
+        while len(self._entries) > self.max_entries:
+            _, evicted = self._entries.popitem(last=False)
+            self._retired_pixel_hits += evicted.n_pixel_hits
+            self._retired_pixel_solves += evicted.n_pixel_solves
+            self._evictions += 1
+
+    @property
+    def stats(self) -> KernelCacheStats:
+        """Cumulative counters, including work done by evicted entries."""
+        return KernelCacheStats(
+            n_entries=len(self._entries),
+            pixel_hits=self._retired_pixel_hits
+            + sum(e.n_pixel_hits for e in self._entries.values()),
+            pixel_solves=self._retired_pixel_solves
+            + sum(e.n_pixel_solves for e in self._entries.values()),
+            entry_hits=self._entry_hits,
+            entry_misses=self._entry_misses,
+            evictions=self._evictions,
+        )
+
+    def clear(self) -> None:
+        """Drop every entry and zero all counters."""
+        self._entries.clear()
+        self._entry_hits = 0
+        self._entry_misses = 0
+        self._evictions = 0
+        self._retired_pixel_hits = 0
+        self._retired_pixel_solves = 0
+
+
+_default_cache = KernelCache()
+
+
+def default_kernel_cache() -> KernelCache:
+    """The process-wide cache ``DeviceBackend`` uses by default."""
+    return _default_cache
+
+
+def configure_kernel_cache(
+    *, enabled: bool | None = None, max_entries: int | None = None
+) -> KernelCache:
+    """Tune the process-wide cache in place; returns it for inspection.
+
+    ``enabled=False`` turns kernel caching off globally (existing entries are
+    kept but not served until re-enabled); ``max_entries`` resizes the LRU
+    bound, evicting oldest entries immediately if already over it.
+    """
+    cache = _default_cache
+    if enabled is not None:
+        cache.enabled = bool(enabled)
+    if max_entries is not None:
+        if max_entries < 1:
+            raise ValueError("max_entries must be at least 1")
+        cache.max_entries = int(max_entries)
+        cache._shrink()
+    return cache
+
+
+def clear_kernel_cache() -> None:
+    """Drop every entry of the process-wide cache and zero its counters."""
+    _default_cache.clear()

@@ -335,7 +335,31 @@ def _register_builtin_samples() -> None:
             cells=(surface_cell(),),
         )
 
+    from ..kernelcache import KernelCacheStats
+    from ..physics.charge_state import SolverStats
+
+    def kernel_cache_stats() -> KernelCacheStats:
+        return KernelCacheStats(
+            n_entries=2,
+            pixel_hits=3969,
+            pixel_solves=3969,
+            entry_hits=5,
+            entry_misses=2,
+            evictions=1,
+        )
+
+    def solver_stats() -> SolverStats:
+        return SolverStats(
+            n_points=400,
+            n_state_scores=190464,
+            n_bound_scores=2048,
+            n_pruned_points=144,
+            n_full_points=256,
+        )
+
     register_contract_sample(StageTelemetry, telemetry)
+    register_contract_sample(KernelCacheStats, kernel_cache_stats)
+    register_contract_sample(SolverStats, solver_stats)
     register_contract_sample(CampaignJobRecord, record)
     register_contract_sample(CampaignResult, result)
     register_contract_sample(Violation, lint_violation)

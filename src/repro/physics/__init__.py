@@ -9,7 +9,12 @@ diagrams.
 """
 
 from .capacitance import CapacitanceModel
-from .charge_state import ChargeState, ChargeStateSolver, format_charge_state
+from .charge_state import (
+    ChargeState,
+    ChargeStateSolver,
+    SolverStats,
+    format_charge_state,
+)
 from .csd import ChargeStabilityDiagram, CSDSimulator, TransitionLineGeometry
 from .dot_array import DotArrayDevice, GateSpec
 from .drift import DeviceDrift, DeviceDriftState
@@ -31,6 +36,7 @@ __all__ = [
     "CapacitanceModel",
     "ChargeState",
     "ChargeStateSolver",
+    "SolverStats",
     "format_charge_state",
     "ChargeStabilityDiagram",
     "CSDSimulator",

@@ -1,0 +1,195 @@
+"""Tests for the shared-memory columnar transport behind ProcessPoolBackend.
+
+The transport is a pure transfer-path optimisation: for any payload, any
+transport setting, and any worker count, ``submit()`` must stream the same
+``(job_id, record)`` pairs it would over the pickle pipe — columnar arrays
+value-exact, non-columnar records transparently falling back to pickle, and
+crash recovery untouched.  Encoding itself is tested at the chunk level so
+failure modes (object dtype, undersized payloads) are pinned explicitly.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from multiprocessing import shared_memory
+
+import numpy as np
+import pytest
+
+from repro.execution import (
+    DEFAULT_MIN_SHM_BYTES,
+    ProcessPoolBackend,
+    SerialBackend,
+    ShmChunk,
+    WorkerCrash,
+    decode_chunk,
+    encode_chunk,
+)
+from repro.execution.shm import decode_payload, release_payload
+
+
+@dataclass(frozen=True)
+class ArrayJob:
+    """Picklable job producing a deterministic columnar record."""
+
+    job_id: int
+    n_rows: int = 256
+    kind: str = "dict"  # "dict" | "array" | "object" | "lethal"
+
+
+def array_runner(job: ArrayJob):
+    if job.kind == "lethal":
+        os._exit(1)
+    rng = np.random.default_rng(job.job_id)
+    if job.kind == "array":
+        return rng.standard_normal((job.n_rows, 3))
+    if job.kind == "object":
+        return {"label": f"job-{job.job_id}", "values": rng.random(job.n_rows)}
+    return {
+        "rows": np.arange(job.n_rows, dtype=np.int64),
+        "currents": rng.standard_normal(job.n_rows),
+        "flags": rng.random(job.n_rows) > 0.5,
+    }
+
+
+def records_equal(a, b) -> bool:
+    if isinstance(a, np.ndarray):
+        return (
+            isinstance(b, np.ndarray)
+            and a.dtype == b.dtype
+            and np.array_equal(a, b)
+        )
+    if isinstance(a, dict):
+        if not isinstance(b, dict) or a.keys() != b.keys():
+            return False
+        return all(records_equal(a[key], b[key]) for key in a)
+    return a == b
+
+
+class TestChunkCodec:
+    def test_round_trip_preserves_values_and_dtypes(self):
+        results = [(i, array_runner(ArrayJob(job_id=i))) for i in range(4)]
+        chunk = encode_chunk(results, min_bytes=0)
+        assert isinstance(chunk, ShmChunk)
+        decoded = decode_chunk(chunk)
+        assert [job_id for job_id, _ in decoded] == [0, 1, 2, 3]
+        for (_, original), (_, rebuilt) in zip(results, decoded):
+            assert records_equal(original, rebuilt)
+
+    def test_bare_array_record_round_trips(self):
+        original = np.arange(24, dtype=np.float32).reshape(4, 6)
+        chunk = encode_chunk([(7, original)], min_bytes=0)
+        [(job_id, rebuilt)] = decode_chunk(chunk)
+        assert job_id == 7
+        assert records_equal(original, rebuilt)
+
+    def test_decode_unlinks_the_segment(self):
+        chunk = encode_chunk([(0, np.zeros(64))], min_bytes=0)
+        decode_chunk(chunk)
+        with pytest.raises(FileNotFoundError):
+            shared_memory.SharedMemory(name=chunk.shm_name)
+
+    def test_object_dtype_refuses_shm(self):
+        record = {"values": np.array(["a", object()], dtype=object)}
+        assert encode_chunk([(0, record)], min_bytes=0) is None
+
+    def test_non_columnar_records_refuse_shm(self):
+        assert encode_chunk([(0, "a plain string")], min_bytes=0) is None
+        assert encode_chunk([(0, {"x": 1.5})], min_bytes=0) is None
+        assert encode_chunk([(0, {})], min_bytes=0) is None
+
+    def test_undersized_payload_refuses_shm(self):
+        tiny = [(0, np.zeros(4))]
+        assert encode_chunk(tiny, min_bytes=DEFAULT_MIN_SHM_BYTES) is None
+        forced = encode_chunk(tiny, min_bytes=0)
+        assert isinstance(forced, ShmChunk)
+        decode_chunk(forced)
+
+    def test_release_payload_frees_unconsumed_chunk(self):
+        chunk = encode_chunk([(0, np.zeros(64))], min_bytes=0)
+        release_payload(chunk)
+        with pytest.raises(FileNotFoundError):
+            shared_memory.SharedMemory(name=chunk.shm_name)
+        release_payload(chunk)  # second call is a no-op
+
+    def test_decode_payload_passes_lists_through(self):
+        results = [(0, "record")]
+        assert decode_payload(results) is results
+
+
+JOBS = tuple(ArrayJob(job_id=i) for i in range(8))
+
+
+class TestTransportEquivalence:
+    def reference(self, jobs):
+        return dict(SerialBackend().submit(jobs, array_runner))
+
+    @pytest.mark.parametrize("transport", ["auto", "pickle", "shared-memory"])
+    def test_dict_records_identical_across_transports(self, transport):
+        backend = ProcessPoolBackend(max_workers=2, transport=transport)
+        records = dict(backend.submit(JOBS, array_runner))
+        reference = self.reference(JOBS)
+        assert records.keys() == reference.keys()
+        for job_id in reference:
+            assert records_equal(records[job_id], reference[job_id])
+
+    def test_bare_array_records_over_shm(self):
+        jobs = tuple(ArrayJob(job_id=i, kind="array") for i in range(6))
+        backend = ProcessPoolBackend(max_workers=2, transport="shared-memory")
+        records = dict(backend.submit(jobs, array_runner))
+        reference = self.reference(jobs)
+        for job_id in reference:
+            assert records_equal(records[job_id], reference[job_id])
+
+    def test_object_records_fall_back_to_pickle(self):
+        jobs = tuple(ArrayJob(job_id=i, kind="object") for i in range(6))
+        backend = ProcessPoolBackend(max_workers=2, transport="shared-memory")
+        records = dict(backend.submit(jobs, array_runner))
+        reference = self.reference(jobs)
+        for job_id in reference:
+            assert records_equal(records[job_id], reference[job_id])
+
+    def test_worker_crash_recovery_under_shm(self):
+        jobs = tuple(
+            ArrayJob(job_id=i, kind="lethal" if i == 3 else "dict")
+            for i in range(7)
+        )
+        backend = ProcessPoolBackend(
+            max_workers=2, chunk_size=2, transport="shared-memory"
+        )
+        records = dict(backend.submit(jobs, array_runner))
+        assert set(records) == {job.job_id for job in jobs}
+        assert isinstance(records[3], WorkerCrash)
+        reference = self.reference(tuple(j for j in jobs if j.kind == "dict"))
+        for job_id, record in reference.items():
+            assert records_equal(records[job_id], record)
+
+    def test_abandoned_stream_leaks_no_segments(self):
+        def segments() -> set:
+            if not os.path.isdir("/dev/shm"):
+                return set()
+            return {n for n in os.listdir("/dev/shm") if n.startswith("psm_")}
+
+        before = segments()
+        backend = ProcessPoolBackend(
+            max_workers=2, chunk_size=2, transport="shared-memory"
+        )
+        stream = backend.submit(JOBS, array_runner)
+        next(stream)
+        stream.close()  # abandon mid-iteration; teardown must drain segments
+        assert segments() - before == set()
+
+
+class TestTransportConfig:
+    def test_invalid_transport_rejected(self):
+        with pytest.raises(Exception):
+            ProcessPoolBackend(max_workers=2, transport="carrier-pigeon")
+
+    def test_negative_min_bytes_rejected(self):
+        with pytest.raises(Exception):
+            ProcessPoolBackend(max_workers=2, shm_min_bytes=-1)
+
+    def test_transport_property_reflects_setting(self):
+        backend = ProcessPoolBackend(max_workers=2, transport="pickle")
+        assert backend.transport == "pickle"
