@@ -1,0 +1,242 @@
+"""Benchmark: cluster backend scaling and work-steal latency.
+
+Measures the two properties the multi-host backend exists for and persists
+them as ``BENCH_10.json`` for :mod:`benchmarks.perf_gate`:
+
+* **scaling** — one campaign of dwell-dominated jobs (each job sleeps a
+  fixed instrument dwell, emulating the measurement-latency-bound probing
+  a real lab campaign spends its wall clock on) run serially and on
+  ``ClusterBackend`` at 1/2/4 local workers.  Dwell-bound jobs are the
+  honest scaling workload for this benchmark's single-CPU CI boxes: unlike
+  CPU-bound jobs, they parallelise on worker *processes* rather than
+  cores, which is exactly the regime remote instrument-facing workers run
+  in.  Wall clocks include worker spawn — the speedup reported is what a
+  user actually observes end to end.
+* **steal latency** — a coordinator with a deliberately front-loaded first
+  lease (``initial_chunk`` = everything) and a late-joining second worker,
+  so the second worker's very first grant must be served by stealing from
+  the first.  Reports the request-to-re-lease latency from
+  :class:`~repro.cluster.ClusterStats`.
+
+Both sections assert value equivalence: every worker count must return
+records identical to ``SerialBackend``.
+
+This file is both a pytest benchmark (like its siblings) and a standalone
+script for CI smoke runs and the persisted perf trajectory::
+
+    PYTHONPATH=src python benchmarks/bench_cluster.py --smoke
+    PYTHONPATH=src python benchmarks/bench_cluster.py --json BENCH_10.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import threading
+import time
+from dataclasses import dataclass
+
+import pytest
+from _emit import emit_json
+
+from repro.cluster import ClusterBackend, Coordinator, worker_main
+from repro.execution import AdaptiveChunkPolicy, SerialBackend
+
+#: Wall-clock speedup 4 local workers must reach over 1 on the dwell grid.
+TARGET_CLUSTER_SPEEDUP = 1.7
+
+
+@dataclass(frozen=True)
+class DwellJob:
+    """A measurement-latency-bound job: one probe dwell, trivial compute."""
+
+    job_id: int
+    dwell_s: float
+
+
+def dwell_runner(job: DwellJob) -> str:
+    """Sleep the instrument dwell, return a deterministic record."""
+    time.sleep(job.dwell_s)
+    return f"probe-{job.job_id}"
+
+
+def measure_scaling(
+    n_jobs: int, dwell_s: float, worker_counts: tuple[int, ...] = (1, 2, 4)
+) -> dict:
+    """One dwell grid, serial and at each cluster width; spawn included."""
+    jobs = tuple(DwellJob(job_id=i, dwell_s=dwell_s) for i in range(n_jobs))
+    serial_records = dict(SerialBackend().submit(jobs, dwell_runner))
+    stats: dict = {
+        "scaling_jobs": n_jobs,
+        "scaling_dwell_ms": round(dwell_s * 1000),
+    }
+    identical = True
+    walls: dict[int, float] = {}
+    for count in worker_counts:
+        backend = ClusterBackend(n_workers=count)
+        started = time.perf_counter()
+        records = dict(backend.submit(jobs, dwell_runner))
+        walls[count] = time.perf_counter() - started
+        identical = identical and records == serial_records
+        stats[f"scaling_wall_{count}w_s"] = round(walls[count], 4)
+    stats["scaling_records_identical"] = identical
+    base = walls[worker_counts[0]]
+    for count in worker_counts[1:]:
+        stats[f"scaling_speedup_{count}w_x"] = round(
+            base / max(walls[count], 1e-12), 2
+        )
+    return stats
+
+
+def measure_steal(n_jobs: int, dwell_s: float, join_delay_s: float = 0.3) -> dict:
+    """Force a steal: worker one leases everything, worker two joins late.
+
+    Workers run as in-process threads speaking the real TCP protocol (a
+    dwell job sleeps, so threads parallelise it exactly like processes);
+    the thread form pins the registration order, which is what makes the
+    steal deterministic rather than a race against process spawn.
+    """
+    jobs = tuple(DwellJob(job_id=i, dwell_s=dwell_s) for i in range(n_jobs))
+    serial_records = dict(SerialBackend().submit(jobs, dwell_runner))
+    policy = AdaptiveChunkPolicy(
+        initial_chunk=max(n_jobs, 1), max_chunk=max(n_jobs, 1)
+    )
+    coordinator = Coordinator(policy=policy)
+    host, port = coordinator.address
+
+    def serve() -> None:
+        worker_main(host, port)
+
+    workers = [threading.Thread(target=serve, daemon=True) for _ in range(2)]
+    records: dict = {}
+    started = time.perf_counter()
+    try:
+        workers[0].start()
+        stream = coordinator.run(jobs, dwell_runner)
+        joined = False
+        for job_id, record in stream:
+            records[job_id] = record
+            if not joined and time.perf_counter() - started >= join_delay_s:
+                workers[1].start()
+                joined = True
+    finally:
+        coordinator.close()
+    wall_s = time.perf_counter() - started
+    for worker in workers:
+        if worker.ident is not None:
+            worker.join(timeout=10.0)
+    stats = coordinator.stats
+    return {
+        "steal_jobs": n_jobs,
+        "steal_records_identical": records == serial_records,
+        "steals_observed": stats.n_steal_requests >= 1 and stats.n_stolen_jobs >= 1,
+        "steal_stolen_jobs": stats.n_stolen_jobs,
+        "steal_latency_ms": round(stats.steal_latency_s * 1000, 2),
+        "steal_wall_s": round(wall_s, 4),
+    }
+
+
+def run_suite(smoke: bool) -> dict:
+    """Measure both sections and return the perf-trajectory payload."""
+    scaling = measure_scaling(
+        n_jobs=8 if smoke else 40, dwell_s=0.05 if smoke else 0.3
+    )
+    steal = measure_steal(
+        n_jobs=8 if smoke else 20,
+        dwell_s=0.05 if smoke else 0.1,
+        join_delay_s=0.1 if smoke else 0.3,
+    )
+    return {"bench": "cluster", **scaling, **steal}
+
+
+@pytest.mark.benchmark(group="cluster")
+def test_steal_serves_a_late_worker(write_report):
+    """A late-joining worker is fed by stealing, without changing records."""
+    stats = measure_steal(n_jobs=8, dwell_s=0.05, join_delay_s=0.1)
+    write_report(
+        "cluster_steal.txt",
+        "\n".join(
+            [
+                f"dwell grid: {stats['steal_jobs']} jobs",
+                f"stolen jobs: {stats['steal_stolen_jobs']}",
+                f"steal latency: {stats['steal_latency_ms']:.2f} ms",
+                f"records identical: {stats['steal_records_identical']}",
+            ]
+        ),
+    )
+    assert stats["steals_observed"]
+    assert stats["steal_records_identical"]
+
+
+@pytest.mark.benchmark(group="cluster")
+def test_cluster_records_match_serial(write_report):
+    """Every cluster width returns records identical to SerialBackend."""
+    stats = measure_scaling(n_jobs=6, dwell_s=0.02, worker_counts=(1, 2))
+    write_report(
+        "cluster_scaling.txt",
+        "\n".join(
+            [
+                f"dwell grid: {stats['scaling_jobs']} jobs x "
+                f"{stats['scaling_dwell_ms']} ms",
+                f"1 worker: {stats['scaling_wall_1w_s']:.3f}s",
+                f"2 workers: {stats['scaling_wall_2w_s']:.3f}s "
+                f"({stats['scaling_speedup_2w_x']:.2f}x)",
+                f"records identical: {stats['scaling_records_identical']}",
+            ]
+        ),
+    )
+    assert stats["scaling_records_identical"]
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="small dwell grid for CI",
+    )
+    parser.add_argument(
+        "--json", metavar="PATH",
+        help="write the measurements as JSON (the persisted perf trajectory)",
+    )
+    args = parser.parse_args(argv)
+
+    stats = run_suite(smoke=args.smoke)
+
+    print(f"cluster scaling ({stats['scaling_jobs']} jobs x "
+          f"{stats['scaling_dwell_ms']} ms dwell, spawn included):")
+    for key in sorted(stats):
+        if key.startswith("scaling_wall_"):
+            count = key.removeprefix("scaling_wall_").removesuffix("_s")
+            speedup = stats.get(f"scaling_speedup_{count}_x")
+            suffix = f" ({speedup:.2f}x)" if speedup is not None else ""
+            print(f"  {count}: {stats[key]:.2f}s{suffix}")
+    print(f"  records identical: {stats['scaling_records_identical']}")
+    print(f"work stealing ({stats['steal_jobs']} jobs, late second worker):")
+    print(f"  stolen jobs: {stats['steal_stolen_jobs']}, "
+          f"latency {stats['steal_latency_ms']:.2f} ms, "
+          f"records identical: {stats['steal_records_identical']}")
+
+    for flag in ("scaling_records_identical", "steal_records_identical",
+                 "steals_observed"):
+        if not stats[flag]:
+            print(f"ERROR: {flag} is false — distribution changed behaviour")
+            return 1
+    print("equivalence check: cluster records are value-exact at every width")
+    return_code = 0
+    if not args.smoke:
+        speedup = stats["scaling_speedup_4w_x"]
+        if speedup < TARGET_CLUSTER_SPEEDUP:
+            print(f"ERROR: 4-worker speedup {speedup:.2f}x is below the "
+                  f"{TARGET_CLUSTER_SPEEDUP}x target")
+            return_code = 1
+        else:
+            print(f"4-worker speedup {speedup:.2f}x "
+                  f"(target {TARGET_CLUSTER_SPEEDUP}x)")
+
+    if args.json:
+        emit_json(stats, args.json)
+    return return_code
+
+
+if __name__ == "__main__":
+    sys.exit(main())

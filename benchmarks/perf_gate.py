@@ -1,7 +1,7 @@
 """Performance gate: freshly measured ``BENCH_*.json`` vs committed baselines.
 
-The repo persists one JSON payload per benchmark round (``BENCH_7.json``,
-``BENCH_8.json``, ``BENCH_9.json`` at the repo root).  CI regenerates each
+The repo persists one JSON payload per benchmark round (``BENCH_7.json``
+through ``BENCH_10.json`` at the repo root).  CI regenerates each
 payload at the baseline-matching configuration and this gate compares the
 fresh numbers against the committed ones, key by key, under per-key
 tolerance kinds:
@@ -75,6 +75,16 @@ MANIFEST: dict[str, dict[str, str]] = {
         "transport_payload_mb": "exact",
         "transport_values_identical": "exact",
         "transport_speedup_x": "speed",
+    },
+    "BENCH_10.json": {
+        "bench": "exact",
+        "scaling_jobs": "exact",
+        "scaling_dwell_ms": "exact",
+        "scaling_records_identical": "exact",
+        "scaling_speedup_4w_x": "speed",
+        "steal_jobs": "exact",
+        "steal_records_identical": "exact",
+        "steals_observed": "exact",
     },
 }
 

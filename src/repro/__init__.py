@@ -28,6 +28,7 @@ from .campaign import (
     DeviceSpec,
     TuningCampaign,
 )
+from .cluster import ClusterBackend, ClusterStats, LocalCluster
 from .core import (
     ArrayVirtualGateExtractor,
     ArrayVirtualization,
@@ -125,7 +126,10 @@ __all__ = [
     "ReproError",
     "AsyncioBackend",
     "CheckpointJournal",
+    "ClusterBackend",
+    "ClusterStats",
     "ExecutionBackend",
+    "LocalCluster",
     "ProcessPoolBackend",
     "RetryPolicy",
     "RunController",

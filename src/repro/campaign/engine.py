@@ -202,11 +202,17 @@ class TuningCampaign:
         self._backend = backend_from_spec(
             backend, n_workers=auto_workers, chunk_size=chunk_size
         )
+        # The spec string (or resolved name) travels into result metadata so
+        # a saved result records how it was executed, parameters included.
+        self._backend_spec = (
+            backend if isinstance(backend, str) else self._backend.name
+        )
         if (
             chunk_size is not None
             and backend is not None
             and not (
-                isinstance(backend, str) and backend == "process"
+                isinstance(backend, str)
+                and backend.partition(":")[0] == "process"
             )
         ):
             # With an explicit non-process backend the knob would be a
@@ -355,7 +361,11 @@ class TuningCampaign:
             records=ordered,
             n_workers=self._effective_workers(),
             wall_time_s=time.perf_counter() - started,
-            metadata={"n_jobs": len(self._jobs), "backend": self._backend.name},
+            metadata={
+                "n_jobs": len(self._jobs),
+                "backend": self._backend.name,
+                "backend_spec": self._backend_spec,
+            },
         )
 
     def resume(

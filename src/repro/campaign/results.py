@@ -294,9 +294,10 @@ class CampaignResult:
 
         Pins every wall-clock measurement (``wall_time_s``, each record's
         ``wall_elapsed_s``, and each stage-telemetry row's ``wall_s``) and
-        strips execution policy — ``n_workers`` and the ``backend``/``source``
-        metadata keys — which legitimately differ between runs of the same
-        campaign.  Everything left is deterministic, so
+        strips execution policy — ``n_workers`` and the
+        ``backend``/``backend_spec``/``source`` metadata keys — which
+        legitimately differ between runs of the same campaign.
+        Everything left is deterministic, so
         ``a.normalized() == b.normalized()`` asserts bit-identical results
         across backends, worker counts, and interrupt/resume cycles.
         """
@@ -313,7 +314,7 @@ class CampaignResult:
         metadata = {
             key: value
             for key, value in self.metadata.items()
-            if key not in ("backend", "source")
+            if key not in ("backend", "backend_spec", "source")
         }
         return replace(
             self,

@@ -1,0 +1,70 @@
+"""CLI for real multi-host runs: ``python -m repro.cluster worker ...``.
+
+Start one worker per core on each machine of the fleet, pointing them at
+the campaign driver's coordinator address::
+
+    python -m repro.cluster worker --connect 10.0.0.5:7077
+
+The driver side binds that address by selecting the matching backend
+spec — ``TuningCampaign(grid, backend="cluster:10.0.0.5:7077")`` — and
+the campaign starts as soon as the first worker registers.  ``--loop``
+keeps a worker alive across successive campaigns.
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from ..exceptions import ConfigurationError
+from .worker import worker_main
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.cluster",
+        description="repro cluster processes",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+    worker = commands.add_parser(
+        "worker", help="serve campaigns from a remote coordinator"
+    )
+    worker.add_argument(
+        "--connect",
+        required=True,
+        metavar="HOST:PORT",
+        help="the coordinator address to register with",
+    )
+    worker.add_argument(
+        "--loop",
+        action="store_true",
+        help="keep serving successive campaigns instead of exiting after one",
+    )
+    worker.add_argument(
+        "--connect-timeout",
+        type=float,
+        default=60.0,
+        metavar="SECONDS",
+        help="how long to wait for the coordinator before giving up",
+    )
+    args = parser.parse_args(argv)
+    host, sep, port_text = args.connect.rpartition(":")
+    try:
+        port = int(port_text)
+    except ValueError:
+        port = -1
+    if not sep or not host or not 0 < port < 65536:
+        raise ConfigurationError(
+            f"malformed --connect address {args.connect!r}; expected HOST:PORT"
+        )
+    worker_main(
+        host,
+        port,
+        reconnect=True,
+        serve_forever=args.loop,
+        connect_timeout_s=args.connect_timeout,
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -79,6 +79,18 @@ class WorkerCrashError(ReproError):
     """
 
 
+class ClusterProtocolError(ReproError):
+    """The cluster wire protocol was violated or a peer misbehaved.
+
+    Raised by :mod:`repro.cluster` when a frame is malformed, a message
+    arrives out of protocol order (e.g. work before registration), or no
+    worker registers within the coordinator's timeout.  Worker *death* is
+    not a protocol error — it is condensed into
+    :class:`~repro.execution.base.WorkerCrash` markers and handled by
+    re-leasing, exactly like a broken process pool.
+    """
+
+
 class DatasetError(ReproError):
     """A benchmark dataset could not be generated, loaded, or validated."""
 

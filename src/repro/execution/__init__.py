@@ -29,6 +29,7 @@ Typical direct use (the campaign engine wires all of this up for you)::
 """
 
 from .backends import (
+    CHUNKINGS,
     DEFAULT_CHUNK_CAP,
     TRANSPORTS,
     AsyncioBackend,
@@ -46,16 +47,27 @@ from .base import (
     register_backend,
 )
 from .checkpoint import CheckpointJournal
+from .chunking import AdaptiveChunkPolicy, static_chunk_size
 from .controller import RetryPolicy, RunController, guarded_runner
 from .shm import (
     DEFAULT_MIN_SHM_BYTES,
     ShmChunk,
     decode_chunk,
+    decode_columnar_bytes,
     encode_chunk,
+    encode_columnar_bytes,
 )
 
+# Imported for its registration side effect: loading the execution layer
+# must always make the "cluster" spec resolvable, exactly like the three
+# stock backends above.  Deferred to the bottom so the cluster package can
+# import .base/.chunking/.shm without a cycle.
+from ..cluster import backend as _cluster_backend  # noqa: E402,F401
+
 __all__ = [
+    "AdaptiveChunkPolicy",
     "AsyncioBackend",
+    "CHUNKINGS",
     "CheckpointJournal",
     "DEFAULT_CHUNK_CAP",
     "DEFAULT_MIN_SHM_BYTES",
@@ -73,7 +85,10 @@ __all__ = [
     "backend_names",
     "crash_message",
     "decode_chunk",
+    "decode_columnar_bytes",
     "encode_chunk",
+    "encode_columnar_bytes",
     "guarded_runner",
     "register_backend",
+    "static_chunk_size",
 ]

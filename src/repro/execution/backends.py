@@ -24,12 +24,20 @@ draining, so completion order never leaks into results.
 from __future__ import annotations
 
 import asyncio
-from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor, as_completed
+import time
+from concurrent.futures import (
+    FIRST_COMPLETED,
+    ProcessPoolExecutor,
+    ThreadPoolExecutor,
+    as_completed,
+    wait,
+)
 from concurrent.futures.process import BrokenProcessPool
 from typing import Any, AsyncIterator, Callable, Iterable, Iterator
 
 from ..exceptions import ConfigurationError
 from .base import ExecutionBackend, SupportsJobId, WorkerCrash, register_backend
+from .chunking import STATIC_CHUNK_CAP, AdaptiveChunkPolicy, static_chunk_size
 from .shm import (
     DEFAULT_MIN_SHM_BYTES,
     decode_payload,
@@ -40,6 +48,7 @@ from .shm import (
 
 __all__ = [
     "AsyncioBackend",
+    "CHUNKINGS",
     "DEFAULT_CHUNK_CAP",
     "ProcessPoolBackend",
     "SerialBackend",
@@ -52,6 +61,12 @@ __all__ = [
 #: payload is columnar at all; ``pickle`` is the classic pipe.
 TRANSPORTS = ("auto", "pickle", "shared-memory")
 
+#: Chunk-size policies a :class:`ProcessPoolBackend` can dispatch with.
+#: ``static`` is the historical fixed-cap default (bit-identical behaviour);
+#: ``adaptive`` opts into the cluster coordinator's target-lease-duration
+#: policy (:class:`~repro.execution.chunking.AdaptiveChunkPolicy`).
+CHUNKINGS = ("static", "adaptive")
+
 #: Ceiling on the default process-pool chunk size.  The old campaign default
 #: (``len(jobs) // (4 * workers)``) grows with the grid, so a 1000-job grid
 #: on 2 workers shipped 125-job chunks — one chunk of expensive scenario
@@ -59,8 +74,10 @@ TRANSPORTS = ("auto", "pickle", "shared-memory")
 #: nothing streamed back until a whole chunk finished.  Capping the chunk
 #: keeps dispatch granularity fine enough that heterogeneous grids stay
 #: load-balanced and records stream promptly, while still amortising
-#: pickling for tiny jobs.
-DEFAULT_CHUNK_CAP = 4
+#: pickling for tiny jobs.  (The policy itself now lives in
+#: :func:`~repro.execution.chunking.static_chunk_size`, shared with the
+#: cluster scheduler.)
+DEFAULT_CHUNK_CAP = STATIC_CHUNK_CAP
 
 
 class SerialBackend(ExecutionBackend):
@@ -122,6 +139,16 @@ class ProcessPoolBackend(ExecutionBackend):
         Payload-size floor (bytes per chunk) below which ``"auto"`` sticks
         with pickle — tiny payloads lose more to segment syscalls than they
         save in copies.
+    chunking:
+        Dispatch-size policy — one of :data:`CHUNKINGS`, or an
+        :class:`~repro.execution.chunking.AdaptiveChunkPolicy` instance
+        used as configuration.  The default ``"static"`` keeps the
+        historical fixed-cap behaviour bit-identically; ``"adaptive"`` opts
+        into target-lease-duration sizing (observed per-job wall time
+        decides how many jobs travel per dispatch), the same policy the
+        cluster coordinator leases with.  Ignored when ``chunk_size`` is
+        explicit — a fixed size *is* a policy.  Records are bit-identical
+        under every policy.
     """
 
     name = "process"
@@ -132,6 +159,7 @@ class ProcessPoolBackend(ExecutionBackend):
         chunk_size: int | None = None,
         transport: str = "auto",
         shm_min_bytes: int = DEFAULT_MIN_SHM_BYTES,
+        chunking: str | AdaptiveChunkPolicy = "static",
     ) -> None:
         if max_workers < 1:
             raise ConfigurationError("max_workers must be at least 1")
@@ -143,10 +171,16 @@ class ProcessPoolBackend(ExecutionBackend):
             )
         if shm_min_bytes < 0:
             raise ConfigurationError("shm_min_bytes must be non-negative")
+        if not isinstance(chunking, AdaptiveChunkPolicy) and chunking not in CHUNKINGS:
+            raise ConfigurationError(
+                f"unknown chunking {chunking!r}; expected one of {CHUNKINGS} "
+                "or an AdaptiveChunkPolicy instance"
+            )
         self._max_workers = int(max_workers)
         self._chunk_size = chunk_size
         self._transport = transport
         self._shm_min_bytes = int(shm_min_bytes)
+        self._chunking = chunking
 
     @property
     def max_workers(self) -> int:
@@ -158,12 +192,28 @@ class ProcessPoolBackend(ExecutionBackend):
         """Configured record transport (see :data:`TRANSPORTS`)."""
         return self._transport
 
+    @property
+    def chunking(self) -> str | AdaptiveChunkPolicy:
+        """Configured dispatch-size policy (see :data:`CHUNKINGS`)."""
+        return self._chunking
+
     def effective_chunk_size(self, n_jobs: int) -> int:
-        """The chunk size a grid of ``n_jobs`` would be dispatched with."""
+        """The chunk size a grid of ``n_jobs`` would be dispatched with.
+
+        For the adaptive policy this is the *initial* dispatch size; later
+        dispatches resize as per-job wall times are observed.
+        """
         if self._chunk_size is not None:
             return self._chunk_size
-        workers = min(self._max_workers, max(n_jobs, 1))
-        return max(1, min(DEFAULT_CHUNK_CAP, n_jobs // (4 * workers)))
+        if self._chunking != "static":
+            return self._adaptive_policy().chunk_size()
+        return static_chunk_size(n_jobs, self._max_workers)
+
+    def _adaptive_policy(self) -> AdaptiveChunkPolicy:
+        """A fresh, unobserved policy for one submission."""
+        if isinstance(self._chunking, AdaptiveChunkPolicy):
+            return self._chunking.fresh()
+        return AdaptiveChunkPolicy()
 
     def submit(
         self,
@@ -191,9 +241,12 @@ class ProcessPoolBackend(ExecutionBackend):
         jobs = tuple(jobs)
         if not jobs:
             return
-        chunk = self.effective_chunk_size(len(jobs))
         if self._transport != "pickle":
             ensure_tracker()
+        if self._chunk_size is None and self._chunking != "static":
+            yield from self._submit_adaptive(jobs, run_one)
+            return
+        chunk = self.effective_chunk_size(len(jobs))
         suspects: list[SupportsJobId] = []
         consumed: set = set()
         futures: dict = {}
@@ -228,18 +281,111 @@ class ProcessPoolBackend(ExecutionBackend):
                     for future in futures:
                         future.cancel()
         finally:
-            # The pool has shut down, so every future is now settled.  Any
-            # completed-but-never-decoded chunk may hold a shared-memory
-            # segment; release it so abandoned streams cannot leak.
-            for future in futures:
-                if future in consumed or future.cancelled():
-                    continue
+            self._release_undecoded(futures, consumed)
+        yield from self._rescue_suspects(jobs, suspects, run_one)
+
+    def _submit_adaptive(
+        self,
+        jobs: tuple[SupportsJobId, ...],
+        run_one: Callable[[Any], Any],
+    ) -> Iterator[tuple[int, Any]]:
+        """Incremental dispatch under the adaptive chunk-size policy.
+
+        Unlike the static path (every chunk submitted up front), this keeps
+        a bounded window of chunks in flight — two per worker, enough to
+        hide dispatch latency without committing the whole tail to sizes
+        chosen before anything was observed — and sizes each new chunk from
+        the policy's running per-job wall-time estimate.  Same streaming
+        semantics, same broken-pool recovery, bit-identical records.
+        """
+        policy = self._adaptive_policy()
+        workers = min(self._max_workers, len(jobs))
+        window = 2 * workers
+        suspects: list[SupportsJobId] = []
+        consumed: set = set()
+        inflight: dict = {}
+        seen: dict = {}
+        position = 0
+        try:
+            with ProcessPoolExecutor(max_workers=workers) as pool:
                 try:
-                    release_payload(future.result())
-                except Exception:
-                    continue
-        # Submission order keeps the recovery pass deterministic regardless
-        # of which chunk happened to break first.
+                    broken = False
+                    while position < len(jobs) or inflight:
+                        while (
+                            not broken
+                            and position < len(jobs)
+                            and len(inflight) < window
+                        ):
+                            size = min(policy.chunk_size(), len(jobs) - position)
+                            chunk = jobs[position : position + size]
+                            position += size
+                            future = pool.submit(
+                                _run_chunk,
+                                run_one,
+                                chunk,
+                                self._transport,
+                                self._shm_min_bytes,
+                            )
+                            inflight[future] = (chunk, time.perf_counter())
+                            seen[future] = chunk
+                        if not inflight:
+                            break
+                        done, _ = wait(inflight, return_when=FIRST_COMPLETED)
+                        for future in done:
+                            chunk, started = inflight.pop(future)
+                            consumed.add(future)
+                            try:
+                                payload = future.result()
+                            except BrokenProcessPool:
+                                # The pool is unusable from here on: the
+                                # in-flight chunks all raise, and the
+                                # undispatched tail joins the suspects for
+                                # the one-per-fresh-pool recovery pass.
+                                suspects.extend(chunk)
+                                broken = True
+                                continue
+                            policy.observe(
+                                len(chunk), time.perf_counter() - started
+                            )
+                            yield from decode_payload(payload)
+                    if broken:
+                        suspects.extend(jobs[position:])
+                        position = len(jobs)
+                finally:
+                    for future in seen:
+                        future.cancel()
+        finally:
+            self._release_undecoded(seen, consumed)
+        yield from self._rescue_suspects(jobs, suspects, run_one)
+
+    def _release_undecoded(self, futures: dict, consumed: set) -> None:
+        """Free shared-memory payloads of settled-but-never-decoded chunks.
+
+        Called after pool shutdown, so every future is settled.  Any
+        completed-but-never-decoded chunk may hold a shared-memory segment;
+        release it so abandoned streams cannot leak.
+        """
+        for future in futures:
+            if future in consumed or future.cancelled():
+                continue
+            try:
+                release_payload(future.result())
+            except Exception:
+                continue
+
+    def _rescue_suspects(
+        self,
+        jobs: tuple[SupportsJobId, ...],
+        suspects: list,
+        run_one: Callable[[Any], Any],
+    ) -> Iterator[tuple[int, Any]]:
+        """Re-run each broken-pool suspect alone in a fresh single-worker pool.
+
+        Submission order keeps the recovery pass deterministic regardless
+        of which chunk happened to break first; a job that breaks its own
+        private pool is unambiguously the culprit and yields a
+        :class:`~repro.execution.base.WorkerCrash` marker.
+        """
         order = {id(job): i for i, job in enumerate(jobs)}
         for job in sorted(suspects, key=lambda job: order[id(job)]):
             with ProcessPoolExecutor(max_workers=1) as rescue:
@@ -341,8 +487,29 @@ class AsyncioBackend(ExecutionBackend):
                 loop.close()
 
 
+def _process_spec(
+    arg: str, n_workers: int, chunk_size: int | None
+) -> ProcessPoolBackend:
+    """Build from a ``"process:N"`` spec: ``N`` workers, overriding the knob."""
+    try:
+        workers = int(arg)
+    except ValueError:
+        raise ConfigurationError(
+            f"malformed backend spec 'process:{arg}': expected an integer "
+            "worker count, e.g. 'process:8'"
+        ) from None
+    if workers < 1:
+        raise ConfigurationError(
+            f"malformed backend spec 'process:{arg}': worker count must be "
+            "at least 1"
+        )
+    return ProcessPoolBackend(workers, chunk_size)
+
+
 register_backend("serial", lambda n_workers, chunk_size: SerialBackend())
 register_backend(
-    "process", lambda n_workers, chunk_size: ProcessPoolBackend(n_workers, chunk_size)
+    "process",
+    lambda n_workers, chunk_size: ProcessPoolBackend(n_workers, chunk_size),
+    spec_factory=_process_spec,
 )
 register_backend("asyncio", lambda n_workers, chunk_size: AsyncioBackend(n_workers))

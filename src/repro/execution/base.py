@@ -115,16 +115,30 @@ class ExecutionBackend(ContentRepr, abc.ABC):
 #: Registered backend factories: name -> ``factory(n_workers, chunk_size)``.
 _BACKEND_FACTORIES: dict[str, Callable[[int, int | None], ExecutionBackend]] = {}
 
+#: Parameterised-spec factories: name -> ``factory(arg, n_workers, chunk_size)``
+#: where ``arg`` is everything after the first colon of a ``"name:arg"`` spec
+#: (e.g. ``"8"`` for ``"process:8"``, ``"local:4"`` for ``"cluster:local:4"``).
+_SPEC_FACTORIES: dict[str, Callable[[str, int, int | None], ExecutionBackend]] = {}
+
 
 def register_backend(
-    name: str, factory: Callable[[int, int | None], ExecutionBackend]
+    name: str,
+    factory: Callable[[int, int | None], ExecutionBackend],
+    spec_factory: Callable[[str, int, int | None], ExecutionBackend] | None = None,
 ) -> None:
     """Register a backend factory under ``name`` for :func:`backend_from_spec`.
 
     The factory is called as ``factory(n_workers, chunk_size)``; backends
-    that ignore one of the knobs simply drop it.
+    that ignore one of the knobs simply drop it.  ``spec_factory``, when
+    given, additionally accepts parameterised specs (``"name:arg"``) and is
+    called as ``spec_factory(arg, n_workers, chunk_size)``; it must raise
+    :class:`~repro.exceptions.ConfigurationError` on a malformed ``arg``.
     """
     _BACKEND_FACTORIES[str(name)] = factory
+    if spec_factory is not None:
+        _SPEC_FACTORIES[str(name)] = spec_factory
+    else:
+        _SPEC_FACTORIES.pop(str(name), None)
 
 
 def backend_names() -> tuple[str, ...]:
@@ -137,22 +151,41 @@ def backend_from_spec(
     n_workers: int = 1,
     chunk_size: int | None = None,
 ) -> ExecutionBackend:
-    """Resolve a backend from a name, an instance, or ``None`` (auto).
+    """Resolve a backend from a name, a spec string, an instance, or ``None``.
 
     ``None`` keeps the historical campaign behaviour: one worker runs
     serially in-process, more workers fan out over a process pool.  A
-    string selects a registered backend by name; an
-    :class:`ExecutionBackend` instance passes through untouched (its own
-    worker configuration wins over ``n_workers``).
+    string selects a registered backend by name — either a bare name
+    (``"process"``) configured by the ``n_workers``/``chunk_size``
+    arguments, or a parameterised spec (``"process:8"``,
+    ``"cluster:HOST:PORT"``, ``"cluster:local:4"``) whose argument is
+    parsed by the backend's own spec factory.  Malformed specs and
+    parameters on a backend that takes none raise
+    :class:`~repro.exceptions.ConfigurationError` loudly rather than
+    falling back to a default.  An :class:`ExecutionBackend` instance
+    passes through untouched (its own worker configuration wins over
+    ``n_workers``).
     """
     if isinstance(spec, ExecutionBackend):
         return spec
     if spec is None:
         spec = "serial" if n_workers == 1 else "process"
-    factory = _BACKEND_FACTORIES.get(spec)
-    if factory is None:
+    name, sep, arg = spec.partition(":")
+    if name not in _BACKEND_FACTORIES:
         raise ConfigurationError(
             f"unknown execution backend {spec!r}; known backends: "
             f"{', '.join(backend_names())}"
         )
-    return factory(n_workers, chunk_size)
+    if not sep:
+        return _BACKEND_FACTORIES[name](n_workers, chunk_size)
+    spec_factory = _SPEC_FACTORIES.get(name)
+    if spec_factory is None:
+        raise ConfigurationError(
+            f"backend {name!r} does not take spec parameters "
+            f"(got {spec!r}); use the bare name"
+        )
+    if not arg:
+        raise ConfigurationError(
+            f"malformed backend spec {spec!r}: empty parameter after ':'"
+        )
+    return spec_factory(arg, n_workers, chunk_size)

@@ -29,6 +29,8 @@ undecoded completed future during teardown.
 
 from __future__ import annotations
 
+import json
+import struct
 from dataclasses import dataclass
 from multiprocessing import shared_memory
 from typing import Any
@@ -39,8 +41,10 @@ __all__ = [
     "DEFAULT_MIN_SHM_BYTES",
     "ShmChunk",
     "decode_chunk",
+    "decode_columnar_bytes",
     "decode_payload",
     "encode_chunk",
+    "encode_columnar_bytes",
     "ensure_tracker",
     "release_payload",
 ]
@@ -196,6 +200,63 @@ def decode_chunk(chunk: ShmChunk) -> list[tuple[int, Any]]:
     finally:
         segment.close()
         segment.unlink()
+
+
+def encode_columnar_bytes(record: Any) -> bytes | None:
+    """Pack one columnar record into a self-describing byte string.
+
+    The TCP sibling of :func:`encode_chunk`: same columnar detection, same
+    aligned raw-bytes layout, but the destination is a plain ``bytes``
+    payload (for the :mod:`repro.cluster` wire) rather than a shared-memory
+    segment.  Returns ``None`` for non-columnar records — the caller falls
+    back to another encoding, exactly like the pool's pickle fallback.
+
+    Layout: 4-byte big-endian header length, a strict-JSON header listing
+    each array's key, dtype, shape, and offset, then the raw array bytes at
+    64-byte-aligned offsets (relative to the end of the header).
+    """
+    arrays = _columnar_arrays(record)
+    if arrays is None:
+        return None
+    placed: list[tuple[str, str, tuple[int, ...], int]] = []
+    offset = 0
+    for key, value in arrays.items():
+        offset = _aligned(offset)
+        placed.append((key, value.dtype.str, value.shape, offset))
+        offset += value.nbytes
+    header = json.dumps(
+        {
+            "is_mapping": not isinstance(record, np.ndarray),
+            "arrays": [
+                [key, dtype, list(shape), start] for key, dtype, shape, start in placed
+            ],
+        },
+        allow_nan=False,
+    ).encode("utf-8")
+    body = bytearray(offset)
+    for (key, _, _, start), value in zip(placed, arrays.values()):
+        raw = np.ascontiguousarray(value)
+        body[start : start + raw.nbytes] = raw.tobytes()
+    return struct.pack(">I", len(header)) + header + bytes(body)
+
+
+def decode_columnar_bytes(blob: bytes) -> Any:
+    """Rebuild the record packed by :func:`encode_columnar_bytes`."""
+    (header_len,) = struct.unpack_from(">I", blob, 0)
+    header = json.loads(blob[4 : 4 + header_len].decode("utf-8"))
+    body = memoryview(blob)[4 + header_len :]
+    arrays: dict[str, np.ndarray] = {}
+    for key, dtype_str, shape, start in header["arrays"]:
+        dtype = np.dtype(dtype_str)
+        count = int(np.prod(shape, dtype=np.int64)) if shape else 1
+        arrays[key] = (
+            np.frombuffer(body, dtype=dtype, count=count, offset=start)
+            .reshape(tuple(shape))
+            .copy()
+        )
+    if header["is_mapping"]:
+        return arrays
+    return arrays[""]
 
 
 def decode_payload(payload: Any) -> list[tuple[int, Any]]:

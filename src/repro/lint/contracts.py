@@ -357,7 +357,42 @@ def _register_builtin_samples() -> None:
             n_full_points=256,
         )
 
+    from ..cluster.coordinator import ClusterStats
+    from ..cluster import wire
+
+    def cluster_stats() -> ClusterStats:
+        return ClusterStats(
+            n_workers=4,
+            n_leases=15,
+            n_steal_requests=1,
+            n_stolen_jobs=3,
+            n_worker_deaths=2,
+            n_requeued_jobs=13,
+            n_crash_markers=1,
+            n_affinity_hits=6,
+            steal_latency_s=0.012,
+        )
+
+    # One sample per wire-message kind: the cluster control plane rides the
+    # same strict-JSON round-trip contract as the checkpoint records, so a
+    # field added to a message without as_dict coverage fails the audit.
+    wire_samples = {
+        wire.Register: lambda: wire.Register(pid=4242, host="node-a"),
+        wire.Welcome: lambda: wire.Welcome(worker_id=1, heartbeat_s=0.2),
+        wire.Task: wire.Task,
+        wire.Lease: lambda: wire.Lease(job_ids=(3, 4, 5)),
+        wire.Heartbeat: lambda: wire.Heartbeat(worker_id=1, current_job=-1, n_queued=2),
+        wire.Steal: lambda: wire.Steal(max_jobs=4),
+        wire.Stolen: lambda: wire.Stolen(job_ids=(5,)),
+        wire.Result: lambda: wire.Result(job_id=3, encoding="columnar"),
+        wire.Crash: lambda: wire.Crash(job_id=3, message="ValueError: boom"),
+        wire.Shutdown: wire.Shutdown,
+    }
+
     register_contract_sample(StageTelemetry, telemetry)
+    register_contract_sample(ClusterStats, cluster_stats)
+    for message_cls, message_factory in wire_samples.items():
+        register_contract_sample(message_cls, message_factory)
     register_contract_sample(KernelCacheStats, kernel_cache_stats)
     register_contract_sample(SolverStats, solver_stats)
     register_contract_sample(CampaignJobRecord, record)

@@ -1,0 +1,180 @@
+"""Tests for the cluster wire protocol: frames, messages, record encodings."""
+
+from __future__ import annotations
+
+import json
+import socket
+import struct
+from dataclasses import dataclass
+
+import numpy as np
+import pytest
+
+from repro.cluster.wire import (
+    MESSAGE_CLASSES,
+    RECORD_ENCODINGS,
+    Crash,
+    Heartbeat,
+    Lease,
+    Register,
+    Result,
+    Shutdown,
+    Steal,
+    Stolen,
+    Task,
+    Welcome,
+    decode_record,
+    encode_record,
+    recv_message,
+    send_message,
+)
+from repro.exceptions import ClusterProtocolError
+
+SAMPLES = [
+    Register(pid=4242, host="node-a"),
+    Welcome(worker_id=3, heartbeat_s=0.2),
+    Task(),
+    Lease(job_ids=(3, 4, 5)),
+    Heartbeat(worker_id=3, current_job=-1, n_queued=2),
+    Steal(max_jobs=4),
+    Stolen(job_ids=()),
+    Result(job_id=9, encoding="columnar"),
+    Crash(job_id=9, message="ValueError: boom"),
+    Shutdown(),
+]
+
+
+class TestMessageRoundTrip:
+    def test_every_kind_has_a_sample(self):
+        assert {type(m).kind for m in SAMPLES} == set(MESSAGE_CLASSES)
+
+    @pytest.mark.parametrize("message", SAMPLES, ids=lambda m: m.kind)
+    def test_strict_json_round_trip(self, message):
+        encoded = json.dumps(message.as_dict(), allow_nan=False)
+        assert type(message).from_dict(json.loads(encoded)) == message
+
+    def test_kind_mismatch_rejected(self):
+        with pytest.raises(ClusterProtocolError, match="kind"):
+            Lease.from_dict(Steal(max_jobs=1).as_dict())
+
+    @pytest.mark.parametrize("message", SAMPLES, ids=lambda m: m.kind)
+    def test_frame_round_trip_over_a_socket(self, message):
+        left, right = socket.socketpair()
+        try:
+            payload = b"x" * 17 if message.kind in ("lease", "result") else b""
+            send_message(left, message, payload)
+            received, received_payload = recv_message(right)
+            assert received == message
+            assert received_payload == payload
+        finally:
+            left.close()
+            right.close()
+
+    def test_frames_preserve_ordering(self):
+        left, right = socket.socketpair()
+        try:
+            for message in SAMPLES:
+                send_message(left, message)
+            for message in SAMPLES:
+                assert recv_message(right)[0] == message
+        finally:
+            left.close()
+            right.close()
+
+
+class TestMalformedFrames:
+    def test_closed_peer_raises_eof(self):
+        left, right = socket.socketpair()
+        left.close()
+        try:
+            with pytest.raises(EOFError):
+                recv_message(right)
+        finally:
+            right.close()
+
+    def test_truncated_frame_raises_eof(self):
+        left, right = socket.socketpair()
+        try:
+            left.sendall(struct.pack(">II", 50, 0) + b'{"kind":')
+            left.close()
+            with pytest.raises(EOFError):
+                recv_message(right)
+        finally:
+            right.close()
+
+    def test_oversized_frame_refused_before_allocation(self):
+        left, right = socket.socketpair()
+        try:
+            left.sendall(struct.pack(">II", (1 << 31) + 1, 0))
+            with pytest.raises(ClusterProtocolError, match="ceiling"):
+                recv_message(right)
+        finally:
+            left.close()
+            right.close()
+
+    def test_unknown_kind_refused(self):
+        left, right = socket.socketpair()
+        try:
+            header = json.dumps({"kind": "teleport"}).encode()
+            left.sendall(struct.pack(">II", len(header), 0) + header)
+            with pytest.raises(ClusterProtocolError, match="teleport"):
+                recv_message(right)
+        finally:
+            left.close()
+            right.close()
+
+
+@dataclass(frozen=True)
+class _OpaqueRecord:
+    value: float
+
+
+class TestRecordEncodings:
+    @pytest.mark.parametrize(
+        "record",
+        [None, True, 0, 42, -7, "a string", 1.5, 0.0],
+        ids=repr,
+    )
+    def test_json_scalars_travel_as_strict_json(self, record):
+        encoding, payload = encode_record(record)
+        assert encoding == "strict-json"
+        restored = decode_record(encoding, payload)
+        assert restored == record
+        assert type(restored) is type(record)
+
+    def test_nonfinite_float_falls_back_to_pickle(self):
+        encoding, payload = encode_record(float("nan"))
+        assert encoding == "pickle"
+        assert np.isnan(decode_record(encoding, payload))
+
+    def test_numpy_array_travels_columnar(self):
+        record = np.arange(12, dtype=np.float64).reshape(3, 4)
+        encoding, payload = encode_record(record)
+        assert encoding == "columnar"
+        np.testing.assert_array_equal(decode_record(encoding, payload), record)
+
+    def test_dict_of_columns_travels_columnar(self):
+        record = {
+            "current": np.linspace(0.0, 1.0, 64),
+            "labels": np.arange(64, dtype=np.int32),
+        }
+        encoding, payload = encode_record(record)
+        assert encoding == "columnar"
+        restored = decode_record(encoding, payload)
+        assert set(restored) == set(record)
+        for key in record:
+            np.testing.assert_array_equal(restored[key], record[key])
+            assert restored[key].dtype == record[key].dtype
+
+    def test_arbitrary_object_pickles(self):
+        record = _OpaqueRecord(value=float("inf"))
+        encoding, payload = encode_record(record)
+        assert encoding == "pickle"
+        assert decode_record(encoding, payload) == record
+
+    def test_unknown_encoding_refused(self):
+        with pytest.raises(ClusterProtocolError, match="morse"):
+            decode_record("morse", b"")
+
+    def test_preference_order_is_published(self):
+        assert RECORD_ENCODINGS == ("columnar", "strict-json", "pickle")

@@ -23,5 +23,7 @@ def test_library_is_strict_lint_clean_with_empty_baseline():
     # when someone deliberately sanctions a new wall-clock/NaN site.
     # 12th site: the resource-tracker bootstrap in execution/shm.py, whose
     # only failure mode is "platform has no tracker" and whose fallback is
-    # the still-correct pickle path.
-    assert len(report.suppressed) == 12
+    # the still-correct pickle path.  Sites 13-15: the cluster affinity
+    # proxy in cluster/backend.py, where a missing duck-typed job field
+    # degrades scheduler placement but can never mislabel a result.
+    assert len(report.suppressed) == 15
