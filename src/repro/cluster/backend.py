@@ -192,6 +192,19 @@ class ClusterBackend(ExecutionBackend):
     register_timeout_s:
         Listen mode: how long a submission waits for the first worker
         before failing loudly.
+    stall_timeout_s:
+        How long a submission tolerates a cluster that had workers but has
+        none left (all died, none reconnected) with jobs still unfinished
+        before raising instead of blocking forever.
+
+    .. warning::
+       The wire protocol ships pickles both ways (the task callable to
+       workers, crash payloads back), and unpickling is arbitrary code
+       execution for whoever you connect to.  Listen mode
+       (``host``/``port``, e.g. ``cluster:0.0.0.0:7077``) must therefore
+       only bind on networks where every host that can reach the port is
+       trusted — and workers must only ``--connect`` to coordinators they
+       trust.  Local mode never leaves the loopback interface.
     """
 
     name = "cluster"
@@ -204,6 +217,7 @@ class ClusterBackend(ExecutionBackend):
         heartbeat_s: float = DEFAULT_HEARTBEAT_S,
         chunking: AdaptiveChunkPolicy | None = None,
         register_timeout_s: float = 60.0,
+        stall_timeout_s: float = 300.0,
     ) -> None:
         if host is None and port is not None:
             raise ConfigurationError("port requires host (listen mode)")
@@ -222,6 +236,8 @@ class ClusterBackend(ExecutionBackend):
             raise ConfigurationError("heartbeat_s must be positive")
         if register_timeout_s <= 0:
             raise ConfigurationError("register_timeout_s must be positive")
+        if stall_timeout_s <= 0:
+            raise ConfigurationError("stall_timeout_s must be positive")
         if chunking is not None and not isinstance(chunking, AdaptiveChunkPolicy):
             raise ConfigurationError(
                 "chunking must be an AdaptiveChunkPolicy instance (or None)"
@@ -232,6 +248,7 @@ class ClusterBackend(ExecutionBackend):
         self._heartbeat_s = float(heartbeat_s)
         self._chunking = chunking
         self._register_timeout_s = float(register_timeout_s)
+        self._stall_timeout_s = float(stall_timeout_s)
         self._last_stats: ClusterStats | None = None
         self._active_cluster: LocalCluster | None = None
         self._mute_first_worker_after: int | None = None
@@ -271,6 +288,7 @@ class ClusterBackend(ExecutionBackend):
             policy=self._chunking,
             affinity=job_affinity,
             register_timeout_s=self._register_timeout_s,
+            stall_timeout_s=self._stall_timeout_s,
         )
         cluster: LocalCluster | None = None
         try:

@@ -88,6 +88,9 @@ class ClusterStats:
     n_crash_markers: int = 0
     #: Leased jobs that matched their worker's warm affinity set.
     n_affinity_hits: int = 0
+    #: Connections dropped for speaking out of protocol before registering
+    #: (stray clients, port scanners, a second campaign's workers).
+    n_rejected_peers: int = 0
     #: Mean seconds from steal request to the stolen jobs being re-leased.
     steal_latency_s: float = 0.0
 
@@ -143,6 +146,22 @@ class Coordinator:
         Seconds :meth:`run` waits for the *first* worker before raising
         :class:`~repro.exceptions.ClusterProtocolError` — a cluster nobody
         joins should fail loudly, not hang.
+    stall_timeout_s:
+        Seconds :meth:`run` tolerates a cluster that *had* workers but has
+        none left (every worker died and none reconnected) while jobs are
+        still unfinished, before raising
+        :class:`~repro.exceptions.ClusterProtocolError` instead of blocking
+        forever.  Generous by default: local clusters respawn workers and
+        remote fleets reconnect, so only a permanently emptied cluster
+        trips it.
+
+    .. warning::
+       The data plane trusts its peers: workers unpickle the ``Task``
+       callable from the coordinator, and the coordinator unpickles
+       ``Crash`` payloads from registered workers — pickle is arbitrary
+       code execution for whoever you connect to.  Only bind non-loopback
+       addresses (and only point workers at coordinators) on networks
+       where every reachable host is trusted.
     """
 
     def __init__(
@@ -153,11 +172,14 @@ class Coordinator:
         policy: AdaptiveChunkPolicy | None = None,
         affinity: Callable[[Any], str | None] | None = None,
         register_timeout_s: float = 60.0,
+        stall_timeout_s: float = 300.0,
     ) -> None:
         self._heartbeat_s = float(heartbeat_s)
         self._policy = (policy or AdaptiveChunkPolicy()).fresh()
         self._affinity = affinity
         self._register_timeout_s = float(register_timeout_s)
+        self._stall_timeout_s = float(stall_timeout_s)
+        self._last_worker_alive = time.monotonic()
         self._listener = socket.create_server((host, int(port)))
         self._lock = threading.RLock()
         self._out: queue.Queue = queue.Queue()
@@ -181,6 +203,7 @@ class Coordinator:
             "n_requeued_jobs": 0,
             "n_crash_markers": 0,
             "n_affinity_hits": 0,
+            "n_rejected_peers": 0,
         }
 
     # ------------------------------------------------------------------
@@ -225,18 +248,10 @@ class Coordinator:
                 try:
                     event = self._out.get(timeout=self._heartbeat_s)
                 except queue.Empty:
-                    if (
-                        not self._ever_registered
-                        and time.monotonic() - started > self._register_timeout_s
-                    ):
-                        raise ClusterProtocolError(
-                            "no worker registered within "
-                            f"{self._register_timeout_s:.0f}s; start workers "
-                            "with `python -m repro.cluster worker --connect "
-                            f"{self.address[0]}:{self.address[1]}` or use a "
-                            "LocalCluster"
-                        ) from None
+                    self._check_liveness(started, len(jobs) - yielded)
                     continue
+                # Every event is a worker speaking: the stall clock resets.
+                self._last_worker_alive = time.monotonic()
                 if event[0] == "record":
                     _, job_id, record = event
                     yielded += 1
@@ -245,6 +260,37 @@ class Coordinator:
                     raise event[1]
         finally:
             self.close()
+
+    def _check_liveness(self, started: float, n_unfinished: int) -> None:
+        """Fail loudly when nobody is (or ever was) serving the batch.
+
+        Called from :meth:`run` whenever a heartbeat interval passes with
+        no event: before the first registration the register timeout
+        governs; afterwards, a cluster whose last worker died without
+        replacement for ``stall_timeout_s`` raises instead of letting
+        :meth:`run` block forever on jobs no one will ever lease.
+        """
+        now = time.monotonic()
+        with self._lock:
+            if self._workers:
+                self._last_worker_alive = now
+                return
+        if not self._ever_registered:
+            if now - started > self._register_timeout_s:
+                raise ClusterProtocolError(
+                    "no worker registered within "
+                    f"{self._register_timeout_s:.0f}s; start workers "
+                    "with `python -m repro.cluster worker --connect "
+                    f"{self.address[0]}:{self.address[1]}` or use a "
+                    "LocalCluster"
+                ) from None
+            return
+        if now - self._last_worker_alive > self._stall_timeout_s:
+            raise ClusterProtocolError(
+                f"cluster stalled: every worker died and none returned for "
+                f"{self._stall_timeout_s:.0f}s with {n_unfinished} jobs "
+                "unfinished"
+            ) from None
 
     def close(self) -> None:
         """Shut the cluster session down (idempotent)."""
@@ -303,7 +349,15 @@ class Coordinator:
         except (EOFError, ConnectionError, OSError):
             pass  # connection lost: fall through to the death declaration
         except ClusterProtocolError as exc:
-            self._out.put(("raise", exc))
+            if worker_id is None:
+                # A peer that never registered is not our worker — a stray
+                # client, a port scanner, a second campaign's worker.  Its
+                # nonsense must not abort this campaign: drop the
+                # connection (the finally below closes it) and count it.
+                with self._lock:
+                    self._counts["n_rejected_peers"] += 1
+            else:
+                self._out.put(("raise", exc))
         finally:
             if worker_id is not None:
                 self._declare_dead(worker_id)

@@ -229,12 +229,29 @@ def recv_message(sock: socket.socket) -> tuple[Any, bytes]:
             f"frame announces {header_len}+{payload_len} bytes, over the "
             f"{MAX_FRAME_BYTES}-byte ceiling — malformed or hostile peer"
         )
-    header = json.loads(_recv_exact(sock, header_len).decode("utf-8"))
+    raw_header = _recv_exact(sock, header_len)
     payload = _recv_exact(sock, payload_len) if payload_len else b""
+    try:
+        header = json.loads(raw_header.decode("utf-8"))
+    except ValueError as exc:
+        # UnicodeDecodeError and JSONDecodeError both: a peer that frames
+        # correctly but speaks something other than our JSON control plane.
+        raise ClusterProtocolError(
+            f"frame header is not valid JSON: {exc}"
+        ) from None
+    if not isinstance(header, dict):
+        raise ClusterProtocolError(
+            f"frame header must be a JSON object, got {type(header).__name__}"
+        )
     cls = MESSAGE_CLASSES.get(header.get("kind"))
     if cls is None:
         raise ClusterProtocolError(f"unknown message kind {header.get('kind')!r}")
-    return cls.from_dict(header), payload
+    try:
+        return cls.from_dict(header), payload
+    except (KeyError, TypeError) as exc:
+        raise ClusterProtocolError(
+            f"malformed {header.get('kind')!r} frame: {exc!r}"
+        ) from None
 
 
 # ---------------------------------------------------------------------------

@@ -48,6 +48,13 @@ __all__ = ["worker_main"]
 #: Delay between connection attempts while a coordinator is not (yet) up.
 _RECONNECT_DELAY_S = 0.05
 
+#: Per-attempt TCP connect timeout.  This bounds the *connect* only: once
+#: the connection is up the socket goes back to blocking mode, because the
+#: receive loop legitimately sits frameless for as long as the current job
+#: runs (and while parked idle), and a lingering timeout would convict
+#: every such quiet stretch as connection loss.
+_CONNECT_ATTEMPT_TIMEOUT_S = 5.0
+
 
 class _Session:
     """State shared by the three threads serving one connection."""
@@ -96,10 +103,19 @@ def _executor_loop(session: _Session) -> None:
                 record = session.run_one(job)
             except Exception as exc:
                 # The runner raised: per the backend contract this aborts
-                # the submission, so ship the exception itself.
+                # the submission, so ship the exception itself.  An
+                # exception that refuses to pickle (holds a socket/lock,
+                # broken __reduce__) must not kill this thread — the
+                # heartbeats would keep beating and the campaign would
+                # hang — so it degrades to a picklable surrogate.
+                try:
+                    blob = pickle.dumps(exc)
+                except Exception:
+                    blob = pickle.dumps(
+                        RuntimeError(f"{type(exc).__name__}: {exc}")
+                    )
                 session.send(
-                    Crash(job_id=int(job.job_id), message=str(exc)),
-                    pickle.dumps(exc),
+                    Crash(job_id=int(job.job_id), message=str(exc)), blob
                 )
                 continue
             encoding, payload = encode_record(record)
@@ -229,7 +245,9 @@ def worker_main(
         sock = None
         while sock is None:
             try:
-                sock = socket.create_connection((host, int(port)), timeout=5.0)
+                sock = socket.create_connection(
+                    (host, int(port)), timeout=_CONNECT_ATTEMPT_TIMEOUT_S
+                )
             except OSError:
                 if time.monotonic() > deadline:
                     raise ClusterProtocolError(
@@ -237,6 +255,7 @@ def worker_main(
                         f"within {connect_timeout_s:.0f}s"
                     ) from None
                 time.sleep(_RECONNECT_DELAY_S)
+        sock.settimeout(None)
         sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
         clean = False
         try:

@@ -370,6 +370,7 @@ def _register_builtin_samples() -> None:
             n_requeued_jobs=13,
             n_crash_markers=1,
             n_affinity_hits=6,
+            n_rejected_peers=1,
             steal_latency_s=0.012,
         )
 

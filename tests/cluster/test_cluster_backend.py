@@ -125,6 +125,7 @@ class TestConfiguration:
             {"host": "0.0.0.0", "port": 7077, "n_workers": 2},
             {"heartbeat_s": 0.0},
             {"register_timeout_s": 0.0},
+            {"stall_timeout_s": 0.0},
             {"chunking": "adaptive"},  # the pool's string spelling
         ],
         ids=lambda kw: ",".join(kw),

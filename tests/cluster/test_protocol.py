@@ -11,13 +11,18 @@ from __future__ import annotations
 
 import pickle
 import socket
+import struct
 import threading
+import time
 from dataclasses import dataclass
 
 import pytest
 
+from repro.cluster import worker as worker_module
 from repro.cluster.coordinator import Coordinator
+from repro.cluster.worker import worker_main
 from repro.cluster.wire import (
+    Heartbeat,
     Lease,
     Register,
     Result,
@@ -45,22 +50,40 @@ def echo_runner(job: FakeJob) -> str:
     return f"record-{job.job_id}"
 
 
+def slow_runner(job: FakeJob) -> str:
+    """A job long enough to outlast the (monkeypatched) connect timeout."""
+    time.sleep(0.6)
+    return f"slow-{job.job_id}"
+
+
+class UnpicklableError(RuntimeError):
+    """An exception pickle refuses: its __dict__ holds a thread lock."""
+
+    def __init__(self, message: str) -> None:
+        super().__init__(message)
+        self.lock = threading.Lock()
+
+
+def unpicklable_raiser(job: FakeJob) -> str:
+    raise UnpicklableError(f"boom-{job.job_id}")
+
+
 class _Harness:
     """Drives ``Coordinator.run`` on a thread and collects its yields."""
 
-    def __init__(self, jobs, **coordinator_kwargs):
+    def __init__(self, jobs, runner=echo_runner, **coordinator_kwargs):
         coordinator_kwargs.setdefault("heartbeat_s", 1.0)
         self.coordinator = Coordinator(**coordinator_kwargs)
         self.records: list = []
         self.error: BaseException | None = None
         self._thread = threading.Thread(
-            target=self._drain, args=(tuple(jobs),), daemon=True
+            target=self._drain, args=(tuple(jobs), runner), daemon=True
         )
         self._thread.start()
 
-    def _drain(self, jobs):
+    def _drain(self, jobs, runner):
         try:
-            for pair in self.coordinator.run(jobs, echo_runner):
+            for pair in self.coordinator.run(jobs, runner):
                 self.records.append(pair)
         except BaseException as exc:  # noqa: BLE001 - surfaced to the test
             self.error = exc
@@ -142,6 +165,28 @@ class _ScriptedWorker:
 
     def close(self) -> None:
         self.sock.close()
+
+
+class _ThreadWorker:
+    """A *real* worker (``worker_main``) run on a thread in this process.
+
+    The scripted workers above fabricate frames; these tests need the
+    genuine worker loop — its socket setup, executor, and crash shipping —
+    against a real coordinator, without subprocess spawn cost.
+    """
+
+    def __init__(self, address, **kwargs):
+        self._thread = threading.Thread(
+            target=worker_main,
+            args=(address[0], address[1]),
+            kwargs=kwargs,
+            daemon=True,
+        )
+        self._thread.start()
+
+    def join(self, timeout=10.0):
+        self._thread.join(timeout=timeout)
+        assert not self._thread.is_alive(), "worker thread did not exit"
 
 
 def _expected(jobs) -> dict:
@@ -347,3 +392,93 @@ class TestRegisterTimeout:
         with pytest.raises(ClusterProtocolError, match="no worker registered"):
             harness.finish(timeout=10.0)
         harness.close()
+
+
+class TestStallTimeout:
+    def test_emptied_cluster_fails_loudly(self):
+        """All workers die, none reconnect: run() raises, never hangs."""
+        jobs = tuple(FakeJob(i) for i in range(3))
+        harness = _Harness(jobs, heartbeat_s=0.05, stall_timeout_s=0.3)
+        worker = _ScriptedWorker(harness.coordinator.address).register()
+        worker.expect_lease()
+        worker.close()  # the only worker dies holding its lease
+        with pytest.raises(ClusterProtocolError, match="cluster stalled"):
+            harness.finish(timeout=10.0)
+        harness.close()
+        assert harness.coordinator.stats.n_worker_deaths == 1
+
+
+class TestStrayPeers:
+    def test_out_of_protocol_peers_are_dropped_not_fatal(self):
+        """Unregistered nonsense closes that socket; the campaign lives.
+
+        Two flavours: a well-formed frame of the wrong kind before
+        register, and a correctly framed header that is not JSON at all
+        (which must not silently kill the serve thread either).
+        """
+        jobs = (FakeJob(0), FakeJob(1))
+        harness = _Harness(jobs)
+        try:
+            stray = socket.create_connection(harness.coordinator.address)
+            stray.settimeout(5.0)
+            send_message(
+                stray, Heartbeat(worker_id=99, current_job=-1, n_queued=0)
+            )
+            garbage = socket.create_connection(harness.coordinator.address)
+            garbage.settimeout(5.0)
+            blob = b"\x00this is not json"
+            garbage.sendall(struct.pack(">II", len(blob), 0) + blob)
+            # The coordinator hangs up on both (recv sees EOF, not a reset
+            # mid-campaign abort)...
+            assert stray.recv(1) == b""
+            assert garbage.recv(1) == b""
+            stray.close()
+            garbage.close()
+            # ...and a real worker still runs the campaign to completion.
+            worker = _ScriptedWorker(harness.coordinator.address).register()
+            first = worker.expect_lease()
+            worker.send_result(first[0])
+            for job in worker.expect_lease():
+                worker.send_result(job)
+            assert harness.finish() == _expected(jobs)
+            worker.expect_shutdown()
+            worker.close()
+        finally:
+            harness.close()
+        assert harness.coordinator.stats.n_rejected_peers == 2
+
+
+class TestRealWorkerLoop:
+    def test_job_longer_than_connect_timeout_is_not_convicted(self, monkeypatch):
+        """The connect timeout must not linger on the session socket.
+
+        Regression: ``create_connection(..., timeout=...)`` used to leave
+        the timeout armed permanently, so any job outlasting it made the
+        worker's blocking recv raise, drop the session, and re-register —
+        churning healthy long jobs into false WorkerCrash convictions.
+        Shrinking the attempt timeout under the job length reproduces the
+        geometry without a five-second sleep in the suite.
+        """
+        monkeypatch.setattr(worker_module, "_CONNECT_ATTEMPT_TIMEOUT_S", 0.2)
+        jobs = (FakeJob(0),)
+        harness = _Harness(jobs, runner=slow_runner, heartbeat_s=0.05)
+        try:
+            worker = _ThreadWorker(harness.coordinator.address)
+            assert harness.finish() == {0: "slow-0"}
+            worker.join()
+        finally:
+            harness.close()
+        stats = harness.coordinator.stats
+        assert stats.n_worker_deaths == 0
+        assert stats.n_crash_markers == 0
+        assert stats.n_workers == 1  # no churned re-registrations either
+
+    def test_unpicklable_exception_ships_as_surrogate(self):
+        """A Crash whose exception refuses to pickle must still arrive."""
+        jobs = (FakeJob(0),)
+        harness = _Harness(jobs, runner=unpicklable_raiser, heartbeat_s=0.05)
+        worker = _ThreadWorker(harness.coordinator.address)
+        with pytest.raises(RuntimeError, match="UnpicklableError: boom-0"):
+            harness.finish()
+        harness.close()
+        worker.join()
